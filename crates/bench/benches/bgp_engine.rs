@@ -1,0 +1,65 @@
+//! Benchmarks of the conjunctive-engine substrate: pattern scans,
+//! hash joins, and whole-BGP evaluation on the YAGO-like graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_engine::{eval_bgp, Bgp, Term};
+use cs_graph::generate::{yago_like, YagoLikeParams};
+use cs_graph::Predicate;
+
+fn benches(c: &mut Criterion) {
+    let g = yago_like(&YagoLikeParams {
+        persons: 5_000,
+        organisations: 200,
+        places: 50,
+        works: 500,
+        seed: 5,
+    });
+
+    c.bench_function("bgp_single_label_scan", |b| {
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e", Predicate::label("worksFor")),
+            Term::var("o"),
+        );
+        b.iter(|| eval_bgp(&g, &bgp))
+    });
+
+    c.bench_function("bgp_two_pattern_join", |b| {
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e1", Predicate::label("worksFor")),
+            Term::var("o"),
+        );
+        bgp.push(
+            Term::var("o"),
+            Term::pred("e2", Predicate::label("locatedIn")),
+            Term::var("p"),
+        );
+        b.iter(|| eval_bgp(&g, &bgp))
+    });
+
+    c.bench_function("bgp_star_join_three_patterns", |b| {
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::pred("x", Predicate::typed("person")),
+            Term::pred("e1", Predicate::label("worksFor")),
+            Term::var("o"),
+        );
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e2", Predicate::label("bornIn")),
+            Term::var("p"),
+        );
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e3", Predicate::label("citizenOf")),
+            Term::var("cc"),
+        );
+        b.iter(|| eval_bgp(&g, &bgp))
+    });
+}
+
+criterion_group!(bgp, benches);
+criterion_main!(bgp);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the CTP search algorithms on the paper's
+//! synthetic families (Criterion companions to Figures 10/11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
+use cs_graph::generate::{chain, comb, line, star, Workload};
+
+fn bench_family(c: &mut Criterion, name: &str, w: &Workload, algos: &[Algorithm]) {
+    let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    let mut group = c.benchmark_group(name);
+    for &algo in algos {
+        group.bench_with_input(BenchmarkId::from_parameter(algo), &algo, |b, &algo| {
+            b.iter(|| {
+                evaluate_ctp(
+                    &w.graph,
+                    &seeds,
+                    algo,
+                    Filters::none(),
+                    QueueOrder::SmallestFirst,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    let gam_family = Algorithm::GAM_FAMILY;
+    bench_family(c, "line_m3_sl4", &line(3, 3), &gam_family);
+    bench_family(c, "comb_na2_sl3", &comb(2, 2, 3, 1), &gam_family);
+    bench_family(c, "star_m5_sl3", &star(5, 3), &gam_family);
+    // The exponential chain stresses result enumeration + dedup.
+    bench_family(
+        c,
+        "chain_n8_256_results",
+        &chain(8),
+        &[Algorithm::Gam, Algorithm::MoLesp],
+    );
+    // Baseline comparison on a tiny input where BFT is feasible.
+    bench_family(
+        c,
+        "baselines_line_m3_sl3",
+        &line(3, 2),
+        &[
+            Algorithm::Bft,
+            Algorithm::BftM,
+            Algorithm::BftAm,
+            Algorithm::Gam,
+        ],
+    );
+}
+
+criterion_group!(ctp, benches);
+criterion_main!(ctp);

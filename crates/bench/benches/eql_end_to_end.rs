@@ -1,0 +1,43 @@
+//! End-to-end EQL benchmarks: parse + plan + BGPs + CTP search + join
+//! on a small CDF graph (the Fig. 13 pipeline at micro scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_bench::harness::cdf_query;
+use cs_eql::{parse, run_query};
+use cs_graph::generate::{cdf, CdfParams};
+
+fn benches(c: &mut Criterion) {
+    let built = cdf(&CdfParams {
+        m: 2,
+        n_t: 8,
+        n_l: 16,
+        s_l: 3,
+        seed: 77,
+    });
+    let q2 = cdf_query(2, false, 10_000);
+
+    c.bench_function("eql_parse_cdf_query", |b| b.iter(|| parse(&q2).unwrap()));
+    c.bench_function("eql_cdf_m2_full_pipeline", |b| {
+        b.iter(|| run_query(&built.graph, &q2).unwrap())
+    });
+
+    let built3 = cdf(&CdfParams {
+        m: 3,
+        n_t: 4,
+        n_l: 8,
+        s_l: 3,
+        seed: 78,
+    });
+    let q3 = cdf_query(3, false, 10_000);
+    c.bench_function("eql_cdf_m3_full_pipeline", |b| {
+        b.iter(|| run_query(&built3.graph, &q3).unwrap())
+    });
+
+    let uni = cdf_query(2, true, 10_000);
+    c.bench_function("eql_cdf_m2_uni_pipeline", |b| {
+        b.iter(|| run_query(&built.graph, &uni).unwrap())
+    });
+}
+
+criterion_group!(eql, benches);
+criterion_main!(eql);

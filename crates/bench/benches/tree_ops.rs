@@ -1,0 +1,53 @@
+//! Ablation benchmarks for DESIGN.md decision #1: trees as sorted
+//! edge-id arrays — measuring the primitive Grow/Merge/history costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cs_core::tree::{nodes_intersect_only_at, sorted_insert, sorted_union};
+use cs_graph::fxhash::{fx_hash_one, FxHashSet};
+use cs_graph::{EdgeId, NodeId};
+
+fn benches(c: &mut Criterion) {
+    for size in [8usize, 64, 512] {
+        let edges: Vec<EdgeId> = (0..size as u32).map(|i| EdgeId(i * 2)).collect();
+        let nodes: Vec<NodeId> = (0..size as u32).map(|i| NodeId(i * 2)).collect();
+        let other: Vec<NodeId> = (0..size as u32)
+            .map(|i| NodeId(i * 2 + 1))
+            .chain([NodeId(0)])
+            .collect();
+        let mut other_sorted = other.clone();
+        other_sorted.sort();
+
+        c.bench_with_input(
+            BenchmarkId::new("sorted_insert", size),
+            &edges,
+            |b, edges| b.iter(|| sorted_insert(edges, EdgeId(999_999))),
+        );
+        c.bench_with_input(
+            BenchmarkId::new("sorted_union", size),
+            &(edges.clone(), edges.clone()),
+            |b, (a, b2)| b.iter(|| sorted_union(a, b2)),
+        );
+        c.bench_with_input(
+            BenchmarkId::new("merge1_scan", size),
+            &(nodes.clone(), other_sorted.clone()),
+            |b, (a, o)| b.iter(|| nodes_intersect_only_at(a, o, NodeId(0))),
+        );
+        c.bench_with_input(BenchmarkId::new("edge_set_hash", size), &edges, |b, e| {
+            b.iter(|| fx_hash_one(&e))
+        });
+        c.bench_with_input(
+            BenchmarkId::new("history_insert_lookup", size),
+            &edges,
+            |b, e| {
+                b.iter(|| {
+                    let mut h: FxHashSet<Box<[EdgeId]>> = FxHashSet::default();
+                    h.insert(e.clone().into_boxed_slice());
+                    h.contains(e.as_slice())
+                })
+            },
+        );
+    }
+}
+
+criterion_group!(tree_ops, benches);
+criterion_main!(tree_ops);

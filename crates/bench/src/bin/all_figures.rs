@@ -1,0 +1,19 @@
+//! Runs every figure/table harness at the chosen scale — the one-shot
+//! reproduction entry point backing EXPERIMENTS.md.
+//!
+//! Usage: `all_figures [--full]`
+
+use cs_bench::{fig10, fig11, fig12, fig13_14, scale_from_args, table1, Family};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    for f in [Family::Line, Family::Comb, Family::Star] {
+        fig10(f, scale).print();
+        fig11(f, scale).print();
+    }
+    fig12(scale).print();
+    fig13_14(2, scale).print();
+    fig13_14(3, scale).print();
+    table1(scale).print();
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 10: complete CTP evaluation baselines (BFT,
+//! BFT-M, BFT-AM, GAM) on Line / Comb / Star graphs.
+//!
+//! Usage: `fig10 [line|comb|star|all] [--full]`
+
+use cs_bench::{fig10, scale_from_args, Family};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let families: Vec<Family> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(f) if f != "all" => vec![f.parse().expect("line|comb|star|all")],
+        _ => vec![Family::Line, Family::Comb, Family::Star],
+    };
+    for f in families {
+        fig10(f, scale).print();
+    }
+    println!("expected shape (paper 5.4.1): BFT-M worse than BFT; BFT-AM worse still; GAM fastest and never times out.");
+}

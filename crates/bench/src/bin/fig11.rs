@@ -1,0 +1,19 @@
+//! Regenerates Figure 11: GAM variants (GAM, ESP, MoESP, LESP,
+//! MoLESP) — runtime and number of provenances on Line / Comb / Star.
+//!
+//! Usage: `fig11 [line|comb|star|all] [--full]`
+
+use cs_bench::{fig11, scale_from_args, Family};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = scale_from_args(&args);
+    let families: Vec<Family> = match args.iter().find(|a| !a.starts_with("--")) {
+        Some(f) if f != "all" => vec![f.parse().expect("line|comb|star|all")],
+        _ => vec![Family::Line, Family::Comb, Family::Star],
+    };
+    for f in families {
+        fig11(f, scale).print();
+    }
+    println!("expected shape (paper 5.4.2): ESP/LESP find 0 results on Line/Comb (pruned); MoESP = MoLESP provenances there; MoLESP faster than GAM; runtimes track provenance counts.");
+}

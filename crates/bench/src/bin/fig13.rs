@@ -1,0 +1,12 @@
+//! Regenerates Figure 13: extended-query evaluation on CDF graphs with
+//! m = 2, against the path-semantics baselines.
+//!
+//! Usage: `fig13 [--full]`
+
+use cs_bench::{fig13_14, scale_from_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    fig13_14(2, scale_from_args(&args)).print();
+    println!("expected shape (paper 5.5.1): check-only systems fastest; UNI-MoLESP within a small factor; undirected any-path enumeration (Neo4j-like) blows up; MoLESP is the only feasible bidirectional system and scales linearly.");
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 14: extended-query evaluation on CDF graphs with
+//! m = 3 (Y-shaped connections), including path stitching.
+//!
+//! Usage: `fig14 [--full]`
+
+use cs_bench::{fig13_14, scale_from_args};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    fig13_14(3, scale_from_args(&args)).print();
+    println!("expected shape (paper 5.5.1): path stitching produces far more raw combinations than there are tree answers (duplicates + non-trees); UNI-MoLESP outperforms path-returning systems while returning actual connecting trees.");
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table 1: the J1/J2/J3 query workload (multi-CTP query,
+//! very large seed set, N seed set) on the YAGO-like graph, plus the
+//! Single-vs-Balanced queue-policy ablation of paper section 4.9.
+//!
+//! Usage: `table1 [--full]`
+
+use cs_bench::{scale_from_args, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    table1(scale_from_args(&args)).print();
+    println!("expected shape (paper 5.5.2): J2/J3 are only tractable with the section-4.9 handling (balanced queues / N-set simplification).");
+}

@@ -1,0 +1,812 @@
+//! The GAM family of CTP search algorithms (paper §4.2–§4.7,
+//! Algorithms 1–5).
+//!
+//! One engine implements GAM, ESP, MoESP, LESP and MoLESP; the paper's
+//! refinements are configuration flags:
+//!
+//! * [`GamConfig::esp`] — edge-set pruning (Def. 4.3): discard any
+//!   provenance whose (non-empty) edge set was already built.
+//! * [`GamConfig::mo`] — merge-oriented extra trees (§4.5): when a
+//!   provenance gains seeds over its children, inject copies re-rooted
+//!   at each seed node; Grow is disabled on them.
+//! * [`GamConfig::lesp`] — limited edge-set pruning (§4.6): a tree
+//!   rooted at `n` with `Σ(ss_n) ≥ 3` and `d_n ≥ 3` is spared from ESP
+//!   unless an identical *rooted* tree exists.
+//!
+//! `MoLESP = esp + mo + lesp` — complete for `m ≤ 3` (Property 8) and
+//! for all results decomposing into `(u, n)`-rooted merges (Property 9).
+
+use crate::config::{Filters, QueueOrder, QueuePolicy};
+use crate::result::{ResultSet, ResultTree, SearchOutcome, SearchStats};
+use crate::seedmask::SeedMask;
+use crate::seeds::SeedSets;
+use crate::tree::{Provenance, TreeData, TreeId, TreeStore};
+use cs_graph::fxhash::{FxHashMap, FxHashSet};
+use cs_graph::{EdgeId, Graph, LabelId, NodeId};
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+/// Which refinements are active on top of plain GAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GamConfig {
+    /// Edge-set pruning (§4.4).
+    pub esp: bool,
+    /// Merge-oriented tree injection (§4.5).
+    pub mo: bool,
+    /// Limited edge-set pruning (§4.6).
+    pub lesp: bool,
+}
+
+impl GamConfig {
+    /// Plain GAM (§4.2).
+    pub const GAM: GamConfig = GamConfig {
+        esp: false,
+        mo: false,
+        lesp: false,
+    };
+    /// ESP (§4.4).
+    pub const ESP: GamConfig = GamConfig {
+        esp: true,
+        mo: false,
+        lesp: false,
+    };
+    /// MoESP (§4.5).
+    pub const MOESP: GamConfig = GamConfig {
+        esp: true,
+        mo: true,
+        lesp: false,
+    };
+    /// LESP (§4.6).
+    pub const LESP: GamConfig = GamConfig {
+        esp: true,
+        mo: false,
+        lesp: true,
+    };
+    /// MoLESP (§4.7) — the paper's headline algorithm.
+    pub const MOLESP: GamConfig = GamConfig {
+        esp: true,
+        mo: true,
+        lesp: true,
+    };
+}
+
+/// Streaming consumer type for [`GamEngine::run_streaming`].
+type ResultCallback<'g> = Box<dyn FnMut(&ResultTree) -> bool + 'g>;
+
+/// A Grow opportunity in the priority queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QEntry {
+    key: i64,
+    seq: u64,
+    tree: TreeId,
+    edge: EdgeId,
+}
+
+impl Ord for QEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on key; FIFO (smaller seq first) on ties.
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for QEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single or per-`sat`-mask balanced queues (§4.9).
+struct Queues {
+    policy: QueuePolicy,
+    single: BinaryHeap<QEntry>,
+    per: FxHashMap<SeedMask, BinaryHeap<QEntry>>,
+    len: usize,
+}
+
+impl Queues {
+    fn new(policy: QueuePolicy) -> Self {
+        Queues {
+            policy,
+            single: BinaryHeap::new(),
+            per: FxHashMap::default(),
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, mask: SeedMask, e: QEntry) {
+        self.len += 1;
+        match self.policy {
+            QueuePolicy::Single => self.single.push(e),
+            QueuePolicy::Balanced => self.per.entry(mask).or_default().push(e),
+        }
+    }
+
+    fn pop(&mut self) -> Option<QEntry> {
+        match self.policy {
+            QueuePolicy::Single => {
+                let e = self.single.pop();
+                if e.is_some() {
+                    self.len -= 1;
+                }
+                e
+            }
+            QueuePolicy::Balanced => {
+                // Grow from the queue currently holding the fewest
+                // pairs, so small seed sets' neighbourhoods expand
+                // first (§4.9).
+                let key = self
+                    .per
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .min_by_key(|(_, q)| q.len())
+                    .map(|(&k, _)| k)?;
+                let e = self.per.get_mut(&key).and_then(BinaryHeap::pop);
+                if e.is_some() {
+                    self.len -= 1;
+                }
+                e
+            }
+        }
+    }
+}
+
+/// The GAM-family search engine. Construct with [`GamEngine::new`],
+/// run with [`GamEngine::run`].
+pub struct GamEngine<'g> {
+    g: &'g Graph,
+    seeds: &'g SeedSets,
+    cfg: GamConfig,
+    filters: Filters,
+    label_filter: Option<FxHashSet<LabelId>>,
+    order: QueueOrder,
+    store: TreeStore,
+    queue: Queues,
+    seq: u64,
+    /// Edge set → roots for which a tree over it has been built.
+    /// Implements both GAM's rooted-tree dedup and ESP's edge-set
+    /// history (Hist of Algorithm 1).
+    hist: FxHashMap<Box<[EdgeId]>, Vec<NodeId>>,
+    /// TreesRootedIn of Algorithm 3 (result trees are excluded — they
+    /// can never merge, their `sat` overlaps everything).
+    trees_rooted_in: FxHashMap<NodeId, Vec<TreeId>>,
+    /// Seed signatures ss_n (§4.6), indexed by node.
+    ss: Vec<SeedMask>,
+    /// Aggressive-merge worklist.
+    pending_merge: Vec<TreeId>,
+    /// Arena ids of reported results (aligned with `results` order).
+    result_ids: Vec<TreeId>,
+    results: ResultSet,
+    stats: SearchStats,
+    deadline: Option<Instant>,
+    tick: u32,
+    stop: bool,
+    /// Streaming consumer: called on each new result; returning false
+    /// stops the search (see [`GamEngine::run_streaming`]).
+    on_result: Option<ResultCallback<'g>>,
+}
+
+impl<'g> GamEngine<'g> {
+    /// Prepares a search over `g` with the given seed sets and
+    /// configuration.
+    pub fn new(
+        g: &'g Graph,
+        seeds: &'g SeedSets,
+        cfg: GamConfig,
+        filters: Filters,
+        order: QueueOrder,
+        policy: QueuePolicy,
+    ) -> Self {
+        let label_filter = filters.resolve_labels(g);
+        // Initialise ss_n: seeds start with their membership mask,
+        // other nodes with 0 (§4.6).
+        let mut ss = vec![SeedMask::EMPTY; g.node_count()];
+        for n in seeds.all_seed_nodes() {
+            ss[n.index()] = seeds.membership(n);
+        }
+        GamEngine {
+            g,
+            seeds,
+            cfg,
+            filters,
+            label_filter,
+            order,
+            store: TreeStore::new(),
+            queue: Queues::new(policy),
+            seq: 0,
+            hist: FxHashMap::default(),
+            trees_rooted_in: FxHashMap::default(),
+            ss,
+            pending_merge: Vec::new(),
+            result_ids: Vec::new(),
+            results: ResultSet::new(),
+            stats: SearchStats::default(),
+            deadline: None,
+            tick: 0,
+            stop: false,
+            on_result: None,
+        }
+    }
+
+    /// Runs the search to completion (or until a filter/limit stops it).
+    pub fn run(mut self) -> SearchOutcome {
+        self.run_inner()
+    }
+
+    /// Runs the search, streaming every new result to `on_result` the
+    /// moment it is found (the paper's "as many results as possible,
+    /// as fast as possible" contract, Observation 2). The callback
+    /// returns `false` to stop the search early — e.g. once an
+    /// application-side score threshold is met.
+    pub fn run_streaming(
+        mut self,
+        on_result: impl FnMut(&ResultTree) -> bool + 'g,
+    ) -> SearchOutcome {
+        self.on_result = Some(Box::new(on_result));
+        self.run_inner()
+    }
+
+    /// Like [`GamEngine::run`], but also returns the tree arena and the
+    /// arena ids of the reported results, enabling provenance
+    /// inspection (Def. 4.1) via [`crate::explain`].
+    pub fn run_traced(mut self) -> crate::explain::TracedOutcome {
+        let outcome = self.run_inner();
+        crate::explain::TracedOutcome {
+            outcome,
+            store: self.store,
+            result_ids: self.result_ids,
+        }
+    }
+
+    fn run_inner(&mut self) -> SearchOutcome {
+        let start = Instant::now();
+        self.deadline = self.filters.timeout.map(|t| start + t);
+
+        // Algorithm 1 lines 3–7: Init trees for every seed.
+        for n in self.seeds.all_seed_nodes() {
+            let t = self.store.make_init(n, self.seeds);
+            self.process_tree(t);
+            self.drain_merges();
+            if self.stop {
+                break;
+            }
+        }
+
+        // Algorithm 1 lines 8–11: Grow loop.
+        while !self.stop {
+            let Some(entry) = self.queue.pop() else { break };
+            self.check_time();
+            if self.stop {
+                break;
+            }
+            let td = self.store.get(entry.tree);
+            let new_root = self.g.other_endpoint(entry.edge, td.root);
+            let grown = self
+                .store
+                .make_grow(entry.tree, td, entry.edge, new_root, self.seeds);
+            self.stats.grows += 1;
+            // Algorithm 1 line 10: update ss_root(t') before processing.
+            if !grown.path_from.is_empty() {
+                let slot = &mut self.ss[grown.root.index()];
+                *slot = slot.union(grown.path_from);
+            }
+            self.process_tree(grown);
+            self.drain_merges();
+        }
+
+        SearchOutcome {
+            results: std::mem::take(&mut self.results),
+            stats: self.stats.clone(),
+            duration: start.elapsed(),
+        }
+    }
+
+    /// Algorithm 4 `isNew`: the history check with LESP's sparing rule.
+    fn is_new(&self, t: &TreeData) -> bool {
+        let Some(roots) = self.hist.get(t.edges.as_ref()) else {
+            return true;
+        };
+        if self.cfg.esp && !t.edges.is_empty() {
+            // The edge set exists. LESP spares a tree whose root is
+            // well-connected to seeds, unless the identical rooted tree
+            // exists (Algorithm 4 lines 4–8).
+            if self.cfg.lesp {
+                let ssr = self.ss[t.root.index()];
+                if ssr.count() >= 3 && self.g.degree(t.root) >= 3 {
+                    return !roots.contains(&t.root);
+                }
+            }
+            false
+        } else {
+            // GAM keeps only the first provenance per *rooted* tree;
+            // Init trees (empty edge set) dedup by root under every
+            // configuration.
+            !roots.contains(&t.root)
+        }
+    }
+
+    /// Algorithm 2 `processTree`: history registration, result
+    /// reporting, merge recording, Mo injection, queue feeding.
+    fn process_tree(&mut self, t: TreeData) -> Option<TreeId> {
+        if self.stop {
+            return None;
+        }
+        if !self.is_new(&t) {
+            self.stats.pruned += 1;
+            return None;
+        }
+        self.hist.entry(t.edges.clone()).or_default().push(t.root);
+        self.stats.provenances += 1;
+        if let Some(maxp) = self.filters.max_provenances {
+            if self.stats.provenances >= maxp {
+                self.stats.budget_exhausted = true;
+                self.stop = true;
+            }
+        }
+
+        let sat_total = t.sat.union(self.seeds.presatisfied());
+        let is_result = sat_total == self.seeds.full();
+        let is_mo = t.is_mo;
+        let root = t.root;
+        let seeds_increased = match t.provenance {
+            Provenance::Grow(parent, _) => t.sat != self.store.get(parent).sat,
+            Provenance::Merge(_, _) => true,
+            Provenance::Init(_) | Provenance::Mo(_, _) => false,
+        };
+        let id = self.store.push(t);
+
+        if is_result {
+            let td = self.store.get(id);
+            let r = ResultTree::from_tree(td.edges.clone(), td.nodes.clone(), root, self.seeds);
+            debug_assert!(
+                crate::result::check_result_minimal(self.g, &r, self.seeds).is_ok(),
+                "GAM produced a non-minimal result (Property 2 violated)"
+            );
+            let inserted = {
+                // Stream before moving `r` into the set.
+                let keep_going = match &mut self.on_result {
+                    Some(cb) if !self.results.contains(&r.edges, r.nodes[0]) => cb(&r),
+                    _ => true,
+                };
+                if !keep_going {
+                    self.stop = true;
+                }
+                self.results.insert(r)
+            };
+            if inserted {
+                self.result_ids.push(id);
+            }
+            if let Some(k) = self.filters.max_results {
+                if self.results.len() >= k {
+                    self.stop = true;
+                }
+            }
+            // With explicit seed sets only, a result is terminal: its
+            // `sat` overlaps every candidate partner, and growing it
+            // cannot reach new seeds (Grow2). With an `N` seed set
+            // (§4.9), every supertree is a further result (a different
+            // N-match), so the tree stays active.
+            if self.seeds.presatisfied().is_empty() {
+                return Some(id);
+            }
+        }
+
+        // recordForMerging (Algorithm 3 line 1).
+        self.trees_rooted_in.entry(root).or_default().push(id);
+        self.pending_merge.push(id);
+
+        // MoESP injection (Algorithm 3 lines 2–5, restricted per §4.5
+        // to provenances that gained seeds; disabled under UNI, where
+        // re-rooting at a seed breaks direction consistency).
+        if self.cfg.mo && seeds_increased && !self.filters.uni {
+            self.inject_mo(id);
+        }
+
+        // Queue Grow opportunities (Algorithm 2 lines 8–14); Grow is
+        // disabled on Mo trees.
+        if !is_mo {
+            self.queue_grows(id);
+        }
+        Some(id)
+    }
+
+    /// Creates the MoESP copies of tree `id`, re-rooted at each of its
+    /// seed nodes (other than its root), and schedules them for merging.
+    fn inject_mo(&mut self, id: TreeId) {
+        let td = self.store.get(id);
+        let mo_roots: Vec<NodeId> = td
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| n != td.root && self.seeds.is_seed(n))
+            .collect();
+        for r in mo_roots {
+            // Skip if the identical rooted tree already exists; Mo
+            // bypasses edge-set pruning by design, but exact duplicates
+            // are useless.
+            if self
+                .hist
+                .get(self.store.get(id).edges.as_ref())
+                .is_some_and(|roots| roots.contains(&r))
+            {
+                continue;
+            }
+            let mo = self.store.make_mo(id, self.store.get(id), r);
+            self.stats.mo_copies += 1;
+            self.hist.entry(mo.edges.clone()).or_default().push(r);
+            self.stats.provenances += 1;
+            let mo_id = self.store.push(mo);
+            self.trees_rooted_in.entry(r).or_default().push(mo_id);
+            self.pending_merge.push(mo_id);
+        }
+    }
+
+    /// Pushes every admissible (tree, edge) Grow pair for tree `id`.
+    fn queue_grows(&mut self, id: TreeId) {
+        let td = self.store.get(id);
+        let mut pushes: Vec<(SeedMask, QEntry)> = Vec::new();
+        for a in self.g.adjacent(td.root) {
+            // UNI (§4.8): to keep "root reaches all seeds via directed
+            // paths" invariant, grow only along edges *entering* the
+            // current root (the new root points at the old one).
+            if self.filters.uni && a.outgoing {
+                continue;
+            }
+            if let Some(lf) = &self.label_filter {
+                if !lf.contains(&self.g.edge(a.edge).label) {
+                    continue;
+                }
+            }
+            // Grow1: no repeated node (also rejects self-loops).
+            if td.contains_node(a.other) {
+                continue;
+            }
+            // Grow2: the new node is no seed of an already-covered set.
+            if !self.seeds.membership(a.other).disjoint(td.sat) {
+                continue;
+            }
+            // MAX n (§4.8).
+            if let Some(maxe) = self.filters.max_edges {
+                if td.size() + 1 > maxe {
+                    continue;
+                }
+            }
+            let key = self.order.priority(self.g, td, a.edge);
+            pushes.push((
+                td.sat,
+                QEntry {
+                    key,
+                    seq: 0, // assigned below
+                    tree: id,
+                    edge: a.edge,
+                },
+            ));
+        }
+        for (mask, mut e) in pushes {
+            e.seq = self.seq;
+            self.seq += 1;
+            self.stats.queue_pushes += 1;
+            self.queue.push(mask, e);
+        }
+    }
+
+    /// Algorithm 5 `MergeAll`, iteratively: drain the worklist of trees
+    /// whose merge partners have not been tried yet.
+    fn drain_merges(&mut self) {
+        while let Some(cur) = self.pending_merge.pop() {
+            if self.stop {
+                self.pending_merge.clear();
+                return;
+            }
+            self.check_time();
+            let root = self.store.get(cur).root;
+            let partners: Vec<TreeId> =
+                self.trees_rooted_in.get(&root).cloned().unwrap_or_default();
+            for p in partners {
+                if p == cur || self.stop {
+                    continue;
+                }
+                let (a, b) = (self.store.get(cur), self.store.get(p));
+                if let Some(maxe) = self.filters.max_edges {
+                    if a.size() + b.size() > maxe {
+                        continue;
+                    }
+                }
+                if let Some(m) = self.store.make_merge(cur, a, p, b, self.seeds) {
+                    self.stats.merges += 1;
+                    self.process_tree(m);
+                }
+            }
+        }
+    }
+
+    /// Periodic wall-clock check.
+    fn check_time(&mut self) {
+        self.tick = self.tick.wrapping_add(1);
+        if !self.tick.is_multiple_of(64) {
+            return;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.stats.timed_out = true;
+                self.stop = true;
+            }
+        }
+    }
+}
+
+/// Convenience: runs a GAM-family search with a single queue.
+pub fn run_gam_family(
+    g: &Graph,
+    seeds: &SeedSets,
+    cfg: GamConfig,
+    filters: Filters,
+    order: QueueOrder,
+) -> SearchOutcome {
+    GamEngine::new(g, seeds, cfg, filters, order, QueuePolicy::Single).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::generate::{chain, line, star};
+    use cs_graph::{figure1, GraphBuilder};
+
+    fn outcome(w: &cs_graph::generate::Workload, cfg: GamConfig) -> SearchOutcome {
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        run_gam_family(
+            &w.graph,
+            &seeds,
+            cfg,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        )
+    }
+
+    #[test]
+    fn gam_finds_line_result() {
+        let w = line(3, 2);
+        for cfg in [GamConfig::GAM, GamConfig::MOESP, GamConfig::MOLESP] {
+            let out = outcome(&w, cfg);
+            assert_eq!(out.results.len(), 1, "{cfg:?}");
+            assert_eq!(out.results.trees()[0].size(), w.graph.edge_count());
+        }
+    }
+
+    #[test]
+    fn star_result_is_rooted_merge() {
+        let w = star(4, 2);
+        for cfg in [GamConfig::GAM, GamConfig::LESP, GamConfig::MOLESP] {
+            let out = outcome(&w, cfg);
+            assert_eq!(out.results.len(), 1, "{cfg:?}");
+            assert_eq!(out.results.trees()[0].size(), 8);
+        }
+    }
+
+    #[test]
+    fn chain_has_exponential_results() {
+        // Figure 2: 2^N results.
+        for n in 1..=6 {
+            let w = chain(n);
+            let out = outcome(&w, GamConfig::MOLESP);
+            assert_eq!(out.results.len(), 1 << n, "chain({n})");
+            let gam = outcome(&w, GamConfig::GAM);
+            assert_eq!(gam.results.len(), 1 << n, "GAM chain({n})");
+        }
+    }
+
+    #[test]
+    fn figure1_talpha_and_tbeta_found() {
+        // Section 2: g1(S1,S2,S3) includes (n4,n6,n9,t_alpha) with
+        // t_alpha = {e10,e9,e11} and (n2,n3,n9,t_beta) with
+        // t_beta = {e1,e2,e17,e16}.
+        let g = figure1();
+        let s1 = vec![NodeId(1), NodeId(3)]; // Bob, Carole
+        let s2 = vec![NodeId(2), NodeId(5)]; // Alice, Doug
+        let s3 = vec![NodeId(8)]; // Elon
+        let seeds = SeedSets::from_sets(vec![s1, s2, s3]).unwrap();
+        let out = run_gam_family(
+            &g,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        let canon = out.results.canonical();
+        let t_alpha = vec![EdgeId(8), EdgeId(9), EdgeId(10)];
+        let t_beta = vec![EdgeId(0), EdgeId(1), EdgeId(15), EdgeId(16)];
+        assert!(canon.contains(&t_alpha), "t_alpha missing: {canon:?}");
+        assert!(
+            canon.contains(&t_beta),
+            "t_beta missing (requires bidirectional traversal)"
+        );
+    }
+
+    #[test]
+    fn esp_prunes_but_two_seeds_complete() {
+        // Property 3: with 2 seed sets, ESP = GAM results.
+        let w = line(2, 4);
+        let gam = outcome(&w, GamConfig::GAM);
+        let esp = outcome(&w, GamConfig::ESP);
+        assert_eq!(gam.results.canonical(), esp.results.canonical());
+        assert!(
+            esp.stats.provenances <= gam.stats.provenances,
+            "ESP should not build more provenances"
+        );
+    }
+
+    #[test]
+    fn max_edges_filter() {
+        let w = chain(4); // results of size 4 each
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_gam_family(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_max_edges(3),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 0);
+        let out = run_gam_family(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_max_edges(4),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 16);
+    }
+
+    #[test]
+    fn label_filter_restricts_results() {
+        // On the chain, allowing only label "a" leaves exactly 1 result.
+        let w = chain(3);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_gam_family(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_labels(["a"]),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn limit_stops_early() {
+        let w = chain(8); // 256 results in total
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_gam_family(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_max_results(5),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn provenance_budget_stops() {
+        let w = chain(10);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_gam_family(
+            &w.graph,
+            &seeds,
+            GamConfig::GAM,
+            Filters::none().with_max_provenances(50),
+            QueueOrder::SmallestFirst,
+        );
+        assert!(out.stats.budget_exhausted);
+        assert!(out.stats.provenances <= 50);
+    }
+
+    #[test]
+    fn uni_filter_directional() {
+        // a -> x -> b : unidirectional tree rooted at a reaches b? No —
+        // a reaches b along directed path a->x->b, so the UNI result
+        // exists with root a.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let x = gb.add_node("x");
+        let bb = gb.add_node("b");
+        gb.add_edge(a, "r", x);
+        gb.add_edge(x, "r", bb);
+        let g = gb.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        let out = run_gam_family(
+            &g,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().uni(),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 1);
+
+        // b -> x <- a has no root reaching both a and b: a reaches x
+        // but not b; there is no common ancestor. Actually a -> x and
+        // b -> x: the UNI tree must be rooted at a node with directed
+        // paths to both seeds; no such node exists.
+        let mut gb = GraphBuilder::new();
+        let a = gb.add_node("a");
+        let x = gb.add_node("x");
+        let bb = gb.add_node("b");
+        gb.add_edge(a, "r", x);
+        gb.add_edge(bb, "r", x);
+        let g = gb.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        let out = run_gam_family(
+            &g,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().uni(),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 0, "no dominating root exists");
+        // Without UNI the connection is found.
+        let out = run_gam_family(
+            &g,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(out.results.len(), 1);
+    }
+
+    #[test]
+    fn single_node_result_when_seed_in_all_sets() {
+        let g = figure1();
+        let alice = NodeId(2);
+        let seeds =
+            SeedSets::from_sets(vec![vec![alice, NodeId(1)], vec![alice, NodeId(3)]]).unwrap();
+        let out = run_gam_family(
+            &g,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        assert!(
+            out.results.trees().iter().any(|t| t.edges.is_empty()),
+            "Alice alone satisfies both sets"
+        );
+    }
+
+    #[test]
+    fn results_identical_across_orders_for_molesp() {
+        // MoLESP's completeness is order-independent (m = 3).
+        let w = star(3, 2);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let mut canons = Vec::new();
+        for order in [
+            QueueOrder::SmallestFirst,
+            QueueOrder::LargestFirst,
+            QueueOrder::Fifo,
+        ] {
+            let out = run_gam_family(&w.graph, &seeds, GamConfig::MOLESP, Filters::none(), order);
+            canons.push(out.results.canonical());
+        }
+        assert_eq!(canons[0], canons[1]);
+        assert_eq!(canons[1], canons[2]);
+    }
+
+    #[test]
+    fn balanced_queue_policy_finds_results() {
+        let w = line(3, 3);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = GamEngine::new(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Balanced,
+        )
+        .run();
+        assert_eq!(out.results.len(), 1);
+    }
+
+    use cs_graph::NodeId;
+}

@@ -1,0 +1,301 @@
+//! The CTP evaluation algorithms (paper §4) behind one entry point.
+
+pub mod bft;
+pub mod gam;
+
+pub use bft::{minimize, run_bft, BftMerge};
+pub use gam::{run_gam_family, GamConfig, GamEngine};
+
+use crate::config::{Filters, QueueOrder, QueuePolicy};
+use crate::result::SearchOutcome;
+use crate::seeds::SeedSets;
+use cs_graph::Graph;
+
+/// Every CTP evaluation algorithm studied in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Simple breadth-first search over trees (§4.1).
+    Bft,
+    /// BFT with single-pass Merge (§4.3).
+    BftM,
+    /// BFT with aggressive Merge (§4.3).
+    BftAm,
+    /// Grow and Aggressive Merge (§4.2).
+    Gam,
+    /// GAM + edge-set pruning (§4.4).
+    Esp,
+    /// Merge-oriented ESP (§4.5).
+    MoEsp,
+    /// Limited edge-set pruning (§4.6).
+    Lesp,
+    /// The headline algorithm (§4.7): complete for m ≤ 3.
+    MoLesp,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's presentation order.
+    pub const ALL: [Algorithm; 8] = [
+        Algorithm::Bft,
+        Algorithm::BftM,
+        Algorithm::BftAm,
+        Algorithm::Gam,
+        Algorithm::Esp,
+        Algorithm::MoEsp,
+        Algorithm::Lesp,
+        Algorithm::MoLesp,
+    ];
+
+    /// The GAM-family variants compared in Figure 11.
+    pub const GAM_FAMILY: [Algorithm; 5] = [
+        Algorithm::Gam,
+        Algorithm::Esp,
+        Algorithm::MoEsp,
+        Algorithm::Lesp,
+        Algorithm::MoLesp,
+    ];
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Bft => "BFT",
+            Algorithm::BftM => "BFT-M",
+            Algorithm::BftAm => "BFT-AM",
+            Algorithm::Gam => "GAM",
+            Algorithm::Esp => "ESP",
+            Algorithm::MoEsp => "MoESP",
+            Algorithm::Lesp => "LESP",
+            Algorithm::MoLesp => "MoLESP",
+        }
+    }
+
+    /// True for the algorithms with unconditional completeness
+    /// guarantees for arbitrary m (given enough time and memory).
+    pub fn complete_for_any_m(self) -> bool {
+        matches!(
+            self,
+            Algorithm::Bft | Algorithm::BftM | Algorithm::BftAm | Algorithm::Gam
+        )
+    }
+
+    /// True if the algorithm is complete for CTPs with `m` seed sets
+    /// under any execution order (Properties 1, 3, 8).
+    pub fn complete_for(self, m: usize) -> bool {
+        match self {
+            _ if self.complete_for_any_m() => true,
+            Algorithm::Esp => m <= 2,
+            Algorithm::MoEsp => m <= 2, // all 2ps results; complete iff m ≤ 2
+            Algorithm::Lesp => m <= 2,
+            Algorithm::MoLesp => m <= 3,
+            _ => unreachable!(),
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "bft" => Ok(Algorithm::Bft),
+            "bft-m" | "bftm" => Ok(Algorithm::BftM),
+            "bft-am" | "bftam" => Ok(Algorithm::BftAm),
+            "gam" => Ok(Algorithm::Gam),
+            "esp" => Ok(Algorithm::Esp),
+            "moesp" => Ok(Algorithm::MoEsp),
+            "lesp" => Ok(Algorithm::Lesp),
+            "molesp" => Ok(Algorithm::MoLesp),
+            other => Err(format!("unknown algorithm {other:?}")),
+        }
+    }
+}
+
+/// Evaluates a CTP with the chosen algorithm: computes the set-based
+/// result `g(S_1, …, S_m, F)` of paper Def. 2.8 with the filters pushed
+/// into the search (§4.8).
+pub fn evaluate_ctp(
+    g: &Graph,
+    seeds: &SeedSets,
+    algo: Algorithm,
+    filters: Filters,
+    order: QueueOrder,
+) -> SearchOutcome {
+    evaluate_ctp_with_policy(g, seeds, algo, filters, order, QueuePolicy::Single)
+}
+
+/// [`evaluate_ctp`] with an explicit queue policy (§4.9; the GAM family
+/// only — BFT has no priority queue).
+pub fn evaluate_ctp_with_policy(
+    g: &Graph,
+    seeds: &SeedSets,
+    algo: Algorithm,
+    filters: Filters,
+    order: QueueOrder,
+    policy: QueuePolicy,
+) -> SearchOutcome {
+    match algo {
+        Algorithm::Bft => run_bft(g, seeds, BftMerge::None, filters, order),
+        Algorithm::BftM => run_bft(g, seeds, BftMerge::Single, filters, order),
+        Algorithm::BftAm => run_bft(g, seeds, BftMerge::Aggressive, filters, order),
+        Algorithm::Gam => GamEngine::new(g, seeds, GamConfig::GAM, filters, order, policy).run(),
+        Algorithm::Esp => GamEngine::new(g, seeds, GamConfig::ESP, filters, order, policy).run(),
+        Algorithm::MoEsp => {
+            GamEngine::new(g, seeds, GamConfig::MOESP, filters, order, policy).run()
+        }
+        Algorithm::Lesp => GamEngine::new(g, seeds, GamConfig::LESP, filters, order, policy).run(),
+        Algorithm::MoLesp => {
+            GamEngine::new(g, seeds, GamConfig::MOLESP, filters, order, policy).run()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::generate::line;
+
+    #[test]
+    fn names_and_parse_roundtrip() {
+        for a in Algorithm::ALL {
+            let parsed: Algorithm = a.name().parse().unwrap();
+            assert_eq!(parsed, a);
+        }
+        assert!("nope".parse::<Algorithm>().is_err());
+        assert_eq!(Algorithm::MoLesp.to_string(), "MoLESP");
+    }
+
+    #[test]
+    fn completeness_matrix() {
+        assert!(Algorithm::Gam.complete_for(10));
+        assert!(Algorithm::Esp.complete_for(2));
+        assert!(!Algorithm::Esp.complete_for(3));
+        assert!(Algorithm::MoLesp.complete_for(3));
+        assert!(!Algorithm::MoLesp.complete_for(4));
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_small_line() {
+        let w = line(3, 1);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let reference = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            Algorithm::Bft,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        )
+        .results
+        .canonical();
+        for a in Algorithm::ALL {
+            let out = evaluate_ctp(
+                &w.graph,
+                &seeds,
+                a,
+                Filters::none(),
+                QueueOrder::SmallestFirst,
+            );
+            // Line results are 2ps: all algorithms with Mo find them;
+            // plain ESP/LESP may prune (the paper's Fig. 11 shows their
+            // curves missing on Line) — so only check the complete ones
+            // plus MoESP/MoLESP here.
+            if !matches!(a, Algorithm::Esp | Algorithm::Lesp) {
+                assert_eq!(out.results.canonical(), reference, "{a}");
+            }
+        }
+    }
+}
+
+/// Evaluates a GAM-family CTP search, streaming each result to
+/// `on_result` as it is discovered; the callback returns `false` to
+/// stop early. (The BFT variants are batch-only reference algorithms.)
+///
+/// # Panics
+/// Panics if `algo` is a BFT variant.
+pub fn evaluate_ctp_streaming<'g>(
+    g: &'g Graph,
+    seeds: &'g SeedSets,
+    algo: Algorithm,
+    filters: Filters,
+    order: QueueOrder,
+    on_result: impl FnMut(&crate::result::ResultTree) -> bool + 'g,
+) -> SearchOutcome {
+    let cfg = match algo {
+        Algorithm::Gam => GamConfig::GAM,
+        Algorithm::Esp => GamConfig::ESP,
+        Algorithm::MoEsp => GamConfig::MOESP,
+        Algorithm::Lesp => GamConfig::LESP,
+        Algorithm::MoLesp => GamConfig::MOLESP,
+        other => panic!("streaming evaluation requires a GAM-family algorithm, got {other}"),
+    };
+    GamEngine::new(g, seeds, cfg, filters, order, QueuePolicy::Single).run_streaming(on_result)
+}
+
+#[cfg(test)]
+mod streaming_tests {
+    use super::*;
+    use cs_graph::generate::chain;
+
+    #[test]
+    fn streams_every_result_once() {
+        let w = chain(5); // 32 results
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let mut streamed = Vec::new();
+        let out = evaluate_ctp_streaming(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            |r| {
+                streamed.push(r.edges.to_vec());
+                true
+            },
+        );
+        assert_eq!(streamed.len(), 32);
+        let mut a = streamed.clone();
+        a.sort();
+        a.dedup();
+        assert_eq!(a.len(), 32, "no duplicates streamed");
+        assert_eq!(out.results.len(), 32);
+    }
+
+    #[test]
+    fn callback_false_stops_search() {
+        let w = chain(8); // 256 results
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let mut count = 0usize;
+        let out = evaluate_ctp_streaming(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            |_| {
+                count += 1;
+                count < 10
+            },
+        );
+        assert_eq!(count, 10);
+        assert!(out.results.len() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "GAM-family")]
+    fn bft_streaming_rejected() {
+        let w = chain(2);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        evaluate_ctp_streaming(
+            &w.graph,
+            &seeds,
+            Algorithm::Bft,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            |_| true,
+        );
+    }
+}

@@ -1,0 +1,280 @@
+//! DPBF — dynamic programming for the (group) Steiner tree (Ding et
+//! al., ICDE 2007): the optimal-cost connected tree algorithm that
+//! QGSTP and LANCET bootstrap from. Our Fig. 12 baseline (see DESIGN.md
+//! §2): it returns exactly **one** least-cost tree, polynomial in |G|
+//! for fixed m, which is the behavioural contract of the paper's QGSTP
+//! comparison.
+//!
+//! States are pairs `(v, S)` — the cheapest tree rooted at `v` covering
+//! group subset `S` — processed in increasing cost order (Dijkstra
+//! style), with two transitions: *grow* along an edge, and *merge* two
+//! trees at the same root with disjoint group sets.
+
+use crate::seedmask::SeedMask;
+use crate::seeds::SeedSets;
+use cs_graph::fxhash::FxHashMap;
+use cs_graph::{EdgeId, Graph, NodeId};
+use std::collections::BinaryHeap;
+
+/// How a DP state was reached (for tree reconstruction).
+#[derive(Debug, Clone, Copy)]
+enum Back {
+    Seed,
+    Grow(EdgeId, NodeId, SeedMask),
+    Merge(SeedMask, SeedMask),
+}
+
+/// A least-cost group Steiner tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteinerTree {
+    /// The tree's edges.
+    pub edges: Vec<EdgeId>,
+    /// Total cost (1 per edge).
+    pub cost: f64,
+    /// The root from which the tree was assembled.
+    pub root: NodeId,
+}
+
+#[derive(PartialEq)]
+struct State {
+    cost: f64,
+    node: NodeId,
+    mask: SeedMask,
+}
+
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.node.cmp(&other.node))
+            .then_with(|| self.mask.cmp(&other.mask))
+    }
+}
+
+/// Runs DPBF. `directed = true` restricts growth so the root reaches
+/// all seeds along directed paths (the UNI semantics); `false` treats
+/// edges as undirected (requirement R3).
+///
+/// Returns `None` if no connecting tree exists (or `m` = 0).
+pub fn dpbf(g: &Graph, seeds: &SeedSets, directed: bool) -> Option<SteinerTree> {
+    let m = seeds.m();
+    let full = seeds.full();
+    if m == 0 {
+        return None;
+    }
+    // cost + backpointer per (node, mask).
+    let mut best: FxHashMap<(NodeId, SeedMask), (f64, Back)> = FxHashMap::default();
+    let mut done: cs_graph::fxhash::FxHashSet<(NodeId, SeedMask)> =
+        cs_graph::fxhash::FxHashSet::default();
+    let mut heap: BinaryHeap<State> = BinaryHeap::new();
+
+    for s in seeds.all_seed_nodes() {
+        let mask = seeds.membership(s);
+        best.insert((s, mask), (0.0, Back::Seed));
+        heap.push(State {
+            cost: 0.0,
+            node: s,
+            mask,
+        });
+    }
+
+    while let Some(State { cost, node, mask }) = heap.pop() {
+        if !done.insert((node, mask)) {
+            continue; // stale entry
+        }
+        if mask == full {
+            return Some(reconstruct(g, &best, node, mask, cost));
+        }
+
+        // Grow: extend to a neighbour. For the directed variant the new
+        // root must have a directed edge *to* the current root, so the
+        // root keeps dominating all seeds.
+        for a in g.adjacent(node) {
+            if directed && a.outgoing {
+                continue;
+            }
+            if a.other == node {
+                continue; // self-loop is never useful
+            }
+            let ncost = cost + 1.0;
+            let key = (a.other, mask);
+            if best.get(&key).is_none_or(|(c, _)| ncost < *c) {
+                best.insert(key, (ncost, Back::Grow(a.edge, node, mask)));
+                heap.push(State {
+                    cost: ncost,
+                    node: a.other,
+                    mask,
+                });
+            }
+        }
+
+        // Merge: combine with any completed disjoint mask at this node.
+        let partners: Vec<(SeedMask, f64)> = done
+            .iter()
+            .filter(|(n, pm)| *n == node && pm.disjoint(mask) && !pm.is_empty())
+            .filter_map(|&(n, pm)| best.get(&(n, pm)).map(|(c, _)| (pm, *c)))
+            .collect();
+        for (pm, pc) in partners {
+            let nmask = mask.union(pm);
+            let ncost = cost + pc;
+            let key = (node, nmask);
+            if best.get(&key).is_none_or(|(c, _)| ncost < *c) {
+                best.insert(key, (ncost, Back::Merge(mask, pm)));
+                heap.push(State {
+                    cost: ncost,
+                    node,
+                    mask: nmask,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct(
+    g: &Graph,
+    best: &FxHashMap<(NodeId, SeedMask), (f64, Back)>,
+    node: NodeId,
+    mask: SeedMask,
+    cost: f64,
+) -> SteinerTree {
+    let mut edges = Vec::new();
+    let mut stack = vec![(node, mask)];
+    while let Some((n, m)) = stack.pop() {
+        match best.get(&(n, m)).map(|(_, b)| *b) {
+            Some(Back::Seed) | None => {}
+            Some(Back::Grow(e, prev, pm)) => {
+                edges.push(e);
+                stack.push((prev, pm));
+            }
+            Some(Back::Merge(m1, m2)) => {
+                stack.push((n, m1));
+                stack.push((n, m2));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    let _ = g;
+    SteinerTree {
+        edges,
+        cost,
+        root: node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::generate::{line, star};
+    use cs_graph::GraphBuilder;
+
+    #[test]
+    fn line_optimum() {
+        let w = line(3, 2);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let t = dpbf(&w.graph, &seeds, false).expect("connected");
+        // The whole line is the unique connecting tree.
+        assert_eq!(t.edges.len(), w.graph.edge_count());
+        assert_eq!(t.cost, w.graph.edge_count() as f64);
+    }
+
+    #[test]
+    fn star_optimum() {
+        let w = star(5, 3);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let t = dpbf(&w.graph, &seeds, false).expect("connected");
+        assert_eq!(t.edges.len(), 15);
+    }
+
+    #[test]
+    fn picks_shorter_of_two_routes() {
+        // A --1-- x --1-- B  and  A --1-- y --1-- z --1-- B:
+        // optimum = 2 edges via x.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let x = b.add_node("x");
+        let y = b.add_node("y");
+        let z = b.add_node("z");
+        let bb = b.add_node("B");
+        let e0 = b.add_edge(a, "r", x);
+        let e1 = b.add_edge(x, "r", bb);
+        b.add_edge(a, "r", y);
+        b.add_edge(y, "r", z);
+        b.add_edge(z, "r", bb);
+        let g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        let t = dpbf(&g, &seeds, false).unwrap();
+        assert_eq!(t.edges, vec![e0, e1]);
+        assert_eq!(t.cost, 2.0);
+    }
+
+    #[test]
+    fn directed_respects_orientation() {
+        // a -> x <- b: undirected connects in 2 edges; directed needs a
+        // dominating root — none exists, so no result.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let x = b.add_node("x");
+        let bb = b.add_node("b");
+        b.add_edge(a, "r", x);
+        b.add_edge(bb, "r", x);
+        let g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        assert!(dpbf(&g, &seeds, false).is_some());
+        assert!(dpbf(&g, &seeds, true).is_none());
+
+        // x -> a, x -> b: x dominates both; directed finds 2 edges.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let x = b.add_node("x");
+        let bb = b.add_node("b");
+        b.add_edge(x, "r", a);
+        b.add_edge(x, "r", bb);
+        let g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        let t = dpbf(&g, &seeds, true).unwrap();
+        assert_eq!(t.edges.len(), 2);
+        assert_eq!(t.root, x);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        b.add_edge(a, "r", c);
+        let g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![d]]).unwrap();
+        assert!(dpbf(&g, &seeds, false).is_none());
+    }
+
+    #[test]
+    fn matches_molesp_minimum() {
+        // DPBF's optimum must equal the smallest MoLESP result.
+        use crate::algo::{evaluate_ctp, Algorithm};
+        use crate::config::{Filters, QueueOrder};
+        let w = star(3, 2);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        let min_size = out.results.trees().iter().map(|t| t.size()).min().unwrap();
+        let t = dpbf(&w.graph, &seeds, false).unwrap();
+        assert_eq!(t.edges.len(), min_size);
+    }
+}

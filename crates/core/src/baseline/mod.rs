@@ -1,0 +1,15 @@
+//! Comparison baselines (paper §5.2): the QGSTP-class single-result
+//! group Steiner solver ([`dpbf::dpbf`]), the path-semantics systems
+//! ([`paths`]), and path stitching ([`stitch::stitch`]).
+
+pub mod approx;
+pub mod dpbf;
+pub mod paths;
+pub mod stitch;
+
+pub use approx::{greedy_gstp, ApproxTree};
+pub use dpbf::{dpbf, SteinerTree};
+pub use paths::{
+    check_reachable, enumerate_paths, path_table, reachable_targets, PathOptions, PathTable,
+};
+pub use stitch::{stitch, StitchOutcome};

@@ -1,0 +1,210 @@
+//! Provenance inspection (paper Def. 4.1): every tree the GAM family
+//! builds carries a formula `Init(n)` / `Grow(t, e)` / `Merge(t1, t2)`
+//! / `Mo(t, r)` recording how it was derived. [`TracedOutcome`]
+//! preserves the tree arena after a search so results can be explained
+//! — useful for debugging, teaching, and testing the algorithms'
+//! derivation structure (e.g. that a Star result really is built as a
+//! rooted merge).
+
+use crate::result::SearchOutcome;
+use crate::tree::{Provenance, TreeId, TreeStore};
+use cs_graph::Graph;
+
+/// A search outcome plus the arena and result ids needed to explain
+/// derivations. Produced by [`crate::algo::gam::GamEngine::run_traced`].
+#[derive(Debug)]
+pub struct TracedOutcome {
+    /// The ordinary outcome (results, stats, duration).
+    pub outcome: SearchOutcome,
+    /// All trees (provenances) built during the search.
+    pub store: TreeStore,
+    /// Arena ids of the reported results, in discovery order.
+    pub result_ids: Vec<TreeId>,
+}
+
+impl TracedOutcome {
+    /// The provenance formula of the `i`-th result.
+    pub fn explain_result(&self, i: usize) -> Option<String> {
+        self.result_ids.get(i).map(|&id| formula(&self.store, id))
+    }
+
+    /// The provenance formula of the `i`-th result with graph labels.
+    pub fn explain_result_labeled(&self, g: &Graph, i: usize) -> Option<String> {
+        self.result_ids
+            .get(i)
+            .map(|&id| formula_labeled(g, &self.store, id))
+    }
+}
+
+/// Renders the Def. 4.1 formula of a tree, e.g.
+/// `Merge(Grow(Init(n0), e1), Grow(Init(n2), e3))`.
+pub fn formula(store: &TreeStore, id: TreeId) -> String {
+    let mut out = String::new();
+    write_formula(store, id, &mut out, &mut |n| format!("{n:?}"), &mut |e| {
+        format!("{e:?}")
+    });
+    out
+}
+
+/// Like [`formula`], with node/edge labels resolved through the graph.
+pub fn formula_labeled(g: &Graph, store: &TreeStore, id: TreeId) -> String {
+    let mut out = String::new();
+    write_formula(
+        store,
+        id,
+        &mut out,
+        &mut |n| g.node_label(n).to_string(),
+        &mut |e| g.edge_label(e).to_string(),
+    );
+    out
+}
+
+fn write_formula(
+    store: &TreeStore,
+    id: TreeId,
+    out: &mut String,
+    node_name: &mut dyn FnMut(cs_graph::NodeId) -> String,
+    edge_name: &mut dyn FnMut(cs_graph::EdgeId) -> String,
+) {
+    match store.get(id).provenance {
+        Provenance::Init(n) => {
+            out.push_str("Init(");
+            out.push_str(&node_name(n));
+            out.push(')');
+        }
+        Provenance::Grow(t, e) => {
+            out.push_str("Grow(");
+            write_formula(store, t, out, node_name, edge_name);
+            out.push_str(", ");
+            out.push_str(&edge_name(e));
+            out.push(')');
+        }
+        Provenance::Merge(t1, t2) => {
+            out.push_str("Merge(");
+            write_formula(store, t1, out, node_name, edge_name);
+            out.push_str(", ");
+            write_formula(store, t2, out, node_name, edge_name);
+            out.push(')');
+        }
+        Provenance::Mo(t, r) => {
+            out.push_str("Mo(");
+            write_formula(store, t, out, node_name, edge_name);
+            out.push_str(", ");
+            out.push_str(&node_name(r));
+            out.push(')');
+        }
+    }
+}
+
+/// Counts the operation kinds in a provenance formula — handy for
+/// asserting derivation *shape* in tests.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpCounts {
+    /// `Init` leaves.
+    pub init: usize,
+    /// `Grow` steps.
+    pub grow: usize,
+    /// `Merge` steps.
+    pub merge: usize,
+    /// `Mo` re-rootings.
+    pub mo: usize,
+}
+
+/// Computes [`OpCounts`] of a tree's derivation.
+pub fn op_counts(store: &TreeStore, id: TreeId) -> OpCounts {
+    let mut c = OpCounts::default();
+    let mut stack = vec![id];
+    while let Some(t) = stack.pop() {
+        match store.get(t).provenance {
+            Provenance::Init(_) => c.init += 1,
+            Provenance::Grow(p, _) => {
+                c.grow += 1;
+                stack.push(p);
+            }
+            Provenance::Merge(a, b) => {
+                c.merge += 1;
+                stack.push(a);
+                stack.push(b);
+            }
+            Provenance::Mo(p, _) => {
+                c.mo += 1;
+                stack.push(p);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::gam::{GamConfig, GamEngine};
+    use crate::config::{Filters, QueueOrder, QueuePolicy};
+    use crate::seeds::SeedSets;
+    use cs_graph::generate::{line, star};
+
+    fn traced(w: &cs_graph::generate::Workload, cfg: GamConfig) -> (TracedOutcome, SeedSets) {
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let t = GamEngine::new(
+            &w.graph,
+            &seeds,
+            cfg,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+        )
+        .run_traced();
+        (t, seeds)
+    }
+
+    #[test]
+    fn line_result_formula_contains_both_inits() {
+        let w = line(2, 2);
+        let (t, _) = traced(&w, GamConfig::GAM);
+        assert_eq!(t.result_ids.len(), 1);
+        let f = t.explain_result(0).unwrap();
+        // Two seeds means the derivation starts from Init(A) and/or
+        // Init(B); growth-only or a merge of two rooted paths.
+        assert!(f.starts_with("Merge(") || f.starts_with("Grow("));
+        let counts = op_counts(&t.store, t.result_ids[0]);
+        assert_eq!(counts.grow, 3, "3 edges need 3 Grow steps");
+        assert!(counts.init == 1 || counts.init == 2);
+        assert_eq!(counts.mo, 0);
+    }
+
+    #[test]
+    fn star_result_is_a_rooted_merge() {
+        // Star(3, 2): the unique result merges three rooted paths at
+        // the centre (a (3, x) rooted merge, Def. 4.8).
+        let w = star(3, 2);
+        let (t, _) = traced(&w, GamConfig::MOLESP);
+        assert_eq!(t.result_ids.len(), 1);
+        let counts = op_counts(&t.store, t.result_ids[0]);
+        assert_eq!(counts.init, 3, "one Init per seed");
+        assert_eq!(counts.grow, 6, "one Grow per edge");
+        assert_eq!(counts.merge, 2, "three paths merge pairwise");
+    }
+
+    #[test]
+    fn labeled_formula_uses_labels() {
+        let w = line(2, 0); // A - B, one edge
+        let (t, _) = traced(&w, GamConfig::GAM);
+        let f = t.explain_result_labeled(&w.graph, 0).unwrap();
+        assert!(f.contains("Init(A)") || f.contains("Init(B)"), "{f}");
+        assert!(f.contains('r'), "edge label rendered: {f}");
+    }
+
+    #[test]
+    fn store_len_matches_provenance_stat() {
+        let w = star(4, 2);
+        let (t, _) = traced(&w, GamConfig::MOLESP);
+        assert_eq!(t.store.len() as u64, t.outcome.stats.provenances);
+    }
+
+    #[test]
+    fn out_of_range_explain_is_none() {
+        let w = line(2, 0);
+        let (t, _) = traced(&w, GamConfig::GAM);
+        assert!(t.explain_result(99).is_none());
+    }
+}

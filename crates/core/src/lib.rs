@@ -1,0 +1,43 @@
+//! # cs-core — connecting tree pattern (CTP) evaluation
+//!
+//! The paper's primary contribution: computing set-based CTP results
+//! `g(S_1, …, S_m, F)` — all minimal trees connecting one node from
+//! each seed set, traversing edges in both directions — with the
+//! algorithm family BFT / BFT-M / BFT-AM / GAM / ESP / MoESP / LESP /
+//! **MoLESP**, CTP filters pushed into the search, score functions, and
+//! the comparison baselines (DPBF group-Steiner, path enumeration and
+//! stitching).
+//!
+//! ```
+//! use cs_core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
+//! use cs_graph::generate::star;
+//!
+//! let w = star(4, 2);
+//! let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+//! let out = evaluate_ctp(&w.graph, &seeds, Algorithm::MoLesp,
+//!                        Filters::none(), QueueOrder::SmallestFirst);
+//! assert_eq!(out.results.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod baseline;
+mod config;
+pub mod explain;
+pub mod parallel;
+mod result;
+pub mod score;
+mod seedmask;
+mod seeds;
+pub mod tree;
+
+pub use algo::{
+    evaluate_ctp, evaluate_ctp_streaming, evaluate_ctp_with_policy, Algorithm, GamConfig,
+};
+pub use config::{Filters, PriorityFn, QueueOrder, QueuePolicy};
+pub use result::{
+    check_result_minimal, sat_of_nodes, ResultSet, ResultTree, SearchOutcome, SearchStats,
+};
+pub use seedmask::{SeedMask, MAX_SEED_SETS};
+pub use seeds::{SeedError, SeedSets, SeedSpec};

@@ -1,0 +1,167 @@
+//! Bitmask over seed sets.
+//!
+//! With `m ≤ 64` seed sets, `sat(t)` (the sets a tree has a seed from,
+//! paper Observation 1), node seed signatures `ss_n` (§4.6), and the
+//! Merge2 disjointness test all become single-word operations.
+
+use std::fmt;
+
+/// A set of seed-set indices, packed in a `u64`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SeedMask(pub u64);
+
+/// Maximum number of seed sets supported by the mask representation.
+pub const MAX_SEED_SETS: usize = 64;
+
+impl SeedMask {
+    /// The empty mask.
+    pub const EMPTY: SeedMask = SeedMask(0);
+
+    /// A mask with only set `i`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `i >= 64`.
+    #[inline]
+    pub fn single(i: usize) -> Self {
+        debug_assert!(i < MAX_SEED_SETS);
+        SeedMask(1u64 << i)
+    }
+
+    /// The full mask over `m` sets.
+    #[inline]
+    pub fn full(m: usize) -> Self {
+        debug_assert!(m <= MAX_SEED_SETS);
+        if m == MAX_SEED_SETS {
+            SeedMask(u64::MAX)
+        } else {
+            SeedMask((1u64 << m) - 1)
+        }
+    }
+
+    /// True if no bits are set.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if set `i` is present.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Union.
+    #[inline]
+    pub fn union(self, other: SeedMask) -> SeedMask {
+        SeedMask(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(self, other: SeedMask) -> SeedMask {
+        SeedMask(self.0 & other.0)
+    }
+
+    /// True if the two masks share no set (Merge2 pre-condition).
+    #[inline]
+    pub fn disjoint(self, other: SeedMask) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Number of sets present — the Σ(ss_n) of §4.6.
+    #[inline]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True if `self` contains every set of `other`.
+    #[inline]
+    pub fn superset_of(self, other: SeedMask) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Inserts set `i`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        self.0 |= 1u64 << i;
+    }
+
+    /// Iterates over the set indices present.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+}
+
+impl fmt::Debug for SeedMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "S{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let m = SeedMask::single(3);
+        assert!(m.contains(3));
+        assert!(!m.contains(2));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn full_mask() {
+        assert_eq!(SeedMask::full(3).0, 0b111);
+        assert_eq!(SeedMask::full(64).0, u64::MAX);
+        assert_eq!(SeedMask::full(0), SeedMask::EMPTY);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = SeedMask::single(0).union(SeedMask::single(2));
+        let b = SeedMask::single(1);
+        assert!(a.disjoint(b));
+        assert!(!a.disjoint(SeedMask::single(2)));
+        assert_eq!(a.union(b), SeedMask(0b111));
+        assert_eq!(a.intersect(SeedMask(0b110)), SeedMask(0b100));
+        assert!(SeedMask(0b111).superset_of(a));
+        assert!(!a.superset_of(SeedMask(0b111)));
+    }
+
+    #[test]
+    fn iter_yields_indices() {
+        let m = SeedMask(0b1010_0001);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 5, 7]);
+    }
+
+    #[test]
+    fn debug_format() {
+        let m = SeedMask::single(1).union(SeedMask::single(4));
+        assert_eq!(format!("{m:?}"), "{S1,S4}");
+    }
+
+    #[test]
+    fn insert_mutates() {
+        let mut m = SeedMask::EMPTY;
+        m.insert(5);
+        assert!(m.contains(5));
+        assert_eq!(m.count(), 1);
+    }
+}

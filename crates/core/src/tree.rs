@@ -1,0 +1,479 @@
+//! Rooted trees with provenance (paper Def. 4.1) and the arena storing
+//! them during search.
+//!
+//! A tree is represented by its **sorted** edge-id array (so an *edge
+//! set* — Def. 4.2 — is canonical and hashable), its sorted node array,
+//! its root, and its `sat` mask. Sorted arrays make the Merge1 test
+//! ("no node in common besides the root") a linear merge-scan, and
+//! Grow/Merge produce sorted outputs by sorted insertion/union.
+
+use crate::seedmask::SeedMask;
+use crate::seeds::SeedSets;
+use cs_graph::{EdgeId, Graph, NodeId};
+
+/// Identifier of a tree within a [`TreeStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeId(pub u32);
+
+impl TreeId {
+    /// The arena index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a tree was built (Def. 4.1, extended with the MoESP `Mo` form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// A one-node tree on a seed.
+    Init(NodeId),
+    /// Grown from `tree` with `edge` (rooted at the edge's far end).
+    Grow(TreeId, EdgeId),
+    /// Merge of two trees sharing exactly their root.
+    Merge(TreeId, TreeId),
+    /// MoESP copy of `tree`, re-rooted at a seed node (§4.5).
+    Mo(TreeId, NodeId),
+}
+
+/// A rooted tree under construction.
+#[derive(Debug, Clone)]
+pub struct TreeData {
+    /// The distinguished root (GAM grows only from here).
+    pub root: NodeId,
+    /// Sorted edge ids — the tree's edge set.
+    pub edges: Box<[EdgeId]>,
+    /// Sorted node ids.
+    pub nodes: Box<[NodeId]>,
+    /// Explicit seed sets having a seed in this tree (`sat(t)`).
+    pub sat: SeedMask,
+    /// True if the provenance includes `Mo` — Grow is disabled (§4.5).
+    pub is_mo: bool,
+    /// Non-empty iff this tree is an `(root, s)`-rooted path
+    /// (Def. 4.4): the mask holds the sets of its unique seed `s`.
+    /// Drives the seed-signature updates of LESP (§4.6).
+    pub path_from: SeedMask,
+    /// How this tree was built.
+    pub provenance: Provenance,
+}
+
+impl TreeData {
+    /// Number of edges.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if `n` occurs in the tree.
+    #[inline]
+    pub fn contains_node(&self, n: NodeId) -> bool {
+        self.nodes.binary_search(&n).is_ok()
+    }
+}
+
+/// Arena of all trees built during one search, plus constructors
+/// implementing Init / Grow / Merge / Mo.
+#[derive(Debug, Default)]
+pub struct TreeStore {
+    trees: Vec<TreeData>,
+}
+
+impl TreeStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        TreeStore::default()
+    }
+
+    /// Number of trees (provenances) stored.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// True if no trees were built.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Fetches a tree.
+    #[inline]
+    pub fn get(&self, t: TreeId) -> &TreeData {
+        &self.trees[t.index()]
+    }
+
+    /// Stores a tree, returning its id.
+    pub fn push(&mut self, t: TreeData) -> TreeId {
+        let id = TreeId(self.trees.len() as u32);
+        self.trees.push(t);
+        id
+    }
+
+    /// Builds the `Init(n)` tree for a seed `n`.
+    pub fn make_init(&self, n: NodeId, seeds: &SeedSets) -> TreeData {
+        let membership = seeds.membership(n);
+        TreeData {
+            root: n,
+            edges: Box::new([]),
+            nodes: Box::new([n]),
+            sat: membership,
+            is_mo: false,
+            path_from: membership,
+            provenance: Provenance::Init(n),
+        }
+    }
+
+    /// Builds `Grow(t, e)`: `e` goes between `t.root` and `new_root`
+    /// (either direction); the result is rooted at `new_root`.
+    ///
+    /// The caller must have verified Grow1 (`new_root ∉ t`) and Grow2
+    /// (`new_root` is no seed of a set in `sat(t)`); debug assertions
+    /// re-check them.
+    pub fn make_grow(
+        &self,
+        t_id: TreeId,
+        t: &TreeData,
+        e: EdgeId,
+        new_root: NodeId,
+        seeds: &SeedSets,
+    ) -> TreeData {
+        debug_assert!(!t.contains_node(new_root), "Grow1 violated");
+        let membership = seeds.membership(new_root);
+        debug_assert!(membership.disjoint(t.sat), "Grow2 violated");
+        debug_assert!(!t.is_mo, "Grow is disabled on Mo trees");
+        TreeData {
+            root: new_root,
+            edges: sorted_insert(&t.edges, e),
+            nodes: sorted_insert(&t.nodes, new_root),
+            sat: t.sat.union(membership),
+            is_mo: false,
+            // Still an (n, s)-rooted path iff the parent was one and the
+            // new root is not itself a seed.
+            path_from: if membership.is_empty() {
+                t.path_from
+            } else {
+                SeedMask::EMPTY
+            },
+            provenance: Provenance::Grow(t_id, e),
+        }
+    }
+
+    /// Builds `Merge(t1, t2)` if the Merge pre-conditions hold:
+    /// Merge1 — same root and no other common node; Merge2 — no seed
+    /// set covered by both trees, *except* through the shared root
+    /// itself.
+    ///
+    /// The exception is required for merges at seed roots: in the
+    /// paper's Figure 3 walkthrough, `A-1-2-B` (rooted at seed B, sat
+    /// {S_A, S_B}) merges with `B-3-C` (sat {S_B, S_C}) into the
+    /// result. Both trees cover S_B, but only via the root B, so the
+    /// merged tree still has exactly one node per set. Since Merge1
+    /// makes the root the unique shared node, and every tree holds at
+    /// most one seed per set, `sat₁ ∩ sat₂ ⊆ membership(root)` is
+    /// exactly the condition under which the union stays minimal.
+    pub fn make_merge(
+        &self,
+        t1_id: TreeId,
+        t1: &TreeData,
+        t2_id: TreeId,
+        t2: &TreeData,
+        seeds: &SeedSets,
+    ) -> Option<TreeData> {
+        if t1.root != t2.root {
+            return None;
+        }
+        let overlap = t1.sat.intersect(t2.sat);
+        if !seeds.membership(t1.root).superset_of(overlap) {
+            return None;
+        }
+        if !nodes_intersect_only_at(&t1.nodes, &t2.nodes, t1.root) {
+            return None;
+        }
+        Some(TreeData {
+            root: t1.root,
+            edges: sorted_union(&t1.edges, &t2.edges),
+            nodes: sorted_union(&t1.nodes, &t2.nodes),
+            sat: t1.sat.union(t2.sat),
+            is_mo: t1.is_mo || t2.is_mo,
+            path_from: SeedMask::EMPTY,
+            provenance: Provenance::Merge(t1_id, t2_id),
+        })
+    }
+
+    /// Builds `Mo(t, r)`: the same edge/node sets re-rooted at seed `r`.
+    pub fn make_mo(&self, t_id: TreeId, t: &TreeData, r: NodeId) -> TreeData {
+        debug_assert!(t.contains_node(r), "Mo root must be in the tree");
+        debug_assert_ne!(t.root, r, "Mo root must differ from the tree root");
+        TreeData {
+            root: r,
+            edges: t.edges.clone(),
+            nodes: t.nodes.clone(),
+            sat: t.sat,
+            is_mo: true,
+            path_from: SeedMask::EMPTY,
+            provenance: Provenance::Mo(t_id, r),
+        }
+    }
+}
+
+/// Inserts `x` into a sorted slice, returning a new sorted boxed slice.
+/// Duplicates are rejected by a debug assertion (trees never repeat an
+/// edge or node).
+pub fn sorted_insert<T: Ord + Copy>(slice: &[T], x: T) -> Box<[T]> {
+    let pos = match slice.binary_search(&x) {
+        Ok(_) => {
+            debug_assert!(false, "duplicate insertion into tree set");
+            return slice.to_vec().into_boxed_slice();
+        }
+        Err(p) => p,
+    };
+    let mut v = Vec::with_capacity(slice.len() + 1);
+    v.extend_from_slice(&slice[..pos]);
+    v.push(x);
+    v.extend_from_slice(&slice[pos..]);
+    v.into_boxed_slice()
+}
+
+/// Union of two sorted slices (assumed internally duplicate-free).
+pub fn sorted_union<T: Ord + Copy>(a: &[T], b: &[T]) -> Box<[T]> {
+    let mut v = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                v.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                v.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                v.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    v.extend_from_slice(&a[i..]);
+    v.extend_from_slice(&b[j..]);
+    v.into_boxed_slice()
+}
+
+/// True iff the sorted node arrays intersect in exactly `{root}`.
+pub fn nodes_intersect_only_at(a: &[NodeId], b: &[NodeId], root: NodeId) -> bool {
+    let (mut i, mut j) = (0, 0);
+    let mut saw_root = false;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                if a[i] != root {
+                    return false;
+                }
+                saw_root = true;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    saw_root
+}
+
+/// Checks that an edge set actually forms a tree over the graph
+/// (connected, acyclic) — used by tests and debug assertions.
+pub fn is_tree(g: &Graph, edges: &[EdgeId]) -> bool {
+    if edges.is_empty() {
+        return true;
+    }
+    use cs_graph::fxhash::{FxHashMap, FxHashSet};
+    let mut adj: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    let mut nodes: FxHashSet<NodeId> = FxHashSet::default();
+    for &e in edges {
+        let ed = g.edge(e);
+        adj.entry(ed.src).or_default().push(ed.dst);
+        adj.entry(ed.dst).or_default().push(ed.src);
+        nodes.insert(ed.src);
+        nodes.insert(ed.dst);
+    }
+    // A connected graph with |N| = |E| + 1 is a tree.
+    if nodes.len() != edges.len() + 1 {
+        return false;
+    }
+    let start = *nodes.iter().next().unwrap();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(n) = stack.pop() {
+        for &m in adj.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    seen.len() == nodes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::GraphBuilder;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn e(i: u32) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn sorted_insert_positions() {
+        assert_eq!(
+            sorted_insert(&[e(1), e(3)], e(2)).as_ref(),
+            &[e(1), e(2), e(3)]
+        );
+        assert_eq!(sorted_insert(&[], e(5)).as_ref(), &[e(5)]);
+        assert_eq!(sorted_insert(&[e(1)], e(0)).as_ref(), &[e(0), e(1)]);
+    }
+
+    #[test]
+    fn sorted_union_merges() {
+        let u = sorted_union(&[n(1), n(3)], &[n(2), n(3), n(4)]);
+        assert_eq!(u.as_ref(), &[n(1), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    fn intersect_only_at_root() {
+        assert!(nodes_intersect_only_at(&[n(1), n(2)], &[n(2), n(3)], n(2)));
+        assert!(!nodes_intersect_only_at(
+            &[n(1), n(2), n(3)],
+            &[n(2), n(3)],
+            n(2)
+        ));
+        // Root must actually be shared.
+        assert!(!nodes_intersect_only_at(&[n(1)], &[n(3)], n(2)));
+    }
+
+    #[test]
+    fn init_grow_merge_pipeline() {
+        // Path A --e0-- x --e1-- B; seeds {A}, {B}.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let x = b.add_node("x");
+        let bb = b.add_node("B");
+        let e0 = b.add_edge(a, "r", x);
+        let e1 = b.add_edge(x, "r", bb);
+        let g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+
+        let mut store = TreeStore::new();
+        let ia = store.make_init(a, &seeds);
+        assert_eq!(ia.sat, SeedMask::single(0));
+        assert_eq!(ia.path_from, SeedMask::single(0));
+        let ia_id = store.push(ia);
+
+        let ib = store.make_init(bb, &seeds);
+        let ib_id = store.push(ib);
+
+        // Grow A to x.
+        let t_ax = store.make_grow(ia_id, &store.get(ia_id).clone(), e0, x, &seeds);
+        assert_eq!(t_ax.root, x);
+        assert_eq!(t_ax.path_from, SeedMask::single(0), "still a rooted path");
+        let ax_id = store.push(t_ax);
+
+        // Grow B to x.
+        let t_bx = store.make_grow(ib_id, &store.get(ib_id).clone(), e1, x, &seeds);
+        let bx_id = store.push(t_bx);
+
+        // Merge at x.
+        let m = store
+            .make_merge(ax_id, store.get(ax_id), bx_id, store.get(bx_id), &seeds)
+            .expect("mergeable");
+        assert_eq!(m.sat, SeedMask::full(2));
+        assert_eq!(m.edges.as_ref(), &[e0, e1]);
+        assert!(is_tree(&g, &m.edges));
+        assert_eq!(m.path_from, SeedMask::EMPTY);
+    }
+
+    #[test]
+    fn merge_rejects_shared_interior() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let x = b.add_node("x");
+        let c = b.add_node("C");
+        let e0 = b.add_edge(a, "r", x);
+        let e1 = b.add_edge(x, "r", c);
+        let _g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![c]]).unwrap();
+        let mut store = TreeStore::new();
+        let ia = store.push(store.make_init(a, &seeds));
+        let t1 = store.make_grow(ia, &store.get(ia).clone(), e0, x, &seeds);
+        let t1_id = store.push(t1);
+        let t2 = store.make_grow(t1_id, &store.get(t1_id).clone(), e1, c, &seeds);
+        let t2_id = store.push(t2);
+        // t2 (rooted c) vs a different-rooted tree: Merge1 fails on root.
+        assert!(store
+            .make_merge(t2_id, store.get(t2_id), ia, store.get(ia), &seeds)
+            .is_none());
+        // Same root but overlapping sat: build Init(a) again — sat not
+        // disjoint with t1 (both contain set 0).
+        let ia2 = store.push(store.make_init(a, &seeds));
+        let t1b = store.make_grow(ia2, &store.get(ia2).clone(), e0, x, &seeds);
+        let t1b_id = store.push(t1b);
+        assert!(store
+            .make_merge(t1_id, store.get(t1_id), t1b_id, store.get(t1b_id), &seeds)
+            .is_none());
+    }
+
+    #[test]
+    fn mo_copy_disables_grow() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let c = b.add_node("C");
+        b.add_edge(a, "r", c);
+        let _g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![c]]).unwrap();
+        let mut store = TreeStore::new();
+        let ia = store.push(store.make_init(a, &seeds));
+        let grown = store.make_grow(ia, &store.get(ia).clone(), e(0), c, &seeds);
+        let gid = store.push(grown);
+        let mo = store.make_mo(gid, store.get(gid), a);
+        assert!(mo.is_mo);
+        assert_eq!(mo.root, a);
+        assert_eq!(mo.sat, store.get(gid).sat);
+    }
+
+    #[test]
+    fn grow_breaks_path_on_seed() {
+        // A -- B -- extension: growing Init(A) onto seed B ends the
+        // rooted-path property.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let bb = b.add_node("B");
+        let c = b.add_node("c");
+        b.add_edge(a, "r", bb);
+        b.add_edge(bb, "r", c);
+        let _g = b.freeze();
+        let seeds = SeedSets::from_sets(vec![vec![a], vec![bb]]).unwrap();
+        let mut store = TreeStore::new();
+        let ia = store.push(store.make_init(a, &seeds));
+        let t = store.make_grow(ia, &store.get(ia).clone(), e(0), bb, &seeds);
+        assert_eq!(t.path_from, SeedMask::EMPTY);
+        assert_eq!(t.sat, SeedMask::full(2));
+    }
+
+    #[test]
+    fn is_tree_detects_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let c = b.add_node("c");
+        let d = b.add_node("d");
+        let e0 = b.add_edge(a, "r", c);
+        let e1 = b.add_edge(c, "r", d);
+        let e2 = b.add_edge(d, "r", a);
+        let g = b.freeze();
+        assert!(is_tree(&g, &[e0, e1]));
+        assert!(!is_tree(&g, &[e0, e1, e2]));
+        assert!(is_tree(&g, &[]));
+    }
+}

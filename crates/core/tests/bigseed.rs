@@ -1,0 +1,139 @@
+//! Tests of the §4.9 machinery for very large and `N` seed sets: the
+//! balanced multi-queue policy and the N-set simplification.
+
+use cs_core::{
+    evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, SeedSets, SeedSpec,
+};
+use cs_graph::generate::{yago_like, YagoLikeParams};
+use cs_graph::NodeId;
+
+fn graph() -> cs_graph::Graph {
+    yago_like(&YagoLikeParams {
+        persons: 600,
+        organisations: 40,
+        places: 20,
+        works: 80,
+        seed: 31,
+    })
+}
+
+#[test]
+fn balanced_and_single_policies_agree_on_results() {
+    let g = graph();
+    let persons: Vec<NodeId> = g.nodes_with_type(g.label_id("person").unwrap()).to_vec();
+    let org0 = g.node_by_label("org0").unwrap();
+    let seeds = SeedSets::from_sets(vec![persons, vec![org0]]).unwrap();
+    let filters = Filters::none().with_max_edges(2);
+    let mut canons = Vec::new();
+    for policy in [QueuePolicy::Single, QueuePolicy::Balanced] {
+        let out = evaluate_ctp_with_policy(
+            &g,
+            &seeds,
+            Algorithm::MoLesp,
+            filters.clone(),
+            QueueOrder::SmallestFirst,
+            policy,
+        );
+        assert!(!out.results.is_empty());
+        canons.push(out.results.canonical());
+    }
+    assert_eq!(
+        canons[0], canons[1],
+        "policy must not change the result set"
+    );
+}
+
+#[test]
+fn n_seed_set_explores_only_from_explicit_seeds() {
+    // With an N set, exploration starts only from the explicit seeds;
+    // results are all bounded trees around them.
+    let g = graph();
+    let p0 = g.node_by_label("person0").unwrap();
+    let seeds = SeedSets::new(vec![SeedSpec::one(p0), SeedSpec::All]).unwrap();
+    let out = evaluate_ctp_with_policy(
+        &g,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_max_edges(1),
+        QueueOrder::SmallestFirst,
+        QueuePolicy::Balanced,
+    );
+    // Results: the 0-edge tree {person0} plus one 1-edge tree per
+    // incident edge.
+    assert_eq!(out.results.len(), 1 + g.degree(p0));
+    for t in out.results.trees() {
+        assert!(
+            t.nodes.contains(&p0),
+            "every tree touches the explicit seed"
+        );
+    }
+}
+
+#[test]
+fn n_seed_set_results_report_match_node() {
+    let g = graph();
+    let p0 = g.node_by_label("person0").unwrap();
+    let seeds = SeedSets::new(vec![SeedSpec::one(p0), SeedSpec::All]).unwrap();
+    let out = evaluate_ctp_with_policy(
+        &g,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_max_edges(2).with_max_results(50),
+        QueueOrder::SmallestFirst,
+        QueuePolicy::Single,
+    );
+    for t in out.results.trees() {
+        assert_eq!(t.seeds.len(), 2);
+        assert_eq!(t.seeds[0], p0);
+        // The N match is some node of the tree.
+        assert!(t.nodes.contains(&t.seeds[1]));
+    }
+}
+
+#[test]
+fn skewed_seed_sets_complete_under_both_policies() {
+    // One giant set (all works) against one singleton; both policies
+    // find the same first-k results set under MAX.
+    let g = graph();
+    let works: Vec<NodeId> = g.nodes_with_type(g.label_id("work").unwrap()).to_vec();
+    let place0 = g.node_by_label("place0").unwrap();
+    let seeds = SeedSets::from_sets(vec![works.clone(), vec![place0]]).unwrap();
+    assert!(seeds.max_set_size() >= 80);
+    for policy in [QueuePolicy::Single, QueuePolicy::Balanced] {
+        let out = evaluate_ctp_with_policy(
+            &g,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none().with_max_edges(2),
+            QueueOrder::SmallestFirst,
+            policy,
+        );
+        // Every result has exactly one work and the place.
+        for t in out.results.trees() {
+            assert!(works.contains(&t.seeds[0]));
+            assert_eq!(t.seeds[1], place0);
+        }
+        assert!(!out.results.is_empty());
+    }
+}
+
+#[test]
+fn all_algorithms_handle_n_sets() {
+    let g = graph();
+    let p0 = g.node_by_label("person0").unwrap();
+    let seeds = SeedSets::new(vec![SeedSpec::one(p0), SeedSpec::All]).unwrap();
+    let mut counts = Vec::new();
+    for algo in [Algorithm::Bft, Algorithm::Gam, Algorithm::MoLesp] {
+        let out = evaluate_ctp_with_policy(
+            &g,
+            &seeds,
+            algo,
+            Filters::none().with_max_edges(1),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+        );
+        counts.push(out.results.len());
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}

@@ -1,0 +1,140 @@
+//! Determinism and stress tests: identical inputs must yield identical
+//! outputs (results AND statistics) across repeated runs — the
+//! benchmark harness and EXPERIMENTS.md depend on it — and moderately
+//! large searches must complete within their budgets.
+
+use cs_core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
+use cs_graph::generate::{chain, comb, gnp, random_connected, star};
+use cs_graph::NodeId;
+use std::time::Duration;
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let w = comb(3, 1, 3, 2);
+    let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    for algo in Algorithm::ALL {
+        let a = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            algo,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        let b = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            algo,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        assert_eq!(a.results.canonical(), b.results.canonical(), "{algo}");
+        assert_eq!(a.stats, b.stats, "{algo} statistics must be deterministic");
+    }
+}
+
+#[test]
+fn result_order_is_deterministic() {
+    // Not just the set: the discovery sequence must repeat, because
+    // LIMIT k semantics depend on it.
+    let w = chain(7);
+    let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    let first = |k: usize| {
+        evaluate_ctp(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none().with_max_results(k),
+            QueueOrder::SmallestFirst,
+        )
+        .results
+        .trees()
+        .iter()
+        .map(|t| t.edges.to_vec())
+        .collect::<Vec<_>>()
+    };
+    let a = first(20);
+    let b = first(20);
+    assert_eq!(a, b);
+    // Prefixes agree across different limits.
+    let c = first(5);
+    assert_eq!(&a[..5], c.as_slice());
+}
+
+#[test]
+fn dense_random_graph_within_budget() {
+    // A dense-ish random digraph where the result space is large: the
+    // provenance budget must bound work deterministically.
+    let g = gnp(40, 0.15, 123);
+    let seeds =
+        SeedSets::from_sets(vec![vec![NodeId(0)], vec![NodeId(20)], vec![NodeId(39)]]).unwrap();
+    let out = evaluate_ctp(
+        &g,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_max_provenances(20_000),
+        QueueOrder::SmallestFirst,
+    );
+    assert!(out.stats.provenances <= 20_000);
+    // Deterministic partial results under the budget.
+    let again = evaluate_ctp(
+        &g,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_max_provenances(20_000),
+        QueueOrder::SmallestFirst,
+    );
+    assert_eq!(out.results.canonical(), again.results.canonical());
+}
+
+#[test]
+fn timeout_prevents_runaway_search() {
+    // chain(24) has 2^24 results — the timeout must cut the search off
+    // quickly while keeping every found result sound.
+    let w = chain(24);
+    let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    let start = std::time::Instant::now();
+    let out = evaluate_ctp(
+        &w.graph,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_timeout(Duration::from_millis(150)),
+        QueueOrder::SmallestFirst,
+    );
+    assert!(out.stats.timed_out, "the search must hit the timeout");
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "timeout must be enforced promptly"
+    );
+    let s = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    for t in out.results.trees().iter().take(50) {
+        assert!(cs_core::check_result_minimal(&w.graph, t, &s).is_ok());
+    }
+}
+
+#[test]
+fn medium_star_and_connected_graphs_complete() {
+    let w = star(8, 4);
+    let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+    let out = evaluate_ctp(
+        &w.graph,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_timeout(Duration::from_secs(20)),
+        QueueOrder::SmallestFirst,
+    );
+    assert!(out.complete());
+    assert_eq!(out.results.len(), 1);
+
+    let g = random_connected(200, 80, 7);
+    let seeds = SeedSets::from_sets(vec![vec![NodeId(0)], vec![NodeId(199)]]).unwrap();
+    let out = evaluate_ctp(
+        &g,
+        &seeds,
+        Algorithm::MoLesp,
+        Filters::none().with_max_edges(6).with_max_results(500),
+        QueueOrder::SmallestFirst,
+    );
+    for t in out.results.trees() {
+        assert!(t.size() <= 6);
+    }
+}

@@ -1,0 +1,244 @@
+//! Property-based tests of the paper's formal guarantees, checked on
+//! random connected graphs against the exhaustive BFT reference:
+//!
+//! * Property 1 — GAM is complete.
+//! * Property 2 — every GAM-family result is minimal (Def. 2.8).
+//! * Property 3 — ESP is complete for m = 2.
+//! * Property 5 — MoESP finds all path results.
+//! * Property 8 — MoLESP is complete for m ≤ 3.
+//! * Filter semantics: MAX / LABEL / LIMIT / UNI.
+//! * DPBF returns a minimum-size connecting tree.
+
+use cs_core::baseline::dpbf;
+use cs_core::{check_result_minimal, evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
+use cs_graph::generate::random_connected;
+use cs_graph::{EdgeId, Graph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a small random connected graph plus m distinct seeds.
+fn graph_and_seeds(m: usize) -> impl Strategy<Value = (Graph, Vec<Vec<NodeId>>)> {
+    (4usize..11, 0usize..6, any::<u64>()).prop_map(move |(n, extra, seed)| {
+        let g = random_connected(n, extra, seed);
+        // Deterministic distinct seed picks spread over the nodes.
+        let seeds: Vec<Vec<NodeId>> = (0..m).map(|i| vec![NodeId::new((i * n / m) % n)]).collect();
+        (g, seeds)
+    })
+}
+
+fn canonical(g: &Graph, seeds: &[Vec<NodeId>], algo: Algorithm) -> Vec<Vec<EdgeId>> {
+    let s = SeedSets::from_sets(seeds.to_vec()).unwrap();
+    evaluate_ctp(g, &s, algo, Filters::none(), QueueOrder::SmallestFirst)
+        .results
+        .canonical()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1 + Property 8: GAM and MoLESP both match the BFT
+    /// reference for m = 2 and m = 3.
+    #[test]
+    fn gam_and_molesp_complete_m2((g, seeds) in graph_and_seeds(2)) {
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        prop_assert_eq!(&canonical(&g, &seeds, Algorithm::Gam), &reference);
+        prop_assert_eq!(&canonical(&g, &seeds, Algorithm::MoLesp), &reference);
+    }
+
+    #[test]
+    fn gam_and_molesp_complete_m3((g, seeds) in graph_and_seeds(3)) {
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        prop_assert_eq!(&canonical(&g, &seeds, Algorithm::Gam), &reference);
+        prop_assert_eq!(&canonical(&g, &seeds, Algorithm::MoLesp), &reference);
+    }
+
+    /// Property 3: ESP is complete for two seed sets.
+    #[test]
+    fn esp_complete_m2((g, seeds) in graph_and_seeds(2)) {
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        prop_assert_eq!(&canonical(&g, &seeds, Algorithm::Esp), &reference);
+    }
+
+    /// Property 5: MoESP finds every path result (m = 3).
+    #[test]
+    fn moesp_finds_all_path_results((g, seeds) in graph_and_seeds(3)) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let reference = evaluate_ctp(
+            &g, &s, Algorithm::Bft, Filters::none(), QueueOrder::SmallestFirst);
+        let moesp = canonical(&g, &seeds, Algorithm::MoEsp);
+        for t in reference.results.trees() {
+            // A path result: no node has 3+ incident tree edges.
+            let is_path = {
+                use std::collections::HashMap;
+                let mut deg: HashMap<NodeId, usize> = HashMap::new();
+                for &e in t.edges.iter() {
+                    let ed = g.edge(e);
+                    *deg.entry(ed.src).or_default() += 1;
+                    *deg.entry(ed.dst).or_default() += 1;
+                }
+                deg.values().all(|&d| d <= 2)
+            };
+            if is_path {
+                prop_assert!(
+                    moesp.contains(&t.edges.to_vec()),
+                    "MoESP missed path result {:?}", t.edges
+                );
+            }
+        }
+    }
+
+    /// Property 2 + Observation 1: every result of every algorithm is
+    /// a minimal connecting tree.
+    #[test]
+    fn all_results_minimal((g, seeds) in graph_and_seeds(3)) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        for algo in Algorithm::ALL {
+            let out = evaluate_ctp(
+                &g, &s, algo, Filters::none(), QueueOrder::SmallestFirst);
+            for t in out.results.trees() {
+                prop_assert!(
+                    check_result_minimal(&g, t, &s).is_ok(),
+                    "{algo} produced a non-minimal result"
+                );
+            }
+        }
+    }
+
+    /// The pruned variants never *invent* results: their canonical
+    /// sets are subsets of the complete reference, and MoLESP finds at
+    /// least as much as ESP and MoESP.
+    #[test]
+    fn pruned_are_sound_subsets((g, seeds) in graph_and_seeds(3)) {
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        for algo in [Algorithm::Esp, Algorithm::MoEsp, Algorithm::Lesp, Algorithm::MoLesp] {
+            let res = canonical(&g, &seeds, algo);
+            for t in &res {
+                prop_assert!(reference.contains(t), "{algo} invented {t:?}");
+            }
+        }
+        let esp = canonical(&g, &seeds, Algorithm::Esp);
+        let molesp = canonical(&g, &seeds, Algorithm::MoLesp);
+        prop_assert!(esp.len() <= molesp.len());
+    }
+
+    /// MAX n: exactly the reference results with ≤ n edges.
+    #[test]
+    fn max_filter_semantics((g, seeds) in graph_and_seeds(2), n in 1usize..5) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        let expected: Vec<_> = reference.into_iter().filter(|t| t.len() <= n).collect();
+        let got = evaluate_ctp(
+            &g, &s, Algorithm::MoLesp,
+            Filters::none().with_max_edges(n),
+            QueueOrder::SmallestFirst,
+        ).results.canonical();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// LABEL: results use only allowed labels, and match the reference
+    /// computed on the label-filtered search.
+    #[test]
+    fn label_filter_semantics((g, seeds) in graph_and_seeds(2)) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let allowed = ["r0".to_string(), "r1".to_string()];
+        let got = evaluate_ctp(
+            &g, &s, Algorithm::MoLesp,
+            Filters::none().with_labels(allowed.clone()),
+            QueueOrder::SmallestFirst,
+        );
+        for t in got.results.trees() {
+            for &e in t.edges.iter() {
+                let l = g.edge_label(e);
+                prop_assert!(allowed.iter().any(|a| a == l), "forbidden label {l}");
+            }
+        }
+        // Agreement with the BFT reference under the same filter.
+        let reference = evaluate_ctp(
+            &g, &s, Algorithm::Bft,
+            Filters::none().with_labels(allowed),
+            QueueOrder::SmallestFirst,
+        );
+        prop_assert_eq!(got.results.canonical(), reference.results.canonical());
+    }
+
+    /// LIMIT k stops with at most k results, all sound.
+    #[test]
+    fn limit_filter_semantics((g, seeds) in graph_and_seeds(2), k in 1usize..4) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        let got = evaluate_ctp(
+            &g, &s, Algorithm::MoLesp,
+            Filters::none().with_max_results(k),
+            QueueOrder::SmallestFirst,
+        ).results.canonical();
+        prop_assert!(got.len() <= k.min(reference.len().max(k)));
+        for t in &got {
+            prop_assert!(reference.contains(t));
+        }
+    }
+
+    /// UNI: every result has a root with directed paths to all leaves.
+    #[test]
+    fn uni_results_are_unidirectional((g, seeds) in graph_and_seeds(2)) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let out = evaluate_ctp(
+            &g, &s, Algorithm::MoLesp,
+            Filters::none().uni(),
+            QueueOrder::SmallestFirst,
+        );
+        for t in out.results.trees() {
+            prop_assert!(
+                has_dominating_root(&g, &t.edges),
+                "UNI result without dominating root: {:?}", t.edges
+            );
+            // And it must be a genuine (bidirectional) result too.
+            let reference = canonical(&g, &seeds, Algorithm::Bft);
+            prop_assert!(reference.contains(&t.edges.to_vec()));
+        }
+    }
+
+    /// DPBF returns a tree of exactly the minimum result size.
+    #[test]
+    fn dpbf_is_optimal((g, seeds) in graph_and_seeds(2)) {
+        let s = SeedSets::from_sets(seeds.clone()).unwrap();
+        let reference = canonical(&g, &seeds, Algorithm::Bft);
+        let min = reference.iter().map(Vec::len).min();
+        match (dpbf(&g, &s, false), min) {
+            (Some(t), Some(m)) => prop_assert_eq!(t.edges.len(), m),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "DPBF {:?} vs reference min {:?}", a.map(|t| t.edges.len()), b),
+        }
+    }
+}
+
+/// Checks that some node of the tree reaches every other tree node
+/// along tree edges respecting their direction.
+fn has_dominating_root(g: &Graph, edges: &[EdgeId]) -> bool {
+    use std::collections::{HashMap, HashSet};
+    if edges.is_empty() {
+        return true;
+    }
+    let mut nodes: HashSet<NodeId> = HashSet::new();
+    let mut out_adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for &e in edges {
+        let ed = g.edge(e);
+        nodes.insert(ed.src);
+        nodes.insert(ed.dst);
+        out_adj.entry(ed.src).or_default().push(ed.dst);
+    }
+    'roots: for &r in &nodes {
+        let mut seen: HashSet<NodeId> = HashSet::from([r]);
+        let mut stack = vec![r];
+        while let Some(n) = stack.pop() {
+            for &m in out_adj.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                if seen.insert(m) {
+                    stack.push(m);
+                }
+            }
+        }
+        if seen.len() == nodes.len() {
+            return true;
+        }
+        continue 'roots;
+    }
+    false
+}

@@ -1,0 +1,398 @@
+//! Basic Graph Patterns (paper Defs. 2.3–2.4, 2.7) and their evaluation.
+//!
+//! A BGP is a connected set of edge patterns; evaluating it computes all
+//! embeddings (Def. 2.7) into the graph, materialised as a [`Table`]
+//! with one column per variable — step (A) of the paper's strategy (§3).
+
+use crate::binding::Binding;
+use crate::table::Table;
+use cs_graph::{Graph, Predicate};
+use std::sync::Arc;
+
+/// One position of an edge pattern: a variable plus the predicate that
+/// constrains what it may bind to. The paper's short syntax `"Alice"`
+/// is `Term::constant("Alice")` — a fresh hidden variable with a
+/// label-equality predicate.
+#[derive(Debug, Clone)]
+pub struct Term {
+    /// The variable name.
+    pub var: Arc<str>,
+    /// The predicate constraining this variable.
+    pub pred: Predicate,
+}
+
+impl Term {
+    /// A plain variable with the empty predicate.
+    pub fn var(name: &str) -> Self {
+        Term {
+            var: Arc::from(name),
+            pred: Predicate::any(),
+        }
+    }
+
+    /// A variable with a predicate.
+    pub fn pred(name: &str, pred: Predicate) -> Self {
+        Term {
+            var: Arc::from(name),
+            pred,
+        }
+    }
+
+    /// The short syntax: a hidden variable constrained to a label
+    /// constant. `hidden_id` must be unique within the query; the EQL
+    /// parser manages the numbering.
+    pub fn constant(label: &str, hidden_id: usize) -> Self {
+        Term {
+            var: Arc::from(format!("_c{hidden_id}")),
+            pred: Predicate::label(label),
+        }
+    }
+}
+
+/// An edge pattern `(p1, p2, p3)`: source node, edge, target node.
+#[derive(Debug, Clone)]
+pub struct TriplePattern {
+    /// Predicate/variable on the source node.
+    pub src: Term,
+    /// Predicate/variable on the edge.
+    pub edge: Term,
+    /// Predicate/variable on the target node.
+    pub dst: Term,
+}
+
+/// A Basic Graph Pattern: a set of edge patterns that must be connected
+/// through shared variables (Def. 2.4).
+#[derive(Debug, Clone, Default)]
+pub struct Bgp {
+    /// The edge patterns.
+    pub patterns: Vec<TriplePattern>,
+}
+
+impl Bgp {
+    /// An empty BGP.
+    pub fn new() -> Self {
+        Bgp::default()
+    }
+
+    /// Adds an edge pattern.
+    pub fn push(&mut self, src: Term, edge: Term, dst: Term) -> &mut Self {
+        self.patterns.push(TriplePattern { src, edge, dst });
+        self
+    }
+
+    /// All variable names, in order of first appearance.
+    pub fn variables(&self) -> Vec<Arc<str>> {
+        let mut vars: Vec<Arc<str>> = Vec::new();
+        for p in &self.patterns {
+            for t in [&p.src, &p.edge, &p.dst] {
+                if !vars.iter().any(|v| v == &t.var) {
+                    vars.push(t.var.clone());
+                }
+            }
+        }
+        vars
+    }
+
+    /// Checks Def. 2.4 connectivity: with ≥ 2 patterns, each must share
+    /// a variable with another.
+    pub fn is_connected(&self) -> bool {
+        if self.patterns.len() < 2 {
+            return true;
+        }
+        self.patterns.iter().enumerate().all(|(i, p)| {
+            self.patterns.iter().enumerate().any(|(j, q)| {
+                i != j
+                    && [&p.src, &p.edge, &p.dst]
+                        .iter()
+                        .any(|t| [&q.src, &q.edge, &q.dst].iter().any(|u| u.var == t.var))
+            })
+        })
+    }
+}
+
+/// Evaluates one triple pattern into a table.
+///
+/// Access path selection: a label-equality predicate on the edge uses
+/// the edge-label index; otherwise a label/type-equality on an endpoint
+/// drives a node-index scan over that endpoint's incident edges; the
+/// fallback is a full edge scan.
+fn eval_pattern(g: &Graph, p: &TriplePattern) -> Table {
+    // Output schema: deduplicate repeated variables within the pattern.
+    let mut cols: Vec<Arc<str>> = vec![p.src.var.clone()];
+    let edge_dup = p.edge.var == p.src.var;
+    if !edge_dup {
+        cols.push(p.edge.var.clone());
+    }
+    let dst_dup_src = p.dst.var == p.src.var;
+    let dst_dup_edge = p.dst.var == p.edge.var;
+    if !dst_dup_src && !dst_dup_edge {
+        cols.push(p.dst.var.clone());
+    }
+    let mut out = Table::new(cols);
+
+    let mut emit = |g: &Graph, e: cs_graph::EdgeId| {
+        let ed = g.edge(e);
+        if !p.src.pred.matches_node(g, ed.src)
+            || !p.edge.pred.matches_edge(g, e)
+            || !p.dst.pred.matches_node(g, ed.dst)
+        {
+            return;
+        }
+        // Repeated variables force equality between positions. A node
+        // and an edge can never be equal bindings.
+        if edge_dup || dst_dup_edge {
+            return;
+        }
+        if dst_dup_src && ed.src != ed.dst {
+            return;
+        }
+        let mut row = vec![Binding::Node(ed.src), Binding::Edge(e)];
+        if !dst_dup_src {
+            row.push(Binding::Node(ed.dst));
+        } else {
+            row.truncate(2);
+        }
+        out.push(row.into_boxed_slice());
+    };
+
+    // Candidate generation.
+    if let Some(l) = p.edge.pred.eq_label().and_then(|s| g.label_id(s)) {
+        for &e in g.edges_with_label(l) {
+            emit(g, e);
+        }
+        return out;
+    }
+    if p.edge.pred.eq_label().is_some() {
+        return out; // label not present in graph at all
+    }
+    let src_nodes = pinned_nodes(g, &p.src.pred);
+    let dst_nodes = pinned_nodes(g, &p.dst.pred);
+    match (src_nodes, dst_nodes) {
+        (Some(sn), Some(dn)) if sn.len() <= dn.len() => {
+            for n in sn {
+                for a in g.outgoing(n) {
+                    emit(g, a.edge);
+                }
+            }
+        }
+        (Some(sn), None) => {
+            for n in sn {
+                for a in g.outgoing(n) {
+                    emit(g, a.edge);
+                }
+            }
+        }
+        (_, Some(dn)) => {
+            for n in dn {
+                for a in g.incoming(n) {
+                    emit(g, a.edge);
+                }
+            }
+        }
+        (None, None) => {
+            for e in g.edge_ids() {
+                emit(g, e);
+            }
+        }
+    }
+    out
+}
+
+/// Returns the node candidates if `pred` pins a label or type, else
+/// `None` (meaning: all nodes).
+fn pinned_nodes(g: &Graph, pred: &Predicate) -> Option<Vec<cs_graph::NodeId>> {
+    if pred.eq_label().is_some() || pred.eq_type().is_some() {
+        Some(cs_graph::matching_nodes(g, pred))
+    } else {
+        None
+    }
+}
+
+/// Evaluates a whole BGP: per-pattern tables, joined greedily — start
+/// from the smallest table, and at each step join a pattern sharing a
+/// variable with the accumulated result (falling back to the smallest
+/// remaining if none connects). This is the textbook left-deep greedy
+/// plan for conjunctive queries.
+pub fn eval_bgp(g: &Graph, bgp: &Bgp) -> Table {
+    assert!(
+        bgp.is_connected(),
+        "BGP violates Def 2.4: patterns must be connected"
+    );
+    if bgp.patterns.is_empty() {
+        return Table::new(Vec::new());
+    }
+    let mut tables: Vec<Table> = bgp.patterns.iter().map(|p| eval_pattern(g, p)).collect();
+
+    // Pick the smallest to start.
+    let start = tables
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| t.len())
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut acc = tables.swap_remove(start);
+
+    while !tables.is_empty() {
+        // Prefer a table sharing a variable with acc.
+        let pos = tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.vars().iter().any(|v| acc.col(v).is_some()))
+            .min_by_key(|(_, t)| t.len())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                tables
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| t.len())
+                    .map(|(i, _)| i)
+            })
+            .unwrap();
+        let next = tables.swap_remove(pos);
+        acc = acc.natural_join(&next);
+        if acc.is_empty() {
+            // Short-circuit: the join result can only stay empty, but
+            // the schema must still include every pattern variable.
+            let mut vars = acc.vars().to_vec();
+            for t in &tables {
+                for v in t.vars() {
+                    if !vars.contains(v) {
+                        vars.push(v.clone());
+                    }
+                }
+            }
+            return Table::new(vars);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::figure1;
+
+    /// The first BGP of the paper's Q1:
+    /// (τ(x)=entrepreneur, "citizenOf", "USA").
+    fn us_entrepreneurs() -> Bgp {
+        let mut b = Bgp::new();
+        b.push(
+            Term::pred("x", Predicate::typed("entrepreneur")),
+            Term::pred("_e0", Predicate::label("citizenOf")),
+            Term::constant("USA", 0),
+        );
+        b
+    }
+
+    #[test]
+    fn q1_first_bgp() {
+        let g = figure1();
+        let t = eval_bgp(&g, &us_entrepreneurs());
+        assert_eq!(t.len(), 2); // Bob, Carole
+        let xs = t.distinct_column("x");
+        let labels: Vec<_> = xs
+            .iter()
+            .map(|b| g.node_label(b.as_node().unwrap()))
+            .collect();
+        assert!(labels.contains(&"Bob") && labels.contains(&"Carole"));
+    }
+
+    #[test]
+    fn sample_bgp_b1() {
+        // b1 = {(x, "citizenOf", "USA"), (x, "founded", "OrgB")}
+        // matches only Bob.
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("_e0", Predicate::label("citizenOf")),
+            Term::constant("USA", 0),
+        );
+        b.push(
+            Term::var("x"),
+            Term::pred("_e1", Predicate::label("founded")),
+            Term::constant("OrgB", 1),
+        );
+        assert!(b.is_connected());
+        let t = eval_bgp(&g, &b);
+        assert_eq!(t.len(), 1);
+        let x = t.distinct_column("x")[0].as_node().unwrap();
+        assert_eq!(g.node_label(x), "Bob");
+    }
+
+    #[test]
+    fn disconnected_bgp_detected() {
+        let mut b = Bgp::new();
+        b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        b.push(Term::var("z"), Term::var("e2"), Term::var("w"));
+        assert!(!b.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "Def 2.4")]
+    fn eval_rejects_disconnected() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        b.push(Term::var("z"), Term::var("e2"), Term::var("w"));
+        eval_bgp(&g, &b);
+    }
+
+    #[test]
+    fn unconstrained_pattern_matches_all_edges() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(Term::var("s"), Term::var("e"), Term::var("o"));
+        let t = eval_bgp(&g, &b);
+        assert_eq!(t.len(), g.edge_count());
+    }
+
+    #[test]
+    fn repeated_variable_self_loop() {
+        // (x, e, x) matches only self-loops — none in Figure 1.
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(Term::var("x"), Term::var("e"), Term::var("x"));
+        let t = eval_bgp(&g, &b);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("_e0", Predicate::label("citizenOf")),
+            Term::constant("Mars", 0),
+        );
+        b.push(Term::var("x"), Term::var("e2"), Term::var("y"));
+        let t = eval_bgp(&g, &b);
+        assert!(t.is_empty());
+        assert!(t.col("y").is_some(), "schema preserved on empty result");
+    }
+
+    #[test]
+    fn missing_label_yields_empty() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("_e0", Predicate::label("noSuchEdgeLabel")),
+            Term::var("y"),
+        );
+        assert!(eval_bgp(&g, &b).is_empty());
+    }
+
+    #[test]
+    fn variables_in_order() {
+        let b = {
+            let mut b = Bgp::new();
+            b.push(Term::var("x"), Term::var("e"), Term::var("y"));
+            b.push(Term::var("y"), Term::var("f"), Term::var("z"));
+            b
+        };
+        let names: Vec<_> = b.variables().iter().map(|v| v.to_string()).collect();
+        assert_eq!(names, ["x", "e", "y", "f", "z"]);
+    }
+}

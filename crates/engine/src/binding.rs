@@ -1,0 +1,74 @@
+//! Values a query variable can be bound to.
+
+use cs_graph::{EdgeId, NodeId};
+use std::fmt;
+
+/// A binding of one query variable: a graph node, a graph edge, or a
+/// connecting tree (by index into the CTP result list it joins with).
+///
+/// Trees appear only in the columns produced for a CTP's underlined
+/// variable (paper Def. 2.5); BGP evaluation produces nodes and edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Binding {
+    /// A node binding.
+    Node(NodeId),
+    /// An edge binding.
+    Edge(EdgeId),
+    /// A connecting-tree binding (index into the owning CTP result set).
+    Tree(u32),
+}
+
+impl Binding {
+    /// The bound node, if any.
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            Binding::Node(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The bound edge, if any.
+    pub fn as_edge(self) -> Option<EdgeId> {
+        match self {
+            Binding::Edge(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// The bound tree index, if any.
+    pub fn as_tree(self) -> Option<u32> {
+        match self {
+            Binding::Tree(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Binding::Node(n) => write!(f, "{n:?}"),
+            Binding::Edge(e) => write!(f, "{e:?}"),
+            Binding::Tree(t) => write!(f, "t{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Binding::Node(NodeId(3)).as_node(), Some(NodeId(3)));
+        assert_eq!(Binding::Node(NodeId(3)).as_edge(), None);
+        assert_eq!(Binding::Edge(EdgeId(1)).as_edge(), Some(EdgeId(1)));
+        assert_eq!(Binding::Tree(9).as_tree(), Some(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Binding::Node(NodeId(3)).to_string(), "n3");
+        assert_eq!(Binding::Tree(2).to_string(), "t2");
+    }
+}

@@ -1,0 +1,32 @@
+//! # cs-engine — conjunctive graph query engine substrate
+//!
+//! The paper delegates BGP evaluation and final joins to PostgreSQL
+//! (§5.1); this crate is the equivalent in-memory substrate: binding
+//! tables with relational operators (selection, projection, natural
+//! hash join, distinct, sort, limit) and a BGP matcher with index-backed
+//! access paths and a greedy left-deep join order.
+//!
+//! ```
+//! use cs_engine::{Bgp, Term, eval_bgp};
+//! use cs_graph::{figure1, Predicate};
+//!
+//! let g = figure1();
+//! let mut bgp = Bgp::new();
+//! bgp.push(
+//!     Term::pred("x", Predicate::typed("entrepreneur")),
+//!     Term::pred("e", Predicate::label("citizenOf")),
+//!     Term::constant("France", 0),
+//! );
+//! let table = eval_bgp(&g, &bgp);
+//! assert_eq!(table.len(), 2); // Alice, Doug
+//! ```
+
+#![warn(missing_docs)]
+
+mod bgp;
+mod binding;
+mod table;
+
+pub use bgp::{eval_bgp, Bgp, Term, TriplePattern};
+pub use binding::Binding;
+pub use table::Table;

@@ -1,0 +1,154 @@
+//! Property-based tests of the relational substrate: the hash join
+//! must agree with a nested-loop reference, projection/distinct must
+//! obey set algebra, and BGP evaluation must match a brute-force
+//! embedding enumerator on random graphs.
+
+use cs_engine::{eval_bgp, Bgp, Binding, Table, Term};
+use cs_graph::generate::gnp;
+use cs_graph::{NodeId, Predicate};
+use proptest::prelude::*;
+
+/// Random table strategy over a small binding domain.
+fn table_strategy(vars: Vec<&'static str>) -> impl Strategy<Value = Table> {
+    let width = vars.len();
+    proptest::collection::vec(proptest::collection::vec(0u32..6, width), 0..12).prop_map(
+        move |rows| {
+            let mut t = Table::with_columns(&vars);
+            for r in rows {
+                let row: Vec<Binding> = r.into_iter().map(|v| Binding::Node(NodeId(v))).collect();
+                t.push_row(&row);
+            }
+            t
+        },
+    )
+}
+
+/// Nested-loop reference join on shared variables.
+fn reference_join(a: &Table, b: &Table) -> Vec<Vec<Binding>> {
+    let shared: Vec<(usize, usize)> = a
+        .vars()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| b.col(v).map(|j| (i, j)))
+        .collect();
+    let b_extra: Vec<usize> = (0..b.vars().len())
+        .filter(|j| !shared.iter().any(|&(_, sj)| sj == *j))
+        .collect();
+    let mut out = Vec::new();
+    for ra in a.rows() {
+        for rb in b.rows() {
+            if shared.iter().all(|&(i, j)| ra[i] == rb[j]) {
+                let mut row = ra.to_vec();
+                row.extend(b_extra.iter().map(|&j| rb[j]));
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+fn sorted(mut rows: Vec<Vec<Binding>>) -> Vec<Vec<Binding>> {
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_matches_nested_loop(
+        a in table_strategy(vec!["x", "y"]),
+        b in table_strategy(vec!["y", "z"]),
+    ) {
+        let joined = a.natural_join(&b);
+        let got = sorted(joined.rows().map(|r| r.to_vec()).collect());
+        let want = sorted(reference_join(&a, &b));
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn join_is_commutative_up_to_column_order(
+        a in table_strategy(vec!["x", "y"]),
+        b in table_strategy(vec!["y", "z"]),
+    ) {
+        let ab = a.natural_join(&b);
+        let ba = b.natural_join(&a);
+        prop_assert_eq!(ab.len(), ba.len());
+        // Same multiset of (x, y, z) triples.
+        let pick = |t: &Table, names: [&str; 3]| -> Vec<Vec<Binding>> {
+            let cols: Vec<usize> = names.iter().map(|n| t.col(n).unwrap()).collect();
+            sorted(t.rows().map(|r| cols.iter().map(|&c| r[c]).collect()).collect())
+        };
+        prop_assert_eq!(pick(&ab, ["x", "y", "z"]), pick(&ba, ["x", "y", "z"]));
+    }
+
+    #[test]
+    fn product_when_no_shared_vars(
+        a in table_strategy(vec!["x"]),
+        b in table_strategy(vec!["z"]),
+    ) {
+        prop_assert_eq!(a.natural_join(&b).len(), a.len() * b.len());
+    }
+
+    #[test]
+    fn distinct_is_idempotent(a in table_strategy(vec!["x", "y"])) {
+        let d1 = a.clone().distinct();
+        let d2 = d1.clone().distinct();
+        prop_assert_eq!(d1.len(), d2.len());
+        prop_assert!(d1.len() <= a.len());
+    }
+
+    #[test]
+    fn projection_preserves_row_count(a in table_strategy(vec!["x", "y"])) {
+        prop_assert_eq!(a.project(&["y"]).len(), a.len());
+        prop_assert_eq!(a.project(&["y", "x"]).len(), a.len());
+    }
+
+    /// BGP evaluation agrees with brute-force embedding enumeration on
+    /// random graphs for a 2-pattern path BGP.
+    #[test]
+    fn bgp_matches_bruteforce(seed in any::<u64>(), p in 0.05f64..0.3) {
+        let g = gnp(12, p, seed);
+        let mut bgp = Bgp::new();
+        bgp.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        bgp.push(Term::var("y"), Term::var("e2"), Term::var("z"));
+        let got = eval_bgp(&g, &bgp);
+
+        // Brute force: all pairs of edges (e1, e2) with dst(e1) = src(e2).
+        let mut want = 0usize;
+        for e1 in g.edge_ids() {
+            for e2 in g.edge_ids() {
+                if g.edge(e1).dst == g.edge(e2).src {
+                    want += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got.len(), want);
+    }
+
+    /// Predicate pushdown never changes the result, only the plan.
+    #[test]
+    fn label_constant_equals_post_filter(seed in any::<u64>()) {
+        let g = gnp(12, 0.2, seed);
+        // Constrained at scan time:
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e", Predicate::label("r0")),
+            Term::var("y"),
+        );
+        let scan = eval_bgp(&g, &bgp);
+
+        // Unconstrained scan + post-filter:
+        let mut bgp2 = Bgp::new();
+        bgp2.push(Term::var("x"), Term::var("e"), Term::var("y"));
+        let all = eval_bgp(&g, &bgp2);
+        let col = all.col("e").unwrap();
+        let filtered = all.select(|row| {
+            row[col]
+                .as_edge()
+                .is_some_and(|e| g.edge_label(e) == "r0")
+        });
+        prop_assert_eq!(scan.len(), filtered.len());
+    }
+}

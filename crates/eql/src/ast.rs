@@ -1,0 +1,175 @@
+//! Abstract syntax of EQL queries (paper Defs. 2.3–2.6, 2.11).
+
+use cs_core::Algorithm;
+use cs_graph::Predicate;
+use std::time::Duration;
+
+/// One position of an edge pattern or CTP: a (possibly hidden) variable
+/// plus the predicate constraining it. The paper's short syntax hides
+/// the variable behind a constant; lowering assigns hidden names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TermAst {
+    /// Variable name; `None` for the hidden variable of a constant.
+    pub var: Option<String>,
+    /// The predicate (empty for a bare variable).
+    pub pred: Predicate,
+}
+
+impl TermAst {
+    /// A bare variable.
+    pub fn var(name: &str) -> Self {
+        TermAst {
+            var: Some(name.to_string()),
+            pred: Predicate::any(),
+        }
+    }
+
+    /// A constant (label-equality over a hidden variable).
+    pub fn constant(label: &str) -> Self {
+        TermAst {
+            var: None,
+            pred: Predicate::label(label),
+        }
+    }
+
+    /// A variable with a predicate.
+    pub fn pred(name: &str, pred: Predicate) -> Self {
+        TermAst {
+            var: Some(name.to_string()),
+            pred,
+        }
+    }
+}
+
+/// An edge pattern `(p1, p2, p3)` (Def. 2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EdgePatternAst {
+    /// Source-node term.
+    pub src: TermAst,
+    /// Edge term.
+    pub edge: TermAst,
+    /// Target-node term.
+    pub dst: TermAst,
+}
+
+/// The CTP filters (paper §2, "CTP filters").
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CtpFiltersAst {
+    /// `UNI`.
+    pub uni: bool,
+    /// `LABEL "l1", "l2", …`.
+    pub labels: Option<Vec<String>>,
+    /// `MAX n`.
+    pub max_edges: Option<usize>,
+    /// `SCORE σ [TOP k]`.
+    pub score: Option<(String, Option<usize>)>,
+    /// `TIMEOUT ms`.
+    pub timeout: Option<Duration>,
+    /// `LIMIT k` (stop after k results).
+    pub limit: Option<usize>,
+}
+
+/// A connecting tree pattern `(g1, …, gm, v_{m+1})` (Def. 2.5), written
+/// `CONNECT(t1, …, tm -> w)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtpAst {
+    /// The m seed terms.
+    pub terms: Vec<TermAst>,
+    /// The underlined output variable bound to connecting trees.
+    pub out_var: String,
+    /// Attached filters.
+    pub filters: CtpFiltersAst,
+    /// Per-CTP algorithm override (`ALGORITHM molesp`), defaulting to
+    /// the executor's choice.
+    pub algorithm: Option<Algorithm>,
+}
+
+/// A parsed EQL query (Def. 2.6 core query + Def. 2.11 filters):
+/// `SELECT head WHERE { edge patterns + CTPs }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryAst {
+    /// The query form.
+    pub form: QueryForm,
+    /// Head variables (the projection; empty for `ASK`).
+    pub head: Vec<String>,
+    /// Edge patterns; connected components form the BGPs.
+    pub patterns: Vec<EdgePatternAst>,
+    /// The CTPs.
+    pub ctps: Vec<CtpAst>,
+}
+
+/// Whether the query returns bindings or only checks satisfiability
+/// (the "check-only" semantics class of the paper's Virtuoso
+/// baselines, §5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryForm {
+    /// `SELECT …`: return the projected bindings.
+    #[default]
+    Select,
+    /// `ASK …`: return whether at least one answer exists; CTPs
+    /// without an explicit `LIMIT` evaluate with `LIMIT 1`.
+    Ask,
+}
+
+impl QueryAst {
+    /// All body variable names (explicit ones), in first-appearance
+    /// order — hidden constant variables excluded.
+    pub fn body_vars(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let push = |v: &Option<String>, out: &mut Vec<String>| {
+            if let Some(name) = v {
+                if !out.iter().any(|x| x == name) {
+                    out.push(name.clone());
+                }
+            }
+        };
+        for p in &self.patterns {
+            push(&p.src.var, &mut out);
+            push(&p.edge.var, &mut out);
+            push(&p.dst.var, &mut out);
+        }
+        for c in &self.ctps {
+            for t in &c.terms {
+                push(&t.var, &mut out);
+            }
+            if !out.iter().any(|x| x == &c.out_var) {
+                out.push(c.out_var.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_vars_dedup_and_order() {
+        let q = QueryAst {
+            form: QueryForm::Select,
+            head: vec!["x".into()],
+            patterns: vec![EdgePatternAst {
+                src: TermAst::var("x"),
+                edge: TermAst::constant("r"),
+                dst: TermAst::var("y"),
+            }],
+            ctps: vec![CtpAst {
+                terms: vec![TermAst::var("x"), TermAst::var("z")],
+                out_var: "w".into(),
+                filters: CtpFiltersAst::default(),
+                algorithm: None,
+            }],
+        };
+        assert_eq!(q.body_vars(), ["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn term_constructors() {
+        let t = TermAst::constant("Alice");
+        assert!(t.var.is_none());
+        assert_eq!(t.pred.eq_label(), Some("Alice"));
+        let v = TermAst::var("x");
+        assert!(v.pred.is_any());
+    }
+}

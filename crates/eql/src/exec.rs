@@ -1,0 +1,706 @@
+//! EQL query execution — the paper's evaluation strategy (§3):
+//!
+//! * **(A)** evaluate each BGP into a binding table `B_i` (delegated to
+//!   `cs-engine`, the conjunctive-engine substrate);
+//! * **(B)** derive each CTP's seed sets from the `B_i` (or from the
+//!   predicate over all graph nodes), then compute the set-based CTP
+//!   result with the filters pushed into the search (`cs-core`);
+//! * **(C)** natural-join all tables and project on the head.
+
+use crate::ast::{CtpAst, QueryAst, QueryForm, TermAst};
+use crate::parser::{parse, ParseError};
+use cs_core::score::by_name;
+use cs_core::{
+    evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree, SearchStats,
+    SeedError, SeedSets, SeedSpec,
+};
+use cs_engine::{eval_bgp, Bgp, Binding, Table, Term};
+use cs_graph::fxhash::FxHashMap;
+use cs_graph::{matching_nodes, Graph, NodeId};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Errors from parsing or executing an EQL query.
+#[derive(Debug)]
+pub enum EqlError {
+    /// Syntax or static-validation error.
+    Parse(ParseError),
+    /// Invalid seed sets (e.g. > 64 groups).
+    Seed(SeedError),
+}
+
+impl fmt::Display for EqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EqlError::Parse(e) => write!(f, "{e}"),
+            EqlError::Seed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EqlError {}
+
+impl From<ParseError> for EqlError {
+    fn from(e: ParseError) -> Self {
+        EqlError::Parse(e)
+    }
+}
+
+impl From<SeedError> for EqlError {
+    fn from(e: SeedError) -> Self {
+        EqlError::Seed(e)
+    }
+}
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Algorithm for CTPs without an `ALGORITHM` clause.
+    pub default_algorithm: Algorithm,
+    /// Timeout applied to CTPs without a `TIMEOUT` clause.
+    pub default_timeout: Option<Duration>,
+    /// Switch to the balanced multi-queue policy (§4.9) when the
+    /// largest explicit seed set exceeds the smallest by this factor,
+    /// or when an `N` seed set is present.
+    pub balance_ratio: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            default_algorithm: Algorithm::MoLesp,
+            default_timeout: None,
+            balance_ratio: 64,
+        }
+    }
+}
+
+/// Timing and search statistics of one query execution.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Time evaluating BGPs (step A).
+    pub bgp_time: Duration,
+    /// Time evaluating CTPs (step B).
+    pub ctp_time: Duration,
+    /// Time joining and projecting (step C).
+    pub join_time: Duration,
+    /// Per-CTP search statistics, keyed by output variable.
+    pub ctp_stats: Vec<(String, SearchStats, Duration)>,
+}
+
+/// The result of an EQL query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The head projection; tree variables hold [`Binding::Tree`]
+    /// indices into [`QueryResult::trees`].
+    pub table: Table,
+    /// Connecting trees per CTP output variable.
+    pub trees: FxHashMap<String, Vec<ResultTree>>,
+    /// Scores per CTP output variable (aligned with `trees`), present
+    /// when the CTP had a `SCORE` clause.
+    pub scores: FxHashMap<String, Vec<f64>>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+    /// For `ASK` queries: whether at least one answer exists.
+    pub boolean: Option<bool>,
+}
+
+impl QueryResult {
+    /// Number of answer rows.
+    pub fn rows(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Resolves a tree binding to its [`ResultTree`].
+    pub fn tree(&self, var: &str, b: Binding) -> Option<&ResultTree> {
+        let idx = b.as_tree()? as usize;
+        self.trees.get(var)?.get(idx)
+    }
+
+    /// Renders the result as a tab-separated table, with tree bindings
+    /// expanded into their edge descriptions.
+    pub fn render(&self, g: &Graph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let vars = self.table.vars().to_vec();
+        let _ = writeln!(
+            out,
+            "{}",
+            vars.iter()
+                .map(|v| v.as_ref())
+                .collect::<Vec<_>>()
+                .join("\t")
+        );
+        for row in self.table.rows() {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(vars.iter())
+                .map(|(b, v)| match b {
+                    Binding::Node(n) => g.node_label(*n).to_string(),
+                    Binding::Edge(e) => g.edge_label(*e).to_string(),
+                    Binding::Tree(_) => self
+                        .tree(v.as_ref(), *b)
+                        .map(|t| format!("[{}]", t.describe(g)))
+                        .unwrap_or_else(|| "?".into()),
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join("\t"));
+        }
+        out
+    }
+}
+
+/// Parses and executes an EQL query with default options.
+pub fn run_query(g: &Graph, text: &str) -> Result<QueryResult, EqlError> {
+    run_query_with(g, text, &ExecOptions::default())
+}
+
+/// Parses and executes an EQL query.
+pub fn run_query_with(g: &Graph, text: &str, opts: &ExecOptions) -> Result<QueryResult, EqlError> {
+    let ast = parse(text)?;
+    execute(g, &ast, opts)
+}
+
+/// Parses and executes an `ASK` query, returning its boolean answer.
+///
+/// ```
+/// use cs_eql::run_ask;
+/// use cs_graph::figure1;
+/// let g = figure1();
+/// assert!(run_ask(&g, r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) }"#).unwrap());
+/// assert!(!run_ask(&g, r#"ASK WHERE { (x, "founded", "France") }"#).unwrap());
+/// ```
+pub fn run_ask(g: &Graph, text: &str) -> Result<bool, EqlError> {
+    let ast = parse(text)?;
+    let res = execute(g, &ast, &ExecOptions::default())?;
+    Ok(res.boolean.unwrap_or(res.rows() > 0))
+}
+
+/// Executes a parsed query.
+pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResult, EqlError> {
+    let mut stats = ExecStats::default();
+
+    // ---- Step (A): group edge patterns into BGPs and evaluate them.
+    let t0 = Instant::now();
+    let lowered = lower_patterns(q);
+    let components = connected_components(&lowered);
+    let mut bgp_tables: Vec<Table> = Vec::new();
+    for comp in &components {
+        let mut bgp = Bgp::new();
+        for &idx in comp {
+            let p = &lowered[idx];
+            bgp.push(p.0.clone(), p.1.clone(), p.2.clone());
+        }
+        bgp_tables.push(eval_bgp(g, &bgp));
+    }
+    stats.bgp_time = t0.elapsed();
+
+    // ---- Step (B): evaluate each CTP.
+    let t1 = Instant::now();
+    let mut ctp_tables: Vec<Table> = Vec::new();
+    let mut trees: FxHashMap<String, Vec<ResultTree>> = FxHashMap::default();
+    let mut scores: FxHashMap<String, Vec<f64>> = FxHashMap::default();
+    for (ci, ctp) in q.ctps.iter().enumerate() {
+        let tc = Instant::now();
+        let (specs, col_vars) = seed_specs(g, ctp, ci, &bgp_tables);
+        let seeds = SeedSets::new(specs)?;
+
+        let mut filters = Filters::none();
+        filters.uni = ctp.filters.uni;
+        filters.labels = ctp.filters.labels.clone();
+        filters.max_edges = ctp.filters.max_edges;
+        filters.timeout = ctp.filters.timeout.or(opts.default_timeout);
+        // ASK only needs existence: evaluate CTPs with LIMIT 1
+        // unless the query says otherwise (check-only semantics).
+        filters.max_results = ctp.filters.limit.or(match q.form {
+            QueryForm::Ask => Some(1),
+            QueryForm::Select => None,
+        });
+
+        let algorithm = ctp.algorithm.unwrap_or(opts.default_algorithm);
+        let policy = pick_policy(&seeds, opts.balance_ratio);
+        let outcome = evaluate_ctp_with_policy(
+            g,
+            &seeds,
+            algorithm,
+            filters,
+            QueueOrder::SmallestFirst,
+            policy,
+        );
+        stats
+            .ctp_stats
+            .push((ctp.out_var.clone(), outcome.stats.clone(), tc.elapsed()));
+
+        let mut result_trees = outcome.results.into_trees();
+
+        // SCORE σ [TOP k] (§4.8): score each result; optionally keep
+        // only the k best.
+        if let Some((sigma_name, top)) = &ctp.filters.score {
+            let sigma = by_name(sigma_name).expect("validated by the parser");
+            let mut scored: Vec<(f64, ResultTree)> = result_trees
+                .into_iter()
+                .map(|t| (sigma.score(g, &t), t))
+                .collect();
+            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some(k) = top {
+                scored.truncate(*k);
+            }
+            scores.insert(
+                ctp.out_var.clone(),
+                scored.iter().map(|(s, _)| *s).collect(),
+            );
+            result_trees = scored.into_iter().map(|(_, t)| t).collect();
+        }
+
+        // Materialise the CTP_j table: one column per explicit seed
+        // variable plus the tree variable.
+        let mut columns: Vec<&str> = col_vars.iter().filter_map(|v| v.as_deref()).collect();
+        columns.push(&ctp.out_var);
+        let mut table = Table::with_columns(&columns);
+        for (ti, t) in result_trees.iter().enumerate() {
+            let mut row: Vec<Binding> = Vec::with_capacity(columns.len());
+            for (i, v) in col_vars.iter().enumerate() {
+                if v.is_some() {
+                    row.push(Binding::Node(t.seeds[i]));
+                }
+            }
+            row.push(Binding::Tree(ti as u32));
+            table.push(row.into_boxed_slice());
+        }
+        ctp_tables.push(table);
+        trees.insert(ctp.out_var.clone(), result_trees);
+    }
+    stats.ctp_time = t1.elapsed();
+
+    // ---- Step (C): join everything and project the head.
+    let t2 = Instant::now();
+    let mut tables: Vec<Table> = bgp_tables;
+    tables.extend(ctp_tables);
+    let joined = join_all(tables);
+    let head_refs: Vec<&str> = q.head.iter().map(String::as_str).collect();
+    let table = joined.project(&head_refs).distinct();
+    stats.join_time = t2.elapsed();
+
+    let boolean = match q.form {
+        QueryForm::Ask => Some(!joined.is_empty()),
+        QueryForm::Select => None,
+    };
+
+    Ok(QueryResult {
+        table,
+        trees,
+        scores,
+        stats,
+        boolean,
+    })
+}
+
+type LoweredPattern = (Term, Term, Term);
+
+/// Lowers edge patterns, assigning hidden variable names to constants.
+fn lower_patterns(q: &QueryAst) -> Vec<LoweredPattern> {
+    let mut hidden = 0usize;
+    let mut lower = |t: &TermAst| -> Term {
+        match &t.var {
+            Some(v) => Term::pred(v, t.pred.clone()),
+            None => {
+                let name = format!("_c{hidden}");
+                hidden += 1;
+                Term::pred(&name, t.pred.clone())
+            }
+        }
+    };
+    q.patterns
+        .iter()
+        .map(|p| (lower(&p.src), lower(&p.edge), lower(&p.dst)))
+        .collect()
+}
+
+/// Groups pattern indices into maximal components connected by shared
+/// variables — each component is one BGP (Def. 2.4).
+fn connected_components(patterns: &[LoweredPattern]) -> Vec<Vec<usize>> {
+    let n = patterns.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let vars_of = |p: &LoweredPattern| vec![p.0.var.clone(), p.1.var.clone(), p.2.var.clone()];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let vi = vars_of(&patterns[i]);
+            let shared = vars_of(&patterns[j]).iter().any(|v| vi.contains(v));
+            if shared {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|v| v[0]);
+    out
+}
+
+/// Computes the seed specs of one CTP (step B.1 of §3). Returns the
+/// specs plus, per position, the variable that becomes a column of the
+/// CTP table (`None` for hidden constants).
+fn seed_specs(
+    g: &Graph,
+    ctp: &CtpAst,
+    _ci: usize,
+    bgp_tables: &[Table],
+) -> (Vec<SeedSpec>, Vec<Option<String>>) {
+    let mut specs = Vec::with_capacity(ctp.terms.len());
+    let mut cols = Vec::with_capacity(ctp.terms.len());
+    for term in &ctp.terms {
+        match &term.var {
+            Some(v) => {
+                cols.push(Some(v.clone()));
+                // If v is bound by a BGP, the seed set is π_v(B_i),
+                // further restricted by the predicate if present.
+                let from_bgp = bgp_tables.iter().find(|t| t.col(v).is_some());
+                if let Some(table) = from_bgp {
+                    let mut nodes: Vec<NodeId> = table
+                        .distinct_column(v)
+                        .into_iter()
+                        .filter_map(Binding::as_node)
+                        .collect();
+                    if !term.pred.is_any() {
+                        nodes.retain(|&n| term.pred.matches_node(g, n));
+                    }
+                    specs.push(SeedSpec::Set(nodes));
+                } else if term.pred.is_any() {
+                    // Unbound and unconstrained: the N seed set (§4.9).
+                    specs.push(SeedSpec::All);
+                } else {
+                    specs.push(SeedSpec::Set(matching_nodes(g, &term.pred)));
+                }
+            }
+            None => {
+                cols.push(None);
+                specs.push(SeedSpec::Set(matching_nodes(g, &term.pred)));
+            }
+        }
+    }
+    (specs, cols)
+}
+
+/// Chooses the queue policy (§4.9): balance when an `N` set is present
+/// or explicit set sizes are badly skewed.
+fn pick_policy(seeds: &SeedSets, ratio: usize) -> QueuePolicy {
+    if !seeds.presatisfied().is_empty() {
+        return QueuePolicy::Balanced;
+    }
+    let sizes: Vec<usize> = seeds
+        .specs()
+        .iter()
+        .filter_map(|s| match s {
+            SeedSpec::Set(v) => Some(v.len()),
+            SeedSpec::All => None,
+        })
+        .collect();
+    let (min, max) = (
+        sizes.iter().copied().min().unwrap_or(1).max(1),
+        sizes.iter().copied().max().unwrap_or(1),
+    );
+    if max / min >= ratio {
+        QueuePolicy::Balanced
+    } else {
+        QueuePolicy::Single
+    }
+}
+
+/// Greedy natural join of all tables: smallest first, preferring
+/// join partners that share variables.
+fn join_all(mut tables: Vec<Table>) -> Table {
+    if tables.is_empty() {
+        return Table::new(Vec::new());
+    }
+    let start = tables
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, t)| t.len())
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut acc = tables.swap_remove(start);
+    while !tables.is_empty() {
+        let pos = tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.vars().iter().any(|v| acc.col(v).is_some()))
+            .min_by_key(|(_, t)| t.len())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                tables
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, t)| t.len())
+                    .map(|(i, _)| i)
+            })
+            .unwrap();
+        let next = tables.swap_remove(pos);
+        acc = acc.natural_join(&next);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::figure1;
+
+    const Q1: &str = r#"
+        SELECT x, y, z, w WHERE {
+            (x : type = "entrepreneur", "citizenOf", "USA")
+            (y : type = "entrepreneur", "citizenOf", "France")
+            (z : type = "politician",  "citizenOf", "France")
+            CONNECT(x, y, z -> w)
+        }
+    "#;
+
+    #[test]
+    fn q1_runs_on_figure1() {
+        let g = figure1();
+        let r = run_query(&g, Q1).unwrap();
+        assert!(r.rows() > 0, "Q1 must have answers");
+        // Every row binds x to a US entrepreneur.
+        let xcol = r.table.col("x").unwrap();
+        for row in r.table.rows() {
+            let n = row[xcol].as_node().unwrap();
+            let label = g.node_label(n);
+            assert!(label == "Bob" || label == "Carole", "{label}");
+        }
+        // The t_alpha answer (Carole, Doug, Elon) must be present.
+        let (x, y, z) = (
+            r.table.col("x").unwrap(),
+            r.table.col("y").unwrap(),
+            r.table.col("z").unwrap(),
+        );
+        let found = r.table.rows().any(|row| {
+            g.node_label(row[x].as_node().unwrap()) == "Carole"
+                && g.node_label(row[y].as_node().unwrap()) == "Doug"
+                && g.node_label(row[z].as_node().unwrap()) == "Elon"
+        });
+        assert!(found, "t_alpha row missing");
+        let rendered = r.render(&g);
+        assert!(rendered.contains("Carole"));
+    }
+
+    #[test]
+    fn bgp_only_query() {
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT x WHERE { (x : type = "entrepreneur", "citizenOf", "USA") }"#,
+        )
+        .unwrap();
+        assert_eq!(r.rows(), 2); // Bob, Carole
+    }
+
+    #[test]
+    fn ctp_only_query_with_constants() {
+        let g = figure1();
+        let r = run_query(&g, r#"SELECT w WHERE { CONNECT("Bob", "Carole" -> w) }"#).unwrap();
+        assert!(r.rows() > 0);
+        // Shortest connection: Bob -citizenOf-> USA <-citizenOf- Carole
+        // (2 edges).
+        let trees = &r.trees["w"];
+        assert!(trees.iter().any(|t| t.size() == 2));
+    }
+
+    #[test]
+    fn seed_sets_from_bgp_are_restricted() {
+        let g = figure1();
+        // y bound by BGP to French entrepreneurs; CTP reuses y.
+        let r = run_query(
+            &g,
+            r#"SELECT y, w WHERE {
+                (y : type = "entrepreneur", "citizenOf", "France")
+                CONNECT(y, "USA" -> w) LIMIT 5
+            }"#,
+        )
+        .unwrap();
+        let ycol = r.table.col("y").unwrap();
+        for row in r.table.rows() {
+            let label = g.node_label(row[ycol].as_node().unwrap());
+            assert!(label == "Alice" || label == "Doug");
+        }
+    }
+
+    #[test]
+    fn score_top_k() {
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT w WHERE {
+                CONNECT("Bob", "Alice" -> w) SCORE edgecount TOP 2
+            }"#,
+        )
+        .unwrap();
+        assert!(r.rows() <= 2);
+        let s = &r.scores["w"];
+        assert!(s.len() <= 2);
+        // Scores are sorted descending (edgecount: fewer edges first).
+        assert!(s.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn max_and_limit_filters() {
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 3 LIMIT 2 }"#,
+        )
+        .unwrap();
+        assert!(r.rows() <= 2);
+        for t in &r.trees["w"] {
+            assert!(t.size() <= 3);
+        }
+    }
+
+    #[test]
+    fn uni_filter_via_syntax() {
+        let g = figure1();
+        // Bob -> USA <- Carole is NOT unidirectional (no root reaches
+        // both): check UNI prunes relative to the bidirectional run.
+        let bi = run_query(&g, r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 }"#).unwrap();
+        let uni = run_query(
+            &g,
+            r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 UNI }"#,
+        )
+        .unwrap();
+        // Bob -citizenOf-> USA is a directed path: both find it.
+        assert!(bi.rows() >= 1);
+        assert!(uni.rows() >= 1);
+    }
+
+    #[test]
+    fn n_seed_set_query() {
+        // J3-style query: one explicit set, one N set.
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT w WHERE { CONNECT("Alice", anything -> w) MAX 1 }"#,
+        )
+        .unwrap();
+        // All 1-edge trees touching Alice (3 incident edges).
+        assert_eq!(r.trees["w"].iter().filter(|t| t.size() == 1).count(), 3);
+    }
+
+    #[test]
+    fn two_ctps_join_on_shared_variable() {
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT x, w1, w2 WHERE {
+                (x : type = "entrepreneur", "citizenOf", "USA")
+                CONNECT(x, "France" -> w1) LIMIT 20
+                CONNECT(x, "Elon" -> w2) LIMIT 20
+            }"#,
+        )
+        .unwrap();
+        assert!(r.rows() > 0);
+        assert!(r.trees.contains_key("w1") && r.trees.contains_key("w2"));
+    }
+
+    #[test]
+    fn empty_bgp_result_gives_empty_answer() {
+        let g = figure1();
+        let r = run_query(
+            &g,
+            r#"SELECT x, w WHERE {
+                (x : type = "robot", "citizenOf", "USA")
+                CONNECT(x, "France" -> w)
+            }"#,
+        );
+        // Empty seed set is a SeedError (the CTP can have no result).
+        assert!(matches!(r, Err(EqlError::Seed(_))) || r.unwrap().rows() == 0);
+    }
+
+    #[test]
+    fn components_grouping() {
+        let q = parse(
+            r#"SELECT x WHERE {
+                (x, "r", y) (y, "s", z)
+                (a, "t", b)
+            }"#,
+        )
+        .unwrap();
+        let lowered = lower_patterns(&q);
+        let comps = connected_components(&lowered);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2]);
+    }
+}
+
+#[cfg(test)]
+mod ask_tests {
+    use super::*;
+    use cs_graph::figure1;
+
+    #[test]
+    fn ask_true_and_false() {
+        let g = figure1();
+        assert!(run_ask(&g, r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) }"#).unwrap());
+        assert!(
+            !run_ask(
+                &g,
+                r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) LABEL "founded" }"#
+            )
+            .unwrap(),
+            "no founded-only connection exists"
+        );
+        assert!(run_ask(&g, r#"ASK WHERE { (x, "founded", "OrgB") }"#).unwrap());
+    }
+
+    #[test]
+    fn ask_applies_limit_one_by_default() {
+        let g = figure1();
+        let ast = parse(r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) }"#).unwrap();
+        let res = execute(&g, &ast, &ExecOptions::default()).unwrap();
+        assert_eq!(res.boolean, Some(true));
+        // Only one tree computed thanks to the implicit LIMIT 1.
+        assert_eq!(res.trees["w"].len(), 1);
+    }
+
+    #[test]
+    fn ask_with_bgp_join() {
+        let g = figure1();
+        // Is any US entrepreneur connected to Elon within 3 edges?
+        assert!(run_ask(
+            &g,
+            r#"ASK WHERE {
+                (x : type = "entrepreneur", "citizenOf", "USA")
+                CONNECT(x, "Elon" -> w) MAX 3
+            }"#
+        )
+        .unwrap());
+        // ... within 1 edge? No.
+        assert!(!run_ask(
+            &g,
+            r#"ASK WHERE {
+                (x : type = "entrepreneur", "citizenOf", "USA")
+                CONNECT(x, "Elon" -> w) MAX 1
+            }"#
+        )
+        .unwrap());
+    }
+
+    #[test]
+    fn select_has_no_boolean() {
+        let g = figure1();
+        let r = run_query(&g, r#"SELECT x WHERE { (x, "founded", y) }"#).unwrap();
+        assert_eq!(r.boolean, None);
+    }
+}

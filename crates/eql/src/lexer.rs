@@ -1,0 +1,402 @@
+//! Tokeniser for the EQL surface syntax.
+
+use std::fmt;
+
+/// A lexical token with its byte offset (for error reporting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub pos: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are recognised by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// A double-quoted string literal (escapes: `\"` and `\\`).
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `~`
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Str(s) => write!(f, "string {s:?}"),
+            TokenKind::Int(i) => write!(f, "integer {i}"),
+            TokenKind::Float(x) => write!(f, "float {x}"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Tilde => write!(f, "`~`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset.
+    pub pos: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises EQL text. `#` starts a line comment.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    pos: i,
+                });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
+                i += 1;
+            }
+            ':' => {
+                tokens.push(Token {
+                    kind: TokenKind::Colon,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '~' => {
+                tokens.push(Token {
+                    kind: TokenKind::Tilde,
+                    pos: i,
+                });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        pos: i,
+                    });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        pos: i,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    let (kind, next) = lex_number(input, i)?;
+                    tokens.push(Token { kind, pos: i });
+                    i = next;
+                } else {
+                    return Err(LexError {
+                        message: "expected `->` or a negative number after `-`".into(),
+                        pos: i,
+                    });
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                pos: start,
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            match bytes.get(i + 1) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => {
+                                    return Err(LexError {
+                                        message: "unknown escape".into(),
+                                        pos: i,
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8: copy the full char.
+                            let ch_len = utf8_len(b);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                let (kind, next) = lex_number(input, i)?;
+                tokens.push(Token { kind, pos: i });
+                i = next;
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character {other:?}"),
+                    pos: i,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        pos: input.len(),
+    });
+    Ok(tokens)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >> 5 == 0b110 => 2,
+        b if b >> 4 == 0b1110 => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(TokenKind, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut i = start;
+    if bytes[i] == b'-' {
+        i += 1;
+    }
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    if i < bytes.len() && bytes[i] == b'.' {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &input[start..i];
+    if is_float {
+        text.parse::<f64>()
+            .map(|x| (TokenKind::Float(x), i))
+            .map_err(|e| LexError {
+                message: format!("bad float: {e}"),
+                pos: start,
+            })
+    } else {
+        text.parse::<i64>()
+            .map(|x| (TokenKind::Int(x), i))
+            .map_err(|e| LexError {
+                message: format!("bad integer: {e}"),
+                pos: start,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(s: &str) -> Vec<TokenKind> {
+        lex(s).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds(r#"SELECT x, w WHERE { (x, "r", y) }"#),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("w".into()),
+                TokenKind::Ident("WHERE".into()),
+                TokenKind::LBrace,
+                TokenKind::LParen,
+                TokenKind::Ident("x".into()),
+                TokenKind::Comma,
+                TokenKind::Str("r".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("y".into()),
+                TokenKind::RParen,
+                TokenKind::RBrace,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_numbers() {
+        assert_eq!(
+            kinds("x <= 3 < -2.5 = ~ ->"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Le,
+                TokenKind::Int(3),
+                TokenKind::Lt,
+                TokenKind::Float(-2.5),
+                TokenKind::Eq,
+                TokenKind::Tilde,
+                TokenKind::Arrow,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_unicode() {
+        assert_eq!(
+            kinds(r#""a\"b" "héllo""#),
+            vec![
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("héllo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            kinds("x # the rest is ignored\ny"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Ident("y".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("@").is_err());
+        assert!(lex("- x").is_err());
+        let e = lex("\"bad\\q\"").unwrap_err();
+        assert!(e.to_string().contains("escape"));
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].pos, 0);
+        assert_eq!(toks[1].pos, 3);
+    }
+}

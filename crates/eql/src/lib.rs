@@ -1,0 +1,34 @@
+//! # cs-eql — the Extended Query Language
+//!
+//! EQL (paper §2) combines Basic Graph Patterns with Connecting Tree
+//! Patterns: `SELECT … WHERE { (s, e, d)… CONNECT(t1, …, tm -> w)
+//! [filters] }`. This crate provides the lexer, parser, AST, and the
+//! §3 evaluation strategy wiring `cs-engine` (BGPs, joins) to
+//! `cs-core` (CTP search).
+//!
+//! ```
+//! use cs_eql::run_query;
+//! use cs_graph::figure1;
+//!
+//! let g = figure1();
+//! let r = run_query(&g, r#"
+//!     SELECT x, w WHERE {
+//!         (x : type = "entrepreneur", "citizenOf", "USA")
+//!         CONNECT(x, "France" -> w) MAX 3 SCORE edgecount
+//!     }
+//! "#).unwrap();
+//! assert!(r.rows() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, QueryForm, TermAst};
+pub use exec::{
+    execute, run_ask, run_query, run_query_with, EqlError, ExecOptions, ExecStats, QueryResult,
+};
+pub use parser::{parse, ParseError};

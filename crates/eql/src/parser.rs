@@ -1,0 +1,525 @@
+//! Recursive-descent parser for the EQL surface syntax.
+//!
+//! ```text
+//! query   := SELECT head WHERE '{' (edge_pattern | ctp)* '}'
+//! head    := ident (',' ident)*
+//! edge_pattern := '(' term ',' term ',' term ')'
+//! ctp     := CONNECT '(' term (',' term)+ '->' ident ')' filter*
+//! filter  := UNI | LABEL str (',' str)* | MAX int | SCORE ident [TOP int]
+//!          | TIMEOUT int(ms) | LIMIT int | ALGORITHM ident
+//! term    := string | ident [':' cond (AND cond)*]
+//! cond    := ('label' | 'type' | ident) ('=' | '<' | '<=' | '~') value
+//! value   := string | int | float
+//! ```
+//!
+//! The paper's query Q1 is written:
+//!
+//! ```text
+//! SELECT x, y, z, w WHERE {
+//!   (x : type = "entrepreneur", "citizenOf", "USA")
+//!   (y : type = "entrepreneur", "citizenOf", "France")
+//!   (z : type = "politician",  "citizenOf", "France")
+//!   CONNECT(x, y, z -> w)
+//! }
+//! ```
+
+use crate::ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, TermAst};
+use crate::lexer::{lex, Token, TokenKind};
+use cs_core::Algorithm;
+use cs_graph::{CmpOp, Condition, Predicate, PropRef, Value};
+use std::fmt;
+use std::time::Duration;
+
+/// A parse (or validation) error with byte position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// Byte offset in the query text.
+    pub pos: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            pos: self.peek().pos,
+        })
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        if &self.peek().kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            self.err(format!("expected {kind}, found {}", self.peek().kind))
+        }
+    }
+
+    /// Consumes an identifier and returns it.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected an identifier, found {other}")),
+        }
+    }
+
+    /// True if the next token is the given keyword (case-insensitive);
+    /// consumes it if so.
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s.eq_ignore_ascii_case(kw) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn query(&mut self) -> Result<QueryAst, ParseError> {
+        let (form, head) = if self.keyword("ASK") {
+            (crate::ast::QueryForm::Ask, Vec::new())
+        } else if self.keyword("SELECT") {
+            let mut head = vec![self.ident()?];
+            while self.peek().kind == TokenKind::Comma {
+                self.next();
+                head.push(self.ident()?);
+            }
+            (crate::ast::QueryForm::Select, head)
+        } else {
+            return self.err("queries start with SELECT or ASK");
+        };
+        if !self.keyword("WHERE") {
+            return self.err("expected WHERE after the query head");
+        }
+        self.expect(&TokenKind::LBrace)?;
+
+        let mut patterns = Vec::new();
+        let mut ctps = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.next();
+                    break;
+                }
+                TokenKind::LParen => patterns.push(self.edge_pattern()?),
+                TokenKind::Ident(s) if s.eq_ignore_ascii_case("CONNECT") => ctps.push(self.ctp()?),
+                other => {
+                    return self.err(format!(
+                        "expected an edge pattern, CONNECT, or `}}`, found {other}"
+                    ))
+                }
+            }
+        }
+        self.expect(&TokenKind::Eof)?;
+        let q = QueryAst {
+            form,
+            head,
+            patterns,
+            ctps,
+        };
+        self.validate(&q)?;
+        Ok(q)
+    }
+
+    fn edge_pattern(&mut self) -> Result<EdgePatternAst, ParseError> {
+        self.expect(&TokenKind::LParen)?;
+        let src = self.term()?;
+        self.expect(&TokenKind::Comma)?;
+        let edge = self.term()?;
+        self.expect(&TokenKind::Comma)?;
+        let dst = self.term()?;
+        self.expect(&TokenKind::RParen)?;
+        Ok(EdgePatternAst { src, edge, dst })
+    }
+
+    fn ctp(&mut self) -> Result<CtpAst, ParseError> {
+        assert!(self.keyword("CONNECT"));
+        self.expect(&TokenKind::LParen)?;
+        let mut terms = vec![self.term()?];
+        loop {
+            match &self.peek().kind {
+                TokenKind::Comma => {
+                    self.next();
+                    terms.push(self.term()?);
+                }
+                TokenKind::Arrow => break,
+                other => return self.err(format!("expected `,` or `->`, found {other}")),
+            }
+        }
+        self.expect(&TokenKind::Arrow)?;
+        let out_var = self.ident()?;
+        self.expect(&TokenKind::RParen)?;
+        if terms.len() < 2 {
+            return self.err("a CTP connects at least 2 node groups");
+        }
+
+        let mut filters = CtpFiltersAst::default();
+        let mut algorithm = None;
+        loop {
+            if self.keyword("UNI") {
+                filters.uni = true;
+            } else if self.keyword("LABEL") {
+                let mut labels = vec![self.string()?];
+                while self.peek().kind == TokenKind::Comma {
+                    self.next();
+                    labels.push(self.string()?);
+                }
+                filters.labels = Some(labels);
+            } else if self.keyword("MAX") {
+                filters.max_edges = Some(self.usize_lit()?);
+            } else if self.keyword("SCORE") {
+                let name = self.ident()?;
+                if cs_core::score::by_name(&name).is_none() {
+                    return self.err(format!("unknown score function `{name}`"));
+                }
+                let top = if self.keyword("TOP") {
+                    Some(self.usize_lit()?)
+                } else {
+                    None
+                };
+                filters.score = Some((name, top));
+            } else if self.keyword("TIMEOUT") {
+                filters.timeout = Some(Duration::from_millis(self.usize_lit()? as u64));
+            } else if self.keyword("LIMIT") {
+                filters.limit = Some(self.usize_lit()?);
+            } else if self.keyword("ALGORITHM") {
+                let name = self.ident()?;
+                match name.parse::<Algorithm>() {
+                    Ok(a) => algorithm = Some(a),
+                    Err(e) => return self.err(e),
+                }
+            } else {
+                break;
+            }
+        }
+
+        Ok(CtpAst {
+            terms,
+            out_var,
+            filters,
+            algorithm,
+        })
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let s = s.clone();
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected a string literal, found {other}")),
+        }
+    }
+
+    fn usize_lit(&mut self) -> Result<usize, ParseError> {
+        match self.peek().kind {
+            TokenKind::Int(i) if i >= 0 => {
+                self.next();
+                Ok(i as usize)
+            }
+            ref other => self.err(format!("expected a non-negative integer, found {other}")),
+        }
+    }
+
+    fn term(&mut self) -> Result<TermAst, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Str(s) => {
+                let t = TermAst::constant(s);
+                self.next();
+                Ok(t)
+            }
+            TokenKind::Ident(_) => {
+                let var = self.ident()?;
+                if self.peek().kind == TokenKind::Colon {
+                    self.next();
+                    let pred = self.predicate()?;
+                    Ok(TermAst::pred(&var, pred))
+                } else {
+                    Ok(TermAst::var(&var))
+                }
+            }
+            other => self.err(format!(
+                "expected a variable or string constant, found {other}"
+            )),
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Predicate, ParseError> {
+        let mut pred = Predicate {
+            conditions: vec![self.condition()?],
+        };
+        while self.peek_keyword("AND") {
+            self.next();
+            pred.conditions.push(self.condition()?);
+        }
+        Ok(pred)
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        let prop_name = self.ident()?;
+        let prop = match prop_name.to_ascii_lowercase().as_str() {
+            "label" => PropRef::Label,
+            "type" => PropRef::Type,
+            _ => PropRef::Named(prop_name),
+        };
+        let op = match self.peek().kind {
+            TokenKind::Eq => CmpOp::Eq,
+            TokenKind::Lt => CmpOp::Lt,
+            TokenKind::Le => CmpOp::Le,
+            TokenKind::Tilde => CmpOp::Like,
+            ref other => return self.err(format!("expected `=`, `<`, `<=` or `~`, found {other}")),
+        };
+        self.next();
+        let constant = match &self.peek().kind {
+            TokenKind::Str(s) => Value::str(s),
+            TokenKind::Int(i) => Value::Int(*i),
+            TokenKind::Float(x) => Value::Float(*x),
+            other => return self.err(format!("expected a literal value, found {other}")),
+        };
+        self.next();
+        Ok(Condition { prop, op, constant })
+    }
+
+    /// Static validation (Defs. 2.5, 2.6).
+    fn validate(&self, q: &QueryAst) -> Result<(), ParseError> {
+        let body = q.body_vars();
+        for h in &q.head {
+            if !body.iter().any(|v| v == h) {
+                return Err(ParseError {
+                    message: format!("head variable `{h}` does not occur in the body"),
+                    pos: 0,
+                });
+            }
+        }
+        if q.patterns.is_empty() && q.ctps.is_empty() {
+            return Err(ParseError {
+                message: "the body must contain at least one pattern (k + l > 0)".into(),
+                pos: 0,
+            });
+        }
+        // Each underlined variable appears exactly once in the query
+        // body (Def. 2.6); it may appear in the head.
+        for (i, c) in q.ctps.iter().enumerate() {
+            let mut occurrences = 0usize;
+            for p in &q.patterns {
+                for t in [&p.src, &p.edge, &p.dst] {
+                    if t.var.as_deref() == Some(c.out_var.as_str()) {
+                        occurrences += 1;
+                    }
+                }
+            }
+            for (j, c2) in q.ctps.iter().enumerate() {
+                for t in &c2.terms {
+                    if t.var.as_deref() == Some(c.out_var.as_str()) {
+                        occurrences += 1;
+                    }
+                }
+                if i != j && c2.out_var == c.out_var {
+                    occurrences += 1;
+                }
+            }
+            if occurrences > 0 {
+                return Err(ParseError {
+                    message: format!(
+                        "CTP output variable `{}` must appear exactly once in the query",
+                        c.out_var
+                    ),
+                    pos: 0,
+                });
+            }
+            // All CTP variables pairwise distinct (Def. 2.5).
+            let mut names: Vec<&str> = c.terms.iter().filter_map(|t| t.var.as_deref()).collect();
+            names.push(&c.out_var);
+            let before = names.len();
+            names.sort_unstable();
+            names.dedup();
+            if names.len() != before {
+                return Err(ParseError {
+                    message: format!("variables of CTP `{}` must be pairwise distinct", c.out_var),
+                    pos: 0,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses an EQL query.
+pub fn parse(input: &str) -> Result<QueryAst, ParseError> {
+    let toks = lex(input).map_err(|e| ParseError {
+        message: e.message,
+        pos: e.pos,
+    })?;
+    Parser { toks, pos: 0 }.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q1: &str = r#"
+        SELECT x, y, z, w WHERE {
+            (x : type = "entrepreneur", "citizenOf", "USA")
+            (y : type = "entrepreneur", "citizenOf", "France")
+            (z : type = "politician",  "citizenOf", "France")
+            CONNECT(x, y, z -> w)
+        }
+    "#;
+
+    #[test]
+    fn parses_q1() {
+        let q = parse(Q1).unwrap();
+        assert_eq!(q.head, ["x", "y", "z", "w"]);
+        assert_eq!(q.patterns.len(), 3);
+        assert_eq!(q.ctps.len(), 1);
+        let c = &q.ctps[0];
+        assert_eq!(c.out_var, "w");
+        assert_eq!(c.terms.len(), 3);
+        assert_eq!(c.terms[0].var.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn parses_all_filters() {
+        let q = parse(
+            r#"SELECT w WHERE {
+                CONNECT("Alice", "Bob" -> w)
+                    UNI LABEL "a", "b" MAX 7 SCORE edgecount TOP 3
+                    TIMEOUT 500 LIMIT 9 ALGORITHM molesp
+            }"#,
+        )
+        .unwrap();
+        let f = &q.ctps[0].filters;
+        assert!(f.uni);
+        assert_eq!(
+            f.labels.as_deref(),
+            Some(&["a".to_string(), "b".to_string()][..])
+        );
+        assert_eq!(f.max_edges, Some(7));
+        assert_eq!(f.score, Some(("edgecount".to_string(), Some(3))));
+        assert_eq!(f.timeout, Some(Duration::from_millis(500)));
+        assert_eq!(f.limit, Some(9));
+        assert_eq!(q.ctps[0].algorithm, Some(Algorithm::MoLesp));
+    }
+
+    #[test]
+    fn predicate_conjunction() {
+        let q =
+            parse(r#"SELECT x WHERE { (x : label ~ "*lice" AND type = "entrepreneur", "r", y) }"#)
+                .unwrap();
+        assert_eq!(q.patterns[0].src.pred.conditions.len(), 2);
+    }
+
+    #[test]
+    fn numeric_property_condition() {
+        let q = parse(r#"SELECT x WHERE { (x : age < 50, "r", y) }"#).unwrap();
+        let c = &q.patterns[0].src.pred.conditions[0];
+        assert_eq!(c.prop, PropRef::Named("age".into()));
+        assert_eq!(c.op, CmpOp::Lt);
+    }
+
+    #[test]
+    fn rejects_head_not_in_body() {
+        let e = parse(r#"SELECT q WHERE { (x, "r", y) }"#).unwrap_err();
+        assert!(e.message.contains("head variable"));
+    }
+
+    #[test]
+    fn rejects_reused_out_var() {
+        let e = parse(r#"SELECT w WHERE { (w, "r", y) CONNECT(x, y -> w) }"#).unwrap_err();
+        assert!(e.message.contains("exactly once"));
+    }
+
+    #[test]
+    fn rejects_duplicate_ctp_vars() {
+        let e = parse(r#"SELECT w WHERE { CONNECT(x, x -> w) }"#).unwrap_err();
+        assert!(e.message.contains("pairwise distinct"));
+    }
+
+    #[test]
+    fn rejects_single_group_ctp() {
+        let e = parse(r#"SELECT w WHERE { CONNECT(x -> w) }"#).unwrap_err();
+        assert!(e.message.contains("at least 2"));
+    }
+
+    #[test]
+    fn rejects_unknown_score_and_algorithm() {
+        assert!(parse(r#"SELECT w WHERE { CONNECT(x, y -> w) SCORE nope }"#)
+            .unwrap_err()
+            .message
+            .contains("unknown score function"));
+        assert!(
+            parse(r#"SELECT w WHERE { CONNECT(x, y -> w) ALGORITHM nope }"#)
+                .unwrap_err()
+                .message
+                .contains("unknown algorithm")
+        );
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        assert!(parse("SELECT x WHERE { }").is_err());
+    }
+
+    #[test]
+    fn error_positions_point_into_text() {
+        let e = parse("SELECT x WHERE [").unwrap_err();
+        assert!(e.pos >= 15);
+        assert!(e.to_string().contains("byte"));
+    }
+}
+
+#[cfg(test)]
+mod ask_parser_tests {
+    use super::*;
+    use crate::ast::QueryForm;
+
+    #[test]
+    fn ask_form_parses() {
+        let q = parse(r#"ASK WHERE { (x, "r", y) }"#).unwrap();
+        assert_eq!(q.form, QueryForm::Ask);
+        assert!(q.head.is_empty());
+        let q = parse(r#"SELECT x WHERE { (x, "r", y) }"#).unwrap();
+        assert_eq!(q.form, QueryForm::Select);
+    }
+
+    #[test]
+    fn other_verbs_rejected() {
+        let e = parse(r#"DESCRIBE x WHERE { (x, "r", y) }"#).unwrap_err();
+        assert!(e.message.contains("SELECT or ASK"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Integration coverage of the EQL language surface: every construct
+//! combination parsed AND executed, error reporting, and cross-checks
+//! between per-CTP `ALGORITHM` overrides.
+
+use cs_eql::{parse, run_ask, run_query, run_query_with, EqlError, ExecOptions};
+use cs_graph::figure1;
+
+#[test]
+fn all_score_functions_run() {
+    let g = figure1();
+    for sigma in ["edgecount", "specificity", "labelrarity", "edgeweight"] {
+        let q = format!(
+            r#"SELECT w WHERE {{ CONNECT("Bob", "Alice" -> w) MAX 4 SCORE {sigma} TOP 3 }}"#
+        );
+        let r = run_query(&g, &q).unwrap_or_else(|e| panic!("{sigma}: {e}"));
+        assert!(r.rows() >= 1, "{sigma}");
+        assert!(r.scores["w"].len() <= 3);
+    }
+}
+
+#[test]
+fn algorithm_overrides_agree() {
+    let g = figure1();
+    let mut canon: Vec<Vec<Vec<cs_graph::EdgeId>>> = Vec::new();
+    for algo in ["bft", "bftm", "bftam", "gam", "moesp", "molesp"] {
+        let q = format!(
+            r#"SELECT w WHERE {{ CONNECT("Carole", "Falcon" -> w) MAX 4 ALGORITHM {algo} }}"#
+        );
+        let r = run_query(&g, &q).unwrap();
+        let mut c: Vec<_> = r.trees["w"].iter().map(|t| t.edges.to_vec()).collect();
+        c.sort();
+        canon.push(c);
+    }
+    for pair in canon.windows(2) {
+        assert_eq!(pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn filters_compose() {
+    let g = figure1();
+    let r = run_query(
+        &g,
+        r#"SELECT w WHERE {
+            CONNECT("Bob", "Elon" -> w)
+                LABEL "citizenOf", "affiliation", "funds", "founded", "investsIn", "parentOf"
+                MAX 5 SCORE edgecount TOP 4 LIMIT 10 TIMEOUT 2000
+        }"#,
+    )
+    .unwrap();
+    assert!(r.rows() <= 4);
+    for t in &r.trees["w"] {
+        assert!(t.size() <= 5);
+        for &e in t.edges.iter() {
+            assert_ne!(g.edge_label(e), "CEO", "CEO label was filtered out");
+        }
+    }
+}
+
+#[test]
+fn whitespace_comments_and_case_insensitivity() {
+    let g = figure1();
+    let r = run_query(
+        &g,
+        "select x where {\n  # comment line\n  (x, \"founded\", y)  }",
+    )
+    .unwrap();
+    assert_eq!(r.rows(), 2); // distinct founders: Bob, Carole
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let g = figure1();
+    let cases = [
+        ("SELECT WHERE { (x, \"r\", y) }", "WHERE"),
+        ("SELECT x WHERE { (x, \"r\") }", "expected"),
+        ("SELECT x WHERE { (x, \"r\", y) } trailing", "end of input"),
+        ("SELECT w WHERE { CONNECT(\"A\" -> w) }", "at least 2"),
+    ];
+    for (q, needle) in cases {
+        match run_query(&g, q) {
+            Err(EqlError::Parse(e)) => {
+                assert!(
+                    e.message.to_lowercase().contains(&needle.to_lowercase()),
+                    "query {q:?}: message {:?} should mention {needle:?}",
+                    e.message
+                );
+            }
+            other => panic!("{q:?} should fail to parse, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ask_and_select_consistency() {
+    let g = figure1();
+    let queries = [
+        r#"WHERE { CONNECT("Bob", "Doug" -> w) MAX 3 }"#,
+        r#"WHERE { (x : type = "politician", "citizenOf", "France") CONNECT(x, "USA" -> w) MAX 4 }"#,
+        r#"WHERE { CONNECT("OrgB", "Falcon" -> w) MAX 2 }"#,
+    ];
+    for body in queries {
+        let ask = run_ask(&g, &format!("ASK {body}")).unwrap();
+        let select = run_query(&g, &format!("SELECT w {body}")).unwrap();
+        assert_eq!(ask, select.rows() > 0, "{body}");
+    }
+}
+
+#[test]
+fn default_algorithm_option_is_used() {
+    let g = figure1();
+    for algo in [
+        cs_core::Algorithm::Gam,
+        cs_core::Algorithm::MoLesp,
+        cs_core::Algorithm::Bft,
+    ] {
+        let opts = ExecOptions {
+            default_algorithm: algo,
+            ..ExecOptions::default()
+        };
+        let r = run_query_with(
+            &g,
+            r#"SELECT w WHERE { CONNECT("Alice", "Elon" -> w) MAX 3 }"#,
+            &opts,
+        )
+        .unwrap();
+        assert!(r.rows() > 0, "{algo}");
+    }
+}
+
+#[test]
+fn multi_bgp_multi_ctp_query() {
+    let g = figure1();
+    let r = run_query(
+        &g,
+        r#"SELECT x, y, w1, w2 WHERE {
+            (x, "founded", o1)
+            (y, "investsIn", o2)
+            CONNECT(x, y -> w1) MAX 3 LIMIT 50
+            CONNECT(o1, o2 -> w2) MAX 3 LIMIT 50
+        }"#,
+    )
+    .unwrap();
+    // Joins over four shared variables; check schema integrity.
+    for col in ["x", "y", "w1", "w2"] {
+        assert!(r.table.col(col).is_some(), "missing column {col}");
+    }
+}
+
+#[test]
+fn parse_is_stable_under_reformat() {
+    let a = parse(r#"SELECT x,w WHERE{(x,"r",y)CONNECT(x,y->w)MAX 3}"#).unwrap();
+    let b = parse(
+        r#"SELECT x , w
+           WHERE {
+             ( x , "r" , y )
+             CONNECT( x , y -> w ) MAX 3
+           }"#,
+    )
+    .unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,308 @@
+//! A compact binary snapshot format for graphs, built on `bytes`.
+//!
+//! Benchmarks over generated multi-million-edge graphs re-load far
+//! faster from a binary snapshot than by re-generating or re-parsing
+//! triples; snapshots also pin workloads byte-for-byte for
+//! reproducibility (EXPERIMENTS.md).
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "CSG1" | u32 #strings | (u32 len, bytes)*      — interner
+//! u32 #nodes | per node: u32 label, u16 #types (u32)*,
+//!                        u16 #props (u32 key, value)*
+//! u32 #edges | per edge: u32 src, u32 dst, u32 label,
+//!                        u16 #props (u32 key, value)*
+//! value := u8 tag (0 str, 1 int, 2 float) + payload
+//! ```
+
+use crate::builder::GraphBuilder;
+use crate::model::Graph;
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"CSG1";
+
+/// Errors decoding a snapshot.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic header did not match.
+    BadMagic,
+    /// The buffer ended prematurely or a length was inconsistent.
+    Truncated,
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// An id referenced out of range.
+    BadReference,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a CSG1 snapshot"),
+            DecodeError::Truncated => write!(f, "snapshot truncated"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in snapshot string"),
+            DecodeError::BadReference => write!(f, "snapshot references unknown id"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            buf.put_u8(0);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Int(i) => {
+            buf.put_u8(1);
+            buf.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(2);
+            buf.put_f64_le(*x);
+        }
+    }
+}
+
+/// Encodes a graph into the snapshot format.
+pub fn encode_graph(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + g.node_count() * 16 + g.edge_count() * 16);
+    buf.put_slice(MAGIC);
+
+    let interner = g.interner();
+    buf.put_u32_le(interner.len() as u32);
+    for (_, s) in interner.iter() {
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+
+    buf.put_u32_le(g.node_count() as u32);
+    for n in g.node_ids() {
+        let nd = g.node(n);
+        buf.put_u32_le(nd.label.0);
+        buf.put_u16_le(nd.types.len() as u16);
+        for t in nd.types.iter() {
+            buf.put_u32_le(t.0);
+        }
+        buf.put_u16_le(nd.props.len() as u16);
+        for (k, v) in nd.props.iter() {
+            buf.put_u32_le(k.0);
+            put_value(&mut buf, v);
+        }
+    }
+
+    buf.put_u32_le(g.edge_count() as u32);
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        buf.put_u32_le(ed.src.0);
+        buf.put_u32_le(ed.dst.0);
+        buf.put_u32_le(ed.label.0);
+        buf.put_u16_le(ed.props.len() as u16);
+        for (k, v) in ed.props.iter() {
+            buf.put_u32_le(k.0);
+            put_value(&mut buf, v);
+        }
+    }
+    buf.freeze()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), DecodeError> {
+        if self.buf.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        self.need(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let s = std::str::from_utf8(&self.buf[..len])
+            .map_err(|_| DecodeError::BadUtf8)?
+            .to_string();
+        self.buf.advance(len);
+        Ok(s)
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Value::str(self.string()?)),
+            1 => Ok(Value::Int(self.i64()?)),
+            2 => Ok(Value::Float(self.f64()?)),
+            _ => Err(DecodeError::Truncated),
+        }
+    }
+}
+
+/// Decodes a snapshot produced by [`encode_graph`].
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, DecodeError> {
+    let mut r = Reader { buf: bytes };
+    r.need(4)?;
+    if &r.buf[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    r.buf.advance(4);
+
+    let n_strings = r.u32()? as usize;
+    let mut strings = Vec::with_capacity(n_strings);
+    for _ in 0..n_strings {
+        strings.push(r.string()?);
+    }
+    let resolve = |id: u32| -> Result<&str, DecodeError> {
+        strings
+            .get(id as usize)
+            .map(String::as_str)
+            .ok_or(DecodeError::BadReference)
+    };
+
+    let n_nodes = r.u32()? as usize;
+    let mut b = GraphBuilder::with_capacity(n_nodes, 0);
+    for _ in 0..n_nodes {
+        let label = r.u32()?;
+        let n = b.add_node(resolve(label)?);
+        let n_types = r.u16()?;
+        for _ in 0..n_types {
+            let t = r.u32()?;
+            b.add_type(n, resolve(t)?);
+        }
+        let n_props = r.u16()?;
+        for _ in 0..n_props {
+            let k = r.u32()?;
+            let key = resolve(k)?.to_string();
+            let v = r.value()?;
+            b.set_node_prop(n, &key, v);
+        }
+    }
+
+    let n_edges = r.u32()? as usize;
+    for _ in 0..n_edges {
+        let src = r.u32()?;
+        let dst = r.u32()?;
+        let label = r.u32()?;
+        if src as usize >= n_nodes || dst as usize >= n_nodes {
+            return Err(DecodeError::BadReference);
+        }
+        let e = b.add_edge(
+            crate::ids::NodeId(src),
+            resolve(label)?,
+            crate::ids::NodeId(dst),
+        );
+        let n_props = r.u16()?;
+        for _ in 0..n_props {
+            let k = r.u32()?;
+            let key = resolve(k)?.to_string();
+            let v = r.value()?;
+            b.set_edge_prop(e, &key, v);
+        }
+    }
+    Ok(b.freeze())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+    use crate::generate::{scale_free, ScaleFreeParams};
+
+    #[test]
+    fn roundtrip_figure1() {
+        let g = figure1();
+        let bytes = encode_graph(&g);
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for n in g.node_ids() {
+            assert_eq!(g2.node_label(n), g.node_label(n));
+            assert_eq!(
+                g2.node_types(n).collect::<Vec<_>>(),
+                g.node_types(n).collect::<Vec<_>>()
+            );
+        }
+        for e in g.edge_ids() {
+            assert_eq!(g2.describe_edge(e), g.describe_edge(e));
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_properties() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_typed_node("a", &["t"]);
+        let c = b.add_node("c");
+        let e = b.add_edge(a, "r", c);
+        b.set_node_prop(a, "age", 42i64);
+        b.set_node_prop(a, "name", "alpha");
+        b.set_edge_prop(e, "w", 2.5f64);
+        let g = b.freeze();
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(g2.node_prop(a, "age"), Some(&Value::Int(42)));
+        assert_eq!(g2.node_prop(a, "name"), Some(&Value::str("alpha")));
+        assert_eq!(g2.edge_prop(e, "w"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn roundtrip_generated_graph() {
+        let g = scale_free(&ScaleFreeParams {
+            nodes: 300,
+            edges_per_node: 3,
+            labels: 8,
+            types: 4,
+            seed: 3,
+        });
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let l = g.label_id("rel0").unwrap();
+        let l2 = g2.label_id("rel0").unwrap();
+        assert_eq!(g.edges_with_label(l).len(), g2.edges_with_label(l2).len());
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode_graph(b"nope").unwrap_err(), DecodeError::BadMagic);
+        assert_eq!(decode_graph(b"CS").unwrap_err(), DecodeError::Truncated);
+        let g = figure1();
+        let bytes = encode_graph(&g);
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(decode_graph(truncated).is_err());
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = GraphBuilder::new().freeze();
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        assert_eq!(g2.node_count(), 0);
+        assert_eq!(g2.edge_count(), 0);
+    }
+}

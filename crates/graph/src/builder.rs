@@ -1,0 +1,271 @@
+//! Mutable construction of [`Graph`]s.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{EdgeId, LabelId, NodeId};
+use crate::interner::Interner;
+use crate::model::{Adj, EdgeData, Graph, NodeData};
+use crate::value::Value;
+
+/// Accumulates nodes and edges, then freezes into an immutable [`Graph`]
+/// with adjacency lists and label/type indexes.
+///
+/// ```
+/// use cs_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let alice = b.add_typed_node("Alice", &["entrepreneur"]);
+/// let fr = b.add_typed_node("France", &["country"]);
+/// b.add_edge(alice, "citizenOf", fr);
+/// let g = b.freeze();
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    interner: Interner,
+    nodes: Vec<NodeBuild>,
+    edges: Vec<EdgeBuild>,
+}
+
+#[derive(Debug)]
+struct NodeBuild {
+    label: LabelId,
+    types: Vec<LabelId>,
+    props: Vec<(LabelId, Value)>,
+}
+
+#[derive(Debug)]
+struct EdgeBuild {
+    src: NodeId,
+    dst: NodeId,
+    label: LabelId,
+    props: Vec<(LabelId, Value)>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphBuilder {
+            interner: Interner::new(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with node/edge capacity hints.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            interner: Interner::new(),
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node with the given label and no types.
+    pub fn add_node(&mut self, label: &str) -> NodeId {
+        self.add_typed_node(label, &[])
+    }
+
+    /// Adds a node with label and types.
+    pub fn add_typed_node(&mut self, label: &str, types: &[&str]) -> NodeId {
+        let id = NodeId::new(self.nodes.len());
+        let label = self.interner.intern(label);
+        let types = types.iter().map(|t| self.interner.intern(t)).collect();
+        self.nodes.push(NodeBuild {
+            label,
+            types,
+            props: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a labelled directed edge.
+    pub fn add_edge(&mut self, src: NodeId, label: &str, dst: NodeId) -> EdgeId {
+        assert!(src.index() < self.nodes.len(), "unknown source node");
+        assert!(dst.index() < self.nodes.len(), "unknown target node");
+        let id = EdgeId::new(self.edges.len());
+        let label = self.interner.intern(label);
+        self.edges.push(EdgeBuild {
+            src,
+            dst,
+            label,
+            props: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches an extra type to an existing node.
+    pub fn add_type(&mut self, n: NodeId, ty: &str) {
+        let t = self.interner.intern(ty);
+        let types = &mut self.nodes[n.index()].types;
+        if !types.contains(&t) {
+            types.push(t);
+        }
+    }
+
+    /// Sets a node property (overwrites an existing value for the key).
+    pub fn set_node_prop(&mut self, n: NodeId, key: &str, value: impl Into<Value>) {
+        let k = self.interner.intern(key);
+        set_prop(&mut self.nodes[n.index()].props, k, value.into());
+    }
+
+    /// Sets an edge property (overwrites an existing value for the key).
+    pub fn set_edge_prop(&mut self, e: EdgeId, key: &str, value: impl Into<Value>) {
+        let k = self.interner.intern(key);
+        set_prop(&mut self.edges[e.index()].props, k, value.into());
+    }
+
+    /// Interns a label eagerly (useful when generating predicates that
+    /// must share the graph's vocabulary).
+    pub fn intern(&mut self, s: &str) -> LabelId {
+        self.interner.intern(s)
+    }
+
+    /// Freezes into an immutable [`Graph`], building adjacency and
+    /// indexes.
+    pub fn freeze(self) -> Graph {
+        let n = self.nodes.len();
+        // Two-pass adjacency construction: count, then fill.
+        let mut counts = vec![0u32; n];
+        for e in &self.edges {
+            counts[e.src.index()] += 1;
+            counts[e.dst.index()] += 1;
+        }
+        let mut adj: Vec<Vec<Adj>> = counts
+            .iter()
+            .map(|&c| Vec::with_capacity(c as usize))
+            .collect();
+        let mut edges_by_label: FxHashMap<LabelId, Vec<EdgeId>> = FxHashMap::default();
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId::new(i);
+            adj[e.src.index()].push(Adj {
+                edge: id,
+                other: e.dst,
+                outgoing: true,
+            });
+            adj[e.dst.index()].push(Adj {
+                edge: id,
+                other: e.src,
+                outgoing: false,
+            });
+            edges_by_label.entry(e.label).or_default().push(id);
+        }
+
+        let mut nodes_by_label: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+        let mut nodes_by_type: FxHashMap<LabelId, Vec<NodeId>> = FxHashMap::default();
+        for (i, nd) in self.nodes.iter().enumerate() {
+            let id = NodeId::new(i);
+            nodes_by_label.entry(nd.label).or_default().push(id);
+            for &t in &nd.types {
+                nodes_by_type.entry(t).or_default().push(id);
+            }
+        }
+
+        let nodes = self
+            .nodes
+            .into_iter()
+            .map(|mut nb| {
+                nb.props.sort_by_key(|(k, _)| *k);
+                NodeData {
+                    label: nb.label,
+                    types: nb.types.into_boxed_slice(),
+                    props: nb.props.into_boxed_slice(),
+                }
+            })
+            .collect();
+        let edges = self
+            .edges
+            .into_iter()
+            .map(|mut eb| {
+                eb.props.sort_by_key(|(k, _)| *k);
+                EdgeData {
+                    src: eb.src,
+                    dst: eb.dst,
+                    label: eb.label,
+                    props: eb.props.into_boxed_slice(),
+                }
+            })
+            .collect();
+
+        Graph {
+            interner: self.interner,
+            nodes,
+            edges,
+            adj: adj.into_iter().map(Vec::into_boxed_slice).collect(),
+            edges_by_label,
+            nodes_by_label,
+            nodes_by_type,
+        }
+    }
+}
+
+fn set_prop(props: &mut Vec<(LabelId, Value)>, key: LabelId, value: Value) {
+    match props.iter_mut().find(|(k, _)| *k == key) {
+        Some(slot) => slot.1 = value,
+        None => props.push((key, value)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_with_types_and_props() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_typed_node("Alice", &["entrepreneur"]);
+        let f = b.add_typed_node("France", &["country"]);
+        let e = b.add_edge(a, "citizenOf", f);
+        b.set_node_prop(a, "age", 41i64);
+        b.set_edge_prop(e, "since", 1999i64);
+        b.add_type(a, "person");
+        b.add_type(a, "person"); // idempotent
+        let g = b.freeze();
+
+        assert_eq!(
+            g.node_types(a).collect::<Vec<_>>(),
+            ["entrepreneur", "person"]
+        );
+        assert_eq!(g.node_prop(a, "age"), Some(&Value::Int(41)));
+        assert_eq!(g.edge_prop(e, "since"), Some(&Value::Int(1999)));
+        assert_eq!(g.node_prop(a, "missing"), None);
+    }
+
+    #[test]
+    fn prop_overwrite() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        b.set_node_prop(a, "w", 1i64);
+        b.set_node_prop(a, "w", 2i64);
+        let g = b.freeze();
+        assert_eq!(g.node_prop(a, "w"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn type_index() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_typed_node("a", &["t1"]);
+        let c = b.add_typed_node("c", &["t1", "t2"]);
+        let g = b.freeze();
+        let t1 = g.label_id("t1").unwrap();
+        let t2 = g.label_id("t2").unwrap();
+        assert_eq!(g.nodes_with_type(t1), &[a, c]);
+        assert_eq!(g.nodes_with_type(t2), &[c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source node")]
+    fn edge_requires_existing_nodes() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        b.add_edge(NodeId(99), "x", a);
+    }
+}

@@ -1,0 +1,111 @@
+//! The paper's running example: the sample data graph of Figure 1.
+//!
+//! Twelve nodes (companies, entrepreneurs, politicians, countries, one
+//! literal) and nineteen labelled edges. Used throughout the paper's
+//! Section 2 examples, and here in tests and the quickstart example.
+
+use crate::builder::GraphBuilder;
+use crate::model::Graph;
+
+/// Builds the Figure 1 graph. Node ids follow the paper's numbering
+/// (paper node *k* is `NodeId(k-1)`), and edge ids likewise
+/// (paper edge *k* is `EdgeId(k-1)`).
+pub fn figure1() -> Graph {
+    let mut b = GraphBuilder::new();
+    let orgb = b.add_typed_node("OrgB", &["company"]); // 1
+    let bob = b.add_typed_node("Bob", &["entrepreneur"]); // 2
+    let alice = b.add_typed_node("Alice", &["entrepreneur"]); // 3
+    let carole = b.add_typed_node("Carole", &["entrepreneur"]); // 4
+    let orga = b.add_typed_node("OrgA", &["company"]); // 5
+    let doug = b.add_typed_node("Doug", &["entrepreneur"]); // 6
+    let orgc = b.add_typed_node("OrgC", &["company"]); // 7
+    let france = b.add_typed_node("France", &["country"]); // 8
+    let elon = b.add_typed_node("Elon", &["politician"]); // 9
+    let usa = b.add_typed_node("USA", &["country"]); // 10
+    let nlp = b.add_node("\"National Liberal Party\""); // 11 (literal)
+    let falcon = b.add_typed_node("Falcon", &["politician"]); // 12
+
+    // Edges 1..19, reconstructed from the paper's figure and the worked
+    // examples in Section 2 (t_alpha = {e10, e9, e11}, t_beta =
+    // {e1, e2, e17, e16}, seed sets S1 = {n2, n4} US entrepreneurs,
+    // S2 = {n3, n6} French entrepreneurs, S3 = {n9} French politicians).
+    b.add_edge(bob, "founded", orgb); // e1
+    b.add_edge(alice, "investsIn", orgb); // e2
+    b.add_edge(orgb, "parentOf", orga); // e3
+    b.add_edge(orga, "locatedIn", france); // e4
+    b.add_edge(bob, "citizenOf", usa); // e5
+    b.add_edge(carole, "citizenOf", usa); // e6
+    b.add_edge(carole, "founded", orga); // e7
+    b.add_edge(doug, "CEO", orga); // e8
+    b.add_edge(doug, "investsIn", orgc); // e9
+    b.add_edge(carole, "founded", orgc); // e10
+    b.add_edge(elon, "parentOf", doug); // e11
+    b.add_edge(alice, "citizenOf", france); // e12
+    b.add_edge(doug, "citizenOf", france); // e13
+    b.add_edge(elon, "citizenOf", france); // e14
+    b.add_edge(orgc, "locatedIn", usa); // e15
+    b.add_edge(elon, "affiliation", nlp); // e16
+    b.add_edge(alice, "funds", nlp); // e17
+    b.add_edge(falcon, "affiliation", nlp); // e18
+    b.add_edge(falcon, "investsIn", orgc); // e19
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{EdgeId, NodeId};
+    use crate::predicate::{matching_nodes, Predicate};
+
+    #[test]
+    fn shape() {
+        let g = figure1();
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 19);
+    }
+
+    #[test]
+    fn paper_node_numbering() {
+        let g = figure1();
+        assert_eq!(g.node_label(NodeId(0)), "OrgB");
+        assert_eq!(g.node_label(NodeId(3)), "Carole");
+        assert_eq!(g.node_label(NodeId(11)), "Falcon");
+    }
+
+    #[test]
+    fn paper_edge_numbering() {
+        let g = figure1();
+        // e10 in the paper = Carole founded OrgC.
+        assert_eq!(g.describe_edge(EdgeId(9)), "Carole -founded-> OrgC");
+        // e11 = Elon parentOf Doug.
+        assert_eq!(g.describe_edge(EdgeId(10)), "Elon -parentOf-> Doug");
+    }
+
+    #[test]
+    fn q1_seed_sets() {
+        // Q1: US entrepreneurs {Bob, Carole}, French entrepreneurs
+        // {Alice, Doug}, French politicians {Elon}.
+        let g = figure1();
+        let us_ent = seed(&g, "entrepreneur", "USA");
+        let fr_ent = seed(&g, "entrepreneur", "France");
+        let fr_pol = seed(&g, "politician", "France");
+        assert_eq!(labels(&g, &us_ent), ["Bob", "Carole"]);
+        assert_eq!(labels(&g, &fr_ent), ["Alice", "Doug"]);
+        assert_eq!(labels(&g, &fr_pol), ["Elon"]);
+    }
+
+    fn seed(g: &Graph, ty: &str, country: &str) -> Vec<crate::ids::NodeId> {
+        let c = g.node_by_label(country).unwrap();
+        matching_nodes(g, &Predicate::typed(ty))
+            .into_iter()
+            .filter(|&n| {
+                g.outgoing(n)
+                    .any(|a| a.other == c && g.edge_label(a.edge) == "citizenOf")
+            })
+            .collect()
+    }
+
+    fn labels<'g>(g: &'g Graph, ns: &[crate::ids::NodeId]) -> Vec<&'g str> {
+        ns.iter().map(|&n| g.node_label(n)).collect()
+    }
+}

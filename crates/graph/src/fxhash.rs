@@ -1,0 +1,127 @@
+//! A small, fast, non-cryptographic hasher (the FxHash algorithm used by
+//! rustc), implemented in-repo to stay within the approved dependency set.
+//!
+//! Connection search hashes millions of small keys (edge-id arrays, node
+//! ids, `(root, edge-set)` pairs); SipHash's HashDoS protection is wasted
+//! work here because all keys are internally generated.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc FxHash implementation.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single 64-bit word mixed by rotate-xor-multiply.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf) ^ rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes a single value with FxHash; convenient for manual hash-consing.
+#[inline]
+pub fn fx_hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash_one(&[1u32, 2, 3]), fx_hash_one(&[1u32, 2, 3]));
+        assert_ne!(fx_hash_one(&[1u32, 2, 3]), fx_hash_one(&[1u32, 3, 2]));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+
+        let mut s: FxHashSet<Vec<u32>> = FxHashSet::default();
+        assert!(s.insert(vec![1, 2]));
+        assert!(!s.insert(vec![1, 2]));
+    }
+
+    #[test]
+    fn distributes_small_ints() {
+        // FxHash must not collapse consecutive integers onto the same
+        // bucket pattern; check the low bits vary.
+        let hashes: Vec<u64> = (0u64..64).map(|i| fx_hash_one(&i)).collect();
+        let distinct_low: FxHashSet<u64> = hashes.iter().map(|h| h & 0xff).collect();
+        assert!(distinct_low.len() > 32, "low byte should spread");
+    }
+
+    #[test]
+    fn write_paths_agree_on_prefixes() {
+        // Different-length byte strings must hash differently.
+        let mut a = FxHasher::default();
+        a.write(b"abc");
+        let mut b = FxHasher::default();
+        b.write(b"abc\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,274 @@
+//! Connected Dense Forest (CDF) graphs (paper Figure 9, §5.3), used to
+//! evaluate the extended query language end-to-end.
+//!
+//! A CDF has a *top forest* and a *bottom forest*, each `NT` disjoint
+//! complete binary trees of depth 3 (7 nodes, 6 edges). `NL` links, each
+//! of `SL` triples, connect eligible top leaves to eligible bottom
+//! leaves: a chain when `m = 2`, a Y-shaped connection to two bottom
+//! leaves when `m = 3`.
+//!
+//! Eligibility (paper): only top leaves that are targets of `c` edges
+//! participate, and links are concentrated on 50% of them. For `m = 2`
+//! only 50% of `g`-edge-target bottom leaves participate; for `m = 3`,
+//! 50% of all bottom leaves.
+
+use super::Workload;
+use crate::builder::GraphBuilder;
+use crate::ids::NodeId;
+use crate::model::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a CDF graph.
+#[derive(Debug, Clone, Copy)]
+pub struct CdfParams {
+    /// Arity of the benchmark CTP: 2 (chain links) or 3 (Y links).
+    pub m: usize,
+    /// Number of trees in each forest.
+    pub n_t: usize,
+    /// Number of links.
+    pub n_l: usize,
+    /// Triples per link.
+    pub s_l: usize,
+    /// RNG seed for link placement.
+    pub seed: u64,
+}
+
+/// A generated CDF graph plus the ground-truth link endpoints (one
+/// CTP answer per link).
+#[derive(Debug, Clone)]
+pub struct CdfGraph {
+    /// The data graph.
+    pub graph: Graph,
+    /// For each link: `[top_leaf, bottom_leaf]` (m=2) or
+    /// `[top_leaf, bottom_leaf_1, bottom_leaf_2]` (m=3).
+    pub links: Vec<Vec<NodeId>>,
+}
+
+impl CdfGraph {
+    /// Converts to a [`Workload`] whose seed sets are the distinct nodes
+    /// appearing in each link position.
+    pub fn workload(&self) -> Workload {
+        let m = self.links.first().map(Vec::len).unwrap_or(0);
+        let mut seeds = vec![Vec::new(); m];
+        for link in &self.links {
+            for (i, &n) in link.iter().enumerate() {
+                if !seeds[i].contains(&n) {
+                    seeds[i].push(n);
+                }
+            }
+        }
+        Workload {
+            graph: self.graph.clone(),
+            seeds,
+        }
+    }
+}
+
+struct Tree {
+    /// The 4 leaves in order [c-target, d-target, c-target, d-target].
+    leaves: [NodeId; 4],
+}
+
+/// Builds one complete depth-3 binary tree; `labels` = (level-1 pair,
+/// level-2 pair), e.g. `(("a","b"), ("c","d"))` for top trees.
+fn build_tree(
+    b: &mut GraphBuilder,
+    idx: usize,
+    forest: &str,
+    labels: ((&str, &str), (&str, &str)),
+) -> Tree {
+    let root = b.add_node(&format!("{forest}{idx}"));
+    let i1 = b.add_node(&format!("{forest}{idx}.L"));
+    let i2 = b.add_node(&format!("{forest}{idx}.R"));
+    b.add_edge(root, labels.0 .0, i1);
+    b.add_edge(root, labels.0 .1, i2);
+    let mut leaves = [root; 4];
+    for (k, (parent, suffix)) in [(i1, "LL"), (i1, "LR"), (i2, "RL"), (i2, "RR")]
+        .into_iter()
+        .enumerate()
+    {
+        let leaf = b.add_node(&format!("{forest}{idx}.{suffix}"));
+        let label = if k % 2 == 0 { labels.1 .0 } else { labels.1 .1 };
+        b.add_edge(parent, label, leaf);
+        leaves[k] = leaf;
+    }
+    Tree { leaves }
+}
+
+/// Generates a CDF graph.
+///
+/// # Panics
+/// Panics unless `m ∈ {2, 3}`, `n_t ≥ 1`, and `s_l ≥ 3` when `m = 3`
+/// (a Y needs a stem plus two arms) or `s_l ≥ 1` when `m = 2`.
+pub fn cdf(p: &CdfParams) -> CdfGraph {
+    assert!(p.m == 2 || p.m == 3, "CDF supports m in {{2,3}}");
+    assert!(p.n_t >= 1);
+    if p.m == 3 {
+        assert!(p.s_l >= 3, "Y-links need s_l >= 3");
+    } else {
+        assert!(p.s_l >= 1);
+    }
+
+    let mut b = GraphBuilder::new();
+    let mut rng = StdRng::seed_from_u64(p.seed);
+
+    let top: Vec<Tree> = (0..p.n_t)
+        .map(|i| build_tree(&mut b, i, "T", (("a", "b"), ("c", "d"))))
+        .collect();
+    let bottom: Vec<Tree> = (0..p.n_t)
+        .map(|i| build_tree(&mut b, i, "B", (("e", "f"), ("g", "h"))))
+        .collect();
+
+    // Eligible top leaves: c-targets are leaves 0 and 2; concentrate the
+    // links on 50% of them — the first c-target of each tree.
+    let top_eligible: Vec<NodeId> = top.iter().map(|t| t.leaves[0]).collect();
+    // Eligible bottom leaves.
+    let bottom_eligible: Vec<NodeId> = if p.m == 2 {
+        // 50% of g-targets (leaves 0 and 2): take leaf 0 of each tree.
+        bottom.iter().map(|t| t.leaves[0]).collect()
+    } else {
+        // 50% of all bottom leaves: take the g-targets (2 of 4 per tree),
+        // which are exactly the leaves reached by a `g` edge — matching
+        // the m=3 query's BGPs (v,"g",bl1),(v,"h",bl2) needing a g/h
+        // sibling pair under a shared parent.
+        bottom
+            .iter()
+            .flat_map(|t| [t.leaves[0], t.leaves[2]])
+            .collect()
+    };
+
+    let mut links = Vec::with_capacity(p.n_l);
+    let mut inter = 0usize;
+    for _ in 0..p.n_l {
+        let tl = top_eligible[rng.gen_range(0..top_eligible.len())];
+        if p.m == 2 {
+            // Chain of s_l edges: tl -> x1 -> ... -> bl.
+            let bl = bottom_eligible[rng.gen_range(0..bottom_eligible.len())];
+            let mut prev = tl;
+            for _ in 0..(p.s_l - 1) {
+                inter += 1;
+                let x = b.add_node(&format!("k{inter}"));
+                b.add_edge(prev, "link", x);
+                prev = x;
+            }
+            b.add_edge(prev, "link", bl);
+            links.push(vec![tl, bl]);
+        } else {
+            // Y: stem of s_l - 2 edges to a junction, then one edge to
+            // each of two bottom leaves that are g/h siblings (so the
+            // query's BGPs bind them under a common parent v).
+            let bi = rng.gen_range(0..bottom_eligible.len());
+            let bl1 = bottom_eligible[bi];
+            // The h-sibling of a g-target leaf is the next leaf index.
+            let tree_idx = bi / 2;
+            let leaf_slot = if bi % 2 == 0 { 1 } else { 3 };
+            let bl2 = bottom[tree_idx].leaves[leaf_slot];
+            let mut prev = tl;
+            for _ in 0..(p.s_l - 2) {
+                inter += 1;
+                let x = b.add_node(&format!("k{inter}"));
+                b.add_edge(prev, "link", x);
+                prev = x;
+            }
+            b.add_edge(prev, "link", bl1);
+            b.add_edge(prev, "link", bl2);
+            links.push(vec![tl, bl1, bl2]);
+        }
+    }
+
+    CdfGraph {
+        graph: b.freeze(),
+        links,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m2_counts_match_paper_formulas() {
+        let p = CdfParams {
+            m: 2,
+            n_t: 4,
+            n_l: 10,
+            s_l: 3,
+            seed: 1,
+        };
+        let g = cdf(&p);
+        // Edges: 12·NT + NL·SL.
+        assert_eq!(g.graph.edge_count(), 12 * 4 + 10 * 3);
+        // Nodes: 14·NT + NL·(SL-1).
+        assert_eq!(g.graph.node_count(), 14 * 4 + 10 * 2);
+        assert_eq!(g.links.len(), 10);
+    }
+
+    #[test]
+    fn m3_edge_count() {
+        let p = CdfParams {
+            m: 3,
+            n_t: 3,
+            n_l: 7,
+            s_l: 3,
+            seed: 2,
+        };
+        let g = cdf(&p);
+        assert_eq!(g.graph.edge_count(), 12 * 3 + 7 * 3);
+        assert_eq!(g.links.len(), 7);
+        for link in &g.links {
+            assert_eq!(link.len(), 3);
+            assert_ne!(link[1], link[2]);
+        }
+    }
+
+    #[test]
+    fn links_start_at_c_targets() {
+        let p = CdfParams {
+            m: 2,
+            n_t: 2,
+            n_l: 5,
+            s_l: 3,
+            seed: 3,
+        };
+        let g = cdf(&p);
+        let c = g.graph.label_id("c").unwrap();
+        for link in &g.links {
+            let tl = link[0];
+            let is_c_target = g
+                .graph
+                .incoming(tl)
+                .any(|a| g.graph.edge(a.edge).label == c);
+            assert!(is_c_target);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = CdfParams {
+            m: 2,
+            n_t: 3,
+            n_l: 8,
+            s_l: 4,
+            seed: 42,
+        };
+        let a = cdf(&p);
+        let b = cdf(&p);
+        assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn workload_groups_links() {
+        let p = CdfParams {
+            m: 3,
+            n_t: 2,
+            n_l: 4,
+            s_l: 3,
+            seed: 5,
+        };
+        let g = cdf(&p);
+        let w = g.workload();
+        assert_eq!(w.m(), 3);
+        assert!(!w.seeds[0].is_empty());
+    }
+}

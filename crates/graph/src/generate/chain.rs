@@ -1,0 +1,62 @@
+//! The "chain" graph of paper Figure 2: N+1 nodes in a line with two
+//! parallel edges (labelled `a` and `b`) between each consecutive pair.
+//!
+//! The CTP `(1, N+1, v3)` asking for all connections between the two end
+//! nodes has exactly `2^N` results — the paper's witness that complete
+//! CTP computation can be exponential, motivating CTP filters.
+
+use super::Workload;
+use crate::builder::GraphBuilder;
+
+/// Generates the chain with `n` node pairs (`n + 1` nodes, `2n` edges).
+/// Seeds are the two extremities.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chain(n: usize) -> Workload {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new();
+    let mut prev = b.add_node("1");
+    let first = prev;
+    for i in 1..=n {
+        let x = b.add_node(&(i + 1).to_string());
+        b.add_edge(prev, "a", x);
+        b.add_edge(prev, "b", x);
+        prev = x;
+    }
+    Workload {
+        graph: b.freeze(),
+        seeds: vec![vec![first], vec![prev]],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let w = chain(4);
+        assert_eq!(w.graph.node_count(), 5);
+        assert_eq!(w.graph.edge_count(), 8);
+        assert_eq!(w.m(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_have_different_labels() {
+        let w = chain(1);
+        let g = &w.graph;
+        let a = g.label_id("a").unwrap();
+        let b = g.label_id("b").unwrap();
+        assert_eq!(g.edges_with_label(a).len(), 1);
+        assert_eq!(g.edges_with_label(b).len(), 1);
+    }
+
+    #[test]
+    fn end_nodes_are_seeds() {
+        let w = chain(3);
+        let g = &w.graph;
+        assert_eq!(g.node_label(w.seeds[0][0]), "1");
+        assert_eq!(g.node_label(w.seeds[1][0]), "4");
+    }
+}

@@ -1,0 +1,115 @@
+//! Comb graphs (paper Figure 8, top left): a main line of `nA` anchor
+//! seeds, each with a lateral *bristle* of `nS` segments; each segment
+//! has `sL` edges and ends in another seed. `dBA` intermediate nodes
+//! separate successive anchors on the main line.
+//!
+//! Number of seeds: `m = nA · (nS + 1)`.
+
+use super::{seed_label, Workload};
+use crate::builder::GraphBuilder;
+
+/// Generates `Comb(n_a, n_s, s_l, d_ba)`.
+///
+/// Seeds are labelled `A`, `B`, … in order: anchors first along the main
+/// line interleaved with their bristle seeds (anchor 0, its bristle
+/// seeds, anchor 1, …). All edges are labelled `r`.
+///
+/// # Panics
+/// Panics if `n_a < 2` (need at least two anchors for a line),
+/// `s_l == 0`, or the total seed count is below 2.
+pub fn comb(n_a: usize, n_s: usize, s_l: usize, d_ba: usize) -> Workload {
+    assert!(n_a >= 2, "a Comb needs at least 2 anchors");
+    assert!(s_l >= 1, "bristle segments need at least one edge");
+    let m = n_a * (n_s + 1);
+    assert!(m >= 2);
+
+    let mut b = GraphBuilder::new();
+    let mut seeds = Vec::with_capacity(m);
+    let mut inter = 0usize;
+    let mut seed_idx = 0usize;
+    let mut prev_anchor = None;
+
+    for _ in 0..n_a {
+        // Anchor seed on the main line.
+        let anchor = b.add_node(&seed_label(seed_idx));
+        seed_idx += 1;
+        seeds.push(vec![anchor]);
+        if let Some(pa) = prev_anchor {
+            // Main-line connection: d_ba intermediates between anchors.
+            let mut prev = pa;
+            for _ in 0..d_ba {
+                inter += 1;
+                let x = b.add_node(&inter.to_string());
+                b.add_edge(prev, "r", x);
+                prev = x;
+            }
+            b.add_edge(prev, "r", anchor);
+        }
+        prev_anchor = Some(anchor);
+
+        // The bristle: n_s segments of s_l edges, each ending in a seed.
+        let mut prev = anchor;
+        for _ in 0..n_s {
+            for _ in 0..(s_l - 1) {
+                inter += 1;
+                let x = b.add_node(&inter.to_string());
+                b.add_edge(prev, "r", x);
+                prev = x;
+            }
+            let seg_seed = b.add_node(&seed_label(seed_idx));
+            seed_idx += 1;
+            b.add_edge(prev, "r", seg_seed);
+            seeds.push(vec![seg_seed]);
+            prev = seg_seed;
+        }
+    }
+
+    Workload {
+        graph: b.freeze(),
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_count_formula() {
+        for (na, ns) in [(2, 1), (3, 1), (4, 2), (6, 2)] {
+            let w = comb(na, ns, 2, 1);
+            assert_eq!(w.m(), na * (ns + 1), "nA={na} nS={ns}");
+        }
+    }
+
+    #[test]
+    fn figure8_comb() {
+        // Comb(3, 1, 2, 3): 3 anchors, 1 segment each of 2 edges,
+        // 3 intermediates between anchors.
+        let w = comb(3, 1, 2, 3);
+        assert_eq!(w.m(), 6);
+        // Nodes: 6 seeds + 2*(3 between-anchor intermediates)
+        //        + 3 bristles * 1 intermediate (sL-1) = 6 + 6 + 3 = 15.
+        assert_eq!(w.graph.node_count(), 15);
+        // Edges: main line 2*(3+1) + bristles 3*2 = 14.
+        assert_eq!(w.graph.edge_count(), 14);
+    }
+
+    #[test]
+    fn connected_and_tree_shaped() {
+        let w = comb(4, 2, 3, 1);
+        let g = &w.graph;
+        // A comb is a tree: |E| = |N| - 1.
+        assert_eq!(g.edge_count(), g.node_count() - 1);
+    }
+
+    #[test]
+    fn anchors_have_bristles() {
+        let w = comb(2, 1, 1, 0);
+        let g = &w.graph;
+        // Anchor A connects to B's anchor and its bristle seed: degree 2;
+        // bristle ends are leaves.
+        let a = g.node_by_label("A").unwrap();
+        assert_eq!(g.degree(a), 2);
+    }
+}

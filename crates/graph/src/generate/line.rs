@@ -1,0 +1,84 @@
+//! Line graphs (paper Figure 8, bottom): `Line(m, nL)` has m seeds, each
+//! connected to the next by `nL` intermediary nodes, i.e. `sL = nL + 1`
+//! edges per seed-to-seed segment.
+//!
+//! The topology minimises the number of subtrees for a given number of
+//! edges and seeds: O((m·nL)^2) subtrees (§5.3).
+
+use super::{seed_label, Workload};
+use crate::builder::GraphBuilder;
+
+/// Generates `Line(m, n_l)`. Seeds are labelled `A`, `B`, …; intermediate
+/// nodes `1`, `2`, …; every edge is labelled `r` and oriented from the
+/// `A` end towards the far end.
+///
+/// # Panics
+/// Panics if `m < 2`.
+pub fn line(m: usize, n_l: usize) -> Workload {
+    assert!(m >= 2, "a Line graph needs at least 2 seeds");
+    let mut b = GraphBuilder::new();
+    let mut seeds = Vec::with_capacity(m);
+    let mut inter = 0usize;
+
+    let mut prev = b.add_node(&seed_label(0));
+    seeds.push(vec![prev]);
+    for s in 1..m {
+        for _ in 0..n_l {
+            inter += 1;
+            let x = b.add_node(&inter.to_string());
+            b.add_edge(prev, "r", x);
+            prev = x;
+        }
+        let seed = b.add_node(&seed_label(s));
+        b.add_edge(prev, "r", seed);
+        seeds.push(vec![seed]);
+        prev = seed;
+    }
+
+    Workload {
+        graph: b.freeze(),
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        // Line(3, 1): A-1-B-2-C → 5 nodes, 4 edges, sL = 2.
+        let w = line(3, 1);
+        assert_eq!(w.graph.node_count(), 5);
+        assert_eq!(w.graph.edge_count(), 4);
+        assert_eq!(w.m(), 3);
+    }
+
+    #[test]
+    fn zero_intermediaries() {
+        // Line(4, 0): A-B-C-D.
+        let w = line(4, 0);
+        assert_eq!(w.graph.node_count(), 4);
+        assert_eq!(w.graph.edge_count(), 3);
+    }
+
+    #[test]
+    fn path_structure() {
+        let w = line(5, 3);
+        let g = &w.graph;
+        // Exactly two degree-1 nodes (the extremities), everything else
+        // degree 2.
+        let deg1 = g.node_ids().filter(|&n| g.degree(n) == 1).count();
+        let deg2 = g.node_ids().filter(|&n| g.degree(n) == 2).count();
+        assert_eq!(deg1, 2);
+        assert_eq!(deg2, g.node_count() - 2);
+    }
+
+    #[test]
+    fn seed_nodes_carry_seed_labels() {
+        let w = line(3, 2);
+        let g = &w.graph;
+        assert_eq!(g.node_label(w.seeds[0][0]), "A");
+        assert_eq!(g.node_label(w.seeds[2][0]), "C");
+    }
+}

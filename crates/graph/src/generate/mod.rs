@@ -1,0 +1,65 @@
+//! Parameterised graph generators for the paper's synthetic benchmarks
+//! (§5.3, Figures 2, 8, 9) plus random graphs for property-based tests
+//! and scale-free / typed-entity graphs substituting for the paper's
+//! DBPedia and YAGO3 subsets (see DESIGN.md §2).
+
+mod cdf;
+mod chain;
+mod comb;
+mod line;
+mod random;
+mod scale_free;
+mod star;
+mod yago_like;
+
+pub use cdf::{cdf, CdfParams};
+pub use chain::chain;
+pub use comb::comb;
+pub use line::line;
+pub use random::{gnp, random_connected};
+pub use scale_free::{sample_ctp_seeds, scale_free, ScaleFreeParams};
+pub use star::star;
+pub use yago_like::{yago_like, YagoLikeParams};
+
+use crate::ids::NodeId;
+use crate::model::Graph;
+
+/// A generated graph together with the seed sets of the benchmark CTP
+/// defined on it (each synthetic benchmark in the paper runs "a CTP
+/// defined by the m seeds").
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The data graph.
+    pub graph: Graph,
+    /// One seed set per CTP position; in the synthetic benchmarks each
+    /// has size 1.
+    pub seeds: Vec<Vec<NodeId>>,
+}
+
+impl Workload {
+    /// Number of seed sets m.
+    pub fn m(&self) -> usize {
+        self.seeds.len()
+    }
+}
+
+/// Label for the i-th seed: `A`, `B`, …, `Z`, `S26`, `S27`, …
+pub(crate) fn seed_label(i: usize) -> String {
+    if i < 26 {
+        ((b'A' + i as u8) as char).to_string()
+    } else {
+        format!("S{i}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_labels() {
+        assert_eq!(seed_label(0), "A");
+        assert_eq!(seed_label(25), "Z");
+        assert_eq!(seed_label(26), "S26");
+    }
+}

@@ -1,0 +1,104 @@
+//! Random graphs for property-based testing of the search algorithms.
+//!
+//! Completeness properties (P3, P8, …) are checked by comparing a
+//! pruned algorithm's result set against the exhaustive BFT reference on
+//! many small random graphs; these generators provide them with
+//! deterministic seeds.
+
+use crate::builder::GraphBuilder;
+use crate::ids::NodeId;
+use crate::model::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each ordered pair gets a directed edge with
+/// probability `p`. Labels: nodes `n0..`, edges sampled from a small
+/// vocabulary (`r0..r3`) so LABEL filters have something to select.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("n{i}"))).collect();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(p) {
+                let l = format!("r{}", rng.gen_range(0..4u8));
+                b.add_edge(nodes[i], &l, nodes[j]);
+            }
+        }
+    }
+    b.freeze()
+}
+
+/// A connected random graph: a uniformly random spanning tree plus
+/// `extra` additional random edges (possibly parallel). Guaranteed
+/// connected, so CTPs on it always have at least one result.
+pub fn random_connected(n: usize, extra: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(&format!("n{i}"))).collect();
+    // Random attachment tree: node i attaches to a uniform predecessor.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        let l = format!("r{}", rng.gen_range(0..4u8));
+        // Random orientation (the CTP semantics are direction-blind).
+        if rng.gen_bool(0.5) {
+            b.add_edge(nodes[j], &l, nodes[i]);
+        } else {
+            b.add_edge(nodes[i], &l, nodes[j]);
+        }
+    }
+    for _ in 0..extra {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..n);
+        if i == j {
+            continue;
+        }
+        let l = format!("r{}", rng.gen_range(0..4u8));
+        b.add_edge(nodes[i], &l, nodes[j]);
+    }
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_determinism() {
+        let a = gnp(20, 0.2, 7);
+        let b = gnp(20, 0.2, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.node_count(), 20);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(5, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(5, 1.0, 1).edge_count(), 20); // n(n-1)
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let g = random_connected(30, 10, 3);
+        // BFS over undirected adjacency must reach all nodes.
+        let mut seen = vec![false; g.node_count()];
+        let mut stack = vec![crate::ids::NodeId(0)];
+        seen[0] = true;
+        while let Some(n) = stack.pop() {
+            for a in g.adjacent(n) {
+                if !seen[a.other.index()] {
+                    seen[a.other.index()] = true;
+                    stack.push(a.other);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_connected_min_edges() {
+        let g = random_connected(10, 0, 5);
+        assert_eq!(g.edge_count(), 9);
+    }
+}

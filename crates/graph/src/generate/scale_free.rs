@@ -1,0 +1,208 @@
+//! Scale-free labelled graphs substituting for the paper's 18M-triple
+//! DBPedia subset (Fig. 12), plus CTP workload sampling substituting for
+//! the 312 QGSTP keyword queries.
+//!
+//! Real knowledge graphs have heavy-tailed degree distributions; we use
+//! Barabási–Albert preferential attachment, with edge labels drawn from
+//! a Zipf-like distribution over a configurable vocabulary (a handful of
+//! labels cover most triples, as in DBPedia), and node types likewise.
+
+use super::Workload;
+use crate::builder::GraphBuilder;
+use crate::ids::NodeId;
+use crate::model::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`scale_free`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleFreeParams {
+    /// Total number of nodes.
+    pub nodes: usize,
+    /// Edges attached per arriving node (BA parameter).
+    pub edges_per_node: usize,
+    /// Size of the edge-label vocabulary.
+    pub labels: usize,
+    /// Size of the node-type vocabulary.
+    pub types: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleFreeParams {
+    fn default() -> Self {
+        ScaleFreeParams {
+            nodes: 10_000,
+            edges_per_node: 3,
+            labels: 50,
+            types: 20,
+            seed: 0xDB9ED1A,
+        }
+    }
+}
+
+/// Zipf-ish index sampler: picks `i` with probability ∝ 1/(i+1).
+fn zipf(rng: &mut StdRng, n: usize) -> usize {
+    // Inverse-CDF on harmonic weights, O(n) precompute avoided by
+    // rejection from a log-uniform proposal; for small vocabularies a
+    // simple cumulative scan is fine and exact.
+    debug_assert!(n >= 1);
+    let h: f64 = (1..=n).map(|i| 1.0 / i as f64).sum();
+    let mut u = rng.gen::<f64>() * h;
+    for i in 0..n {
+        u -= 1.0 / (i + 1) as f64;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generates a scale-free labelled graph via preferential attachment.
+///
+/// Each arriving node connects to `edges_per_node` targets chosen
+/// proportionally to current degree (with random edge direction), gets a
+/// label `v<i>`, and one type drawn Zipf-style from the type vocabulary.
+pub fn scale_free(p: &ScaleFreeParams) -> Graph {
+    assert!(p.nodes >= 2 && p.edges_per_node >= 1 && p.labels >= 1 && p.types >= 1);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let mut b = GraphBuilder::with_capacity(p.nodes, p.nodes * p.edges_per_node);
+
+    let type_names: Vec<String> = (0..p.types).map(|i| format!("type{i}")).collect();
+    let label_names: Vec<String> = (0..p.labels).map(|i| format!("rel{i}")).collect();
+
+    // `targets` holds one entry per edge endpoint: sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut targets: Vec<NodeId> = Vec::with_capacity(2 * p.nodes * p.edges_per_node);
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(p.nodes);
+
+    for i in 0..p.nodes {
+        let ty = &type_names[zipf(&mut rng, p.types)];
+        let n = b.add_typed_node(&format!("v{i}"), &[ty]);
+        nodes.push(n);
+        if i == 0 {
+            continue;
+        }
+        let k = p.edges_per_node.min(i);
+        for _ in 0..k {
+            let peer = if targets.is_empty() || rng.gen_bool(0.1) {
+                // Small uniform component keeps early graphs connected
+                // and adds label heterogeneity.
+                nodes[rng.gen_range(0..i)]
+            } else {
+                targets[rng.gen_range(0..targets.len())]
+            };
+            if peer == n {
+                continue;
+            }
+            let l = &label_names[zipf(&mut rng, p.labels)];
+            if rng.gen_bool(0.5) {
+                b.add_edge(n, l, peer);
+            } else {
+                b.add_edge(peer, l, n);
+            }
+            targets.push(n);
+            targets.push(peer);
+        }
+    }
+    b.freeze()
+}
+
+/// Samples a CTP workload on an arbitrary graph: `m` singleton seed sets
+/// whose nodes lie within `radius` (undirected) hops of a random centre,
+/// guaranteeing connecting trees exist nearby. Returns `None` if the
+/// centre's `radius`-ball holds fewer than `m` distinct nodes.
+pub fn sample_ctp_seeds(g: &Graph, m: usize, radius: usize, rng: &mut StdRng) -> Option<Workload> {
+    assert!(m >= 2);
+    let centre = NodeId::new(rng.gen_range(0..g.node_count()));
+    // BFS ball around the centre.
+    let mut ball = vec![centre];
+    let mut seen = vec![false; g.node_count()];
+    seen[centre.index()] = true;
+    let mut frontier = vec![centre];
+    for _ in 0..radius {
+        let mut next = Vec::new();
+        for &n in &frontier {
+            for a in g.adjacent(n) {
+                if !seen[a.other.index()] {
+                    seen[a.other.index()] = true;
+                    next.push(a.other);
+                    ball.push(a.other);
+                }
+            }
+        }
+        frontier = next;
+    }
+    if ball.len() < m {
+        return None;
+    }
+    // Draw m distinct nodes from the ball.
+    let mut picked = Vec::with_capacity(m);
+    while picked.len() < m {
+        let n = ball[rng.gen_range(0..ball.len())];
+        if !picked.contains(&n) {
+            picked.push(n);
+        }
+    }
+    Some(Workload {
+        graph: g.clone(),
+        seeds: picked.into_iter().map(|n| vec![n]).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScaleFreeParams {
+        ScaleFreeParams {
+            nodes: 500,
+            edges_per_node: 3,
+            labels: 10,
+            types: 5,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = scale_free(&small());
+        let b = scale_free(&small());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+
+    #[test]
+    fn heavy_tail() {
+        let g = scale_free(&small());
+        let max_deg = g.node_ids().map(|n| g.degree(n)).max().unwrap();
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        // A hub should far exceed the average degree.
+        assert!(
+            max_deg as f64 > 4.0 * avg,
+            "max {max_deg} vs avg {avg:.1}: not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn labels_zipf_skewed() {
+        let g = scale_free(&small());
+        let rel0 = g.label_id("rel0").unwrap();
+        let rel9 = g.label_id("rel9");
+        let n0 = g.edges_with_label(rel0).len();
+        let n9 = rel9.map(|l| g.edges_with_label(l).len()).unwrap_or(0);
+        assert!(n0 > n9, "rel0 ({n0}) should dominate rel9 ({n9})");
+    }
+
+    #[test]
+    fn workload_sampling() {
+        let g = scale_free(&small());
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = sample_ctp_seeds(&g, 3, 3, &mut rng).expect("ball big enough");
+        assert_eq!(w.m(), 3);
+        let all: Vec<_> = w.seeds.iter().map(|s| s[0]).collect();
+        assert_eq!(
+            all.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Star graphs (paper Figure 8, top right): `Star(m, sL)` has a central
+//! node connected to each of the m seeds by a line of `sL` edges.
+//!
+//! The topology maximises subtree blow-up: O(2^m · sL^2) subtrees (§5.3),
+//! and its unique CTP result is a `(m, centre)` rooted merge — the case
+//! where LESP's pruning protection matters (§4.6).
+
+use super::{seed_label, Workload};
+use crate::builder::GraphBuilder;
+
+/// Generates `Star(m, s_l)`. The centre is labelled `x`; branch
+/// intermediates are numbered; edges are labelled `r` and oriented from
+/// the centre outwards.
+///
+/// # Panics
+/// Panics if `m < 2` or `s_l == 0`.
+pub fn star(m: usize, s_l: usize) -> Workload {
+    assert!(m >= 2, "a Star graph needs at least 2 seeds");
+    assert!(s_l >= 1, "branches need at least one edge");
+    let mut b = GraphBuilder::new();
+    let centre = b.add_node("x");
+    let mut seeds = Vec::with_capacity(m);
+    let mut inter = 0usize;
+
+    for s in 0..m {
+        let mut prev = centre;
+        for _ in 0..(s_l - 1) {
+            inter += 1;
+            let x = b.add_node(&inter.to_string());
+            b.add_edge(prev, "r", x);
+            prev = x;
+        }
+        let seed = b.add_node(&seed_label(s));
+        b.add_edge(prev, "r", seed);
+        seeds.push(vec![seed]);
+    }
+
+    Workload {
+        graph: b.freeze(),
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        // Star(4, 2) as in Figure 8: centre + 4 branches of 2 edges
+        // = 1 + 4*2 nodes, 8 edges.
+        let w = star(4, 2);
+        assert_eq!(w.graph.node_count(), 9);
+        assert_eq!(w.graph.edge_count(), 8);
+        assert_eq!(w.m(), 4);
+    }
+
+    #[test]
+    fn centre_degree_is_m() {
+        let w = star(5, 3);
+        let g = &w.graph;
+        let centre = g.node_by_label("x").unwrap();
+        assert_eq!(g.degree(centre), 5);
+    }
+
+    #[test]
+    fn seeds_are_leaves() {
+        let w = star(3, 2);
+        let g = &w.graph;
+        for s in &w.seeds {
+            assert_eq!(g.degree(s[0]), 1);
+        }
+    }
+
+    #[test]
+    fn sl_one_connects_seeds_directly() {
+        let w = star(3, 1);
+        assert_eq!(w.graph.node_count(), 4);
+        assert_eq!(w.graph.edge_count(), 3);
+    }
+}

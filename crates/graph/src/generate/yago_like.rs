@@ -1,0 +1,164 @@
+//! A typed-entity knowledge graph substituting for the paper's 6M-triple
+//! YAGO3 subset (Table 1).
+//!
+//! The graph has four entity strata — places, organisations, works, and
+//! a (much larger) person stratum — wired with typed relations. What
+//! Table 1 stresses is *seed-set cardinality*: query J2 has one very
+//! large seed set (here: all persons), and J3 has an `N` seed set (all
+//! nodes). The person stratum is deliberately the dominant share of the
+//! graph so those cardinality ratios match the experiment's intent.
+
+use crate::builder::GraphBuilder;
+use crate::model::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`yago_like`].
+#[derive(Debug, Clone, Copy)]
+pub struct YagoLikeParams {
+    /// Number of person entities (the large stratum).
+    pub persons: usize,
+    /// Number of organisations.
+    pub organisations: usize,
+    /// Number of places.
+    pub places: usize,
+    /// Number of creative works.
+    pub works: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for YagoLikeParams {
+    fn default() -> Self {
+        YagoLikeParams {
+            persons: 20_000,
+            organisations: 1_000,
+            places: 300,
+            works: 3_000,
+            seed: 0x9A90,
+        }
+    }
+}
+
+/// Generates the typed entity graph. Relations (all directed):
+///
+/// * `bornIn`, `livesIn`: person → place
+/// * `citizenOf`: person → place (country-ish subset)
+/// * `worksFor`: person → organisation
+/// * `created`: person → work
+/// * `knows`, `marriedTo`: person → person
+/// * `locatedIn`: organisation → place
+/// * `about`: work → place
+pub fn yago_like(p: &YagoLikeParams) -> Graph {
+    assert!(p.persons >= 10 && p.organisations >= 2 && p.places >= 2 && p.works >= 2);
+    let mut rng = StdRng::seed_from_u64(p.seed);
+    let est_edges = p.persons * 5 + p.organisations + p.works;
+    let mut b =
+        GraphBuilder::with_capacity(p.persons + p.organisations + p.places + p.works, est_edges);
+
+    let places: Vec<_> = (0..p.places)
+        .map(|i| b.add_typed_node(&format!("place{i}"), &["place"]))
+        .collect();
+    // The first 10% of places act as countries for citizenOf.
+    let countries = &places[..(p.places / 10).max(1)];
+    let orgs: Vec<_> = (0..p.organisations)
+        .map(|i| b.add_typed_node(&format!("org{i}"), &["organisation"]))
+        .collect();
+    let works: Vec<_> = (0..p.works)
+        .map(|i| b.add_typed_node(&format!("work{i}"), &["work"]))
+        .collect();
+    let persons: Vec<_> = (0..p.persons)
+        .map(|i| b.add_typed_node(&format!("person{i}"), &["person"]))
+        .collect();
+
+    for &o in &orgs {
+        let pl = places[rng.gen_range(0..places.len())];
+        b.add_edge(o, "locatedIn", pl);
+    }
+    for &w in &works {
+        if rng.gen_bool(0.5) {
+            let pl = places[rng.gen_range(0..places.len())];
+            b.add_edge(w, "about", pl);
+        }
+    }
+    for (i, &pe) in persons.iter().enumerate() {
+        b.add_edge(pe, "bornIn", places[rng.gen_range(0..places.len())]);
+        if rng.gen_bool(0.8) {
+            b.add_edge(pe, "livesIn", places[rng.gen_range(0..places.len())]);
+        }
+        b.add_edge(
+            pe,
+            "citizenOf",
+            countries[rng.gen_range(0..countries.len())],
+        );
+        if rng.gen_bool(0.7) {
+            b.add_edge(pe, "worksFor", orgs[rng.gen_range(0..orgs.len())]);
+        }
+        if rng.gen_bool(0.3) {
+            b.add_edge(pe, "created", works[rng.gen_range(0..works.len())]);
+        }
+        // Social edges to earlier persons (preferential-ish: earlier
+        // persons accumulate more `knows` in-edges).
+        if i > 0 {
+            let friends = rng.gen_range(0..3);
+            for _ in 0..friends {
+                let j = rng.gen_range(0..i);
+                b.add_edge(pe, "knows", persons[j]);
+            }
+            if rng.gen_bool(0.2) {
+                let j = rng.gen_range(0..i);
+                b.add_edge(pe, "marriedTo", persons[j]);
+            }
+        }
+    }
+    b.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> YagoLikeParams {
+        YagoLikeParams {
+            persons: 400,
+            organisations: 30,
+            places: 20,
+            works: 50,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn strata_sizes() {
+        let g = yago_like(&small());
+        let person = g.label_id("person").unwrap();
+        let org = g.label_id("organisation").unwrap();
+        assert_eq!(g.nodes_with_type(person).len(), 400);
+        assert_eq!(g.nodes_with_type(org).len(), 30);
+    }
+
+    #[test]
+    fn person_stratum_dominates() {
+        let g = yago_like(&small());
+        let person = g.label_id("person").unwrap();
+        assert!(g.nodes_with_type(person).len() * 2 > g.node_count());
+    }
+
+    #[test]
+    fn relations_typed_correctly() {
+        let g = yago_like(&small());
+        let born = g.label_id("bornIn").unwrap();
+        for &e in g.edges_with_label(born) {
+            let ed = g.edge(e);
+            assert!(g.node_types(ed.src).any(|t| t == "person"));
+            assert!(g.node_types(ed.dst).any(|t| t == "place"));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = yago_like(&small());
+        let b = yago_like(&small());
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

@@ -1,0 +1,96 @@
+//! Compact integer identifiers for graph entities.
+//!
+//! All identifiers are `u32` newtypes: graphs with up to 4 billion nodes,
+//! edges, or distinct labels are supported, while halving the memory
+//! footprint of adjacency lists and tree edge sets compared to `usize`
+//! on 64-bit platforms (see the type-sizes guidance in the Rust
+//! Performance Book).
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            ///
+            /// # Panics
+            /// Panics if `idx` does not fit in `u32`.
+            #[inline]
+            pub fn new(idx: usize) -> Self {
+                debug_assert!(idx <= u32::MAX as usize, "identifier overflow");
+                $name(idx as u32)
+            }
+
+            /// Returns the identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(v: u32) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a node in a [`crate::Graph`].
+    NodeId,
+    "n"
+);
+id_type!(
+    /// Identifier of an edge in a [`crate::Graph`].
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifier of an interned label string.
+    LabelId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n, NodeId(42));
+        assert_eq!(format!("{n:?}"), "n42");
+        assert_eq!(format!("{n}"), "42");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(EdgeId(1) < EdgeId(2));
+        assert!(LabelId(0) < LabelId(10));
+    }
+
+    #[test]
+    fn from_u32() {
+        let e: EdgeId = 7u32.into();
+        assert_eq!(e, EdgeId(7));
+    }
+}

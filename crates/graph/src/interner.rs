@@ -1,0 +1,124 @@
+//! String interning for node/edge labels, type names, and property keys.
+//!
+//! Graph workloads repeat a small vocabulary of labels across millions of
+//! edges; interning turns label comparisons into `u32` compares and keeps
+//! the [`crate::Graph`] representation compact.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::LabelId;
+use std::sync::Arc;
+
+/// Interns strings, handing out stable [`LabelId`]s.
+///
+/// The empty label `""` is always interned as [`Interner::EMPTY`]
+/// (the paper's ε label, Def. 2.1).
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    map: FxHashMap<Arc<str>, LabelId>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    /// The id of the empty label ε.
+    pub const EMPTY: LabelId = LabelId(0);
+
+    /// Creates an interner with ε pre-interned at id 0.
+    pub fn new() -> Self {
+        let mut this = Interner {
+            map: FxHashMap::default(),
+            strings: Vec::new(),
+        };
+        let eps = this.intern("");
+        debug_assert_eq!(eps, Self::EMPTY);
+        this
+    }
+
+    /// Interns `s`, returning its id (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> LabelId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = LabelId::new(self.strings.len());
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.push(arc.clone());
+        self.map.insert(arc, id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<LabelId> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// Number of distinct interned strings (including ε).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if only ε is interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.len() <= 1
+    }
+
+    /// Iterates over `(id, string)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (LabelId::new(i), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_label_is_zero() {
+        let i = Interner::new();
+        assert_eq!(i.get(""), Some(Interner::EMPTY));
+        assert_eq!(i.resolve(Interner::EMPTY), "");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("citizenOf");
+        let b = i.intern("citizenOf");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "citizenOf");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("founded");
+        let b = i.intern("investsIn");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let all: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(all, vec!["", "a", "b"]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cs-graph — graph substrate for connection search
+//!
+//! The data-model layer of the *Integrating Connection Search in Graph
+//! Queries* reproduction: an immutable labelled multigraph (paper
+//! Def. 2.1) with bidirectional adjacency, the node/edge predicate
+//! language (Def. 2.2), a triple-format loader, workload generators for
+//! every synthetic benchmark in the paper's evaluation, and the Figure 1
+//! running example.
+//!
+//! ```
+//! use cs_graph::{figure1, Predicate, matching_nodes};
+//! let g = figure1();
+//! let pols = matching_nodes(&g, &Predicate::typed("politician"));
+//! assert_eq!(pols.len(), 2); // Elon, Falcon
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binfmt;
+mod builder;
+pub mod figure1;
+pub mod fxhash;
+pub mod generate;
+mod ids;
+mod interner;
+mod model;
+pub mod ntriples;
+mod predicate;
+pub mod stats;
+pub mod subgraph;
+mod value;
+
+pub use builder::GraphBuilder;
+pub use figure1::figure1;
+pub use ids::{EdgeId, LabelId, NodeId};
+pub use interner::Interner;
+pub use model::{Adj, EdgeData, Graph, NodeData};
+pub use predicate::{glob_match, matching_nodes, CmpOp, Condition, Predicate, PropRef};
+pub use subgraph::extract_subgraph;
+pub use value::Value;

@@ -1,0 +1,289 @@
+//! The immutable labelled multigraph (paper Def. 2.1).
+//!
+//! A graph `G(N, E)` has labelled nodes and labelled directed edges; the
+//! CTP semantics traverse edges in *both* directions (requirement R3), so
+//! the adjacency representation stores, for every node, all incident
+//! edges regardless of direction together with a direction flag.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::{EdgeId, LabelId, NodeId};
+use crate::interner::Interner;
+use crate::value::Value;
+
+/// Per-node payload: label, zero or more types, sparse properties.
+#[derive(Debug, Clone)]
+pub struct NodeData {
+    /// The node label (ε if unlabelled).
+    pub label: LabelId,
+    /// RDF types / PG labels of the node (paper: "an RDF node may have 0
+    /// or more types").
+    pub types: Box<[LabelId]>,
+    /// Additional properties, sorted by key.
+    pub props: Box<[(LabelId, Value)]>,
+}
+
+/// Per-edge payload: endpoints, label, sparse properties.
+#[derive(Debug, Clone)]
+pub struct EdgeData {
+    /// Source node.
+    pub src: NodeId,
+    /// Target node.
+    pub dst: NodeId,
+    /// Edge label (ε if unlabelled).
+    pub label: LabelId,
+    /// Additional properties, sorted by key.
+    pub props: Box<[(LabelId, Value)]>,
+}
+
+/// One entry of a node's combined (bidirectional) adjacency list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Adj {
+    /// The incident edge.
+    pub edge: EdgeId,
+    /// The endpoint on the far side (equals the node itself for loops).
+    pub other: NodeId,
+    /// True if the edge leaves this node (`src == this`), false if it
+    /// enters it. A self-loop appears twice, once per direction.
+    pub outgoing: bool,
+}
+
+/// An immutable labelled multigraph with bidirectional adjacency and
+/// label/type indexes.
+///
+/// Construct with [`crate::GraphBuilder`]; once frozen, a `Graph` is
+/// `Send + Sync` and safely shared across search threads.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    pub(crate) interner: Interner,
+    pub(crate) nodes: Vec<NodeData>,
+    pub(crate) edges: Vec<EdgeData>,
+    pub(crate) adj: Vec<Box<[Adj]>>,
+    pub(crate) edges_by_label: FxHashMap<LabelId, Vec<EdgeId>>,
+    pub(crate) nodes_by_label: FxHashMap<LabelId, Vec<NodeId>>,
+    pub(crate) nodes_by_type: FxHashMap<LabelId, Vec<NodeId>>,
+}
+
+impl Graph {
+    /// Number of nodes |N|.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges |E|.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::new)
+    }
+
+    /// Node payload.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &NodeData {
+        &self.nodes[n.index()]
+    }
+
+    /// Edge payload.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        &self.edges[e.index()]
+    }
+
+    /// The combined (both-direction) adjacency list of `n`.
+    #[inline]
+    pub fn adjacent(&self, n: NodeId) -> &[Adj] {
+        &self.adj[n.index()]
+    }
+
+    /// The number of incident edges `d_n` (paper §4.6); loops count twice.
+    #[inline]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Outgoing incident entries only.
+    pub fn outgoing(&self, n: NodeId) -> impl Iterator<Item = &Adj> {
+        self.adjacent(n).iter().filter(|a| a.outgoing)
+    }
+
+    /// Incoming incident entries only.
+    pub fn incoming(&self, n: NodeId) -> impl Iterator<Item = &Adj> {
+        self.adjacent(n).iter().filter(|a| !a.outgoing)
+    }
+
+    /// Given an edge and one of its endpoints, returns the other endpoint.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `n` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, n: NodeId) -> NodeId {
+        let ed = self.edge(e);
+        debug_assert!(ed.src == n || ed.dst == n, "{n:?} not an endpoint of {e:?}");
+        if ed.src == n {
+            ed.dst
+        } else {
+            ed.src
+        }
+    }
+
+    /// The label string of a node.
+    pub fn node_label(&self, n: NodeId) -> &str {
+        self.interner.resolve(self.node(n).label)
+    }
+
+    /// The label string of an edge.
+    pub fn edge_label(&self, e: EdgeId) -> &str {
+        self.interner.resolve(self.edge(e).label)
+    }
+
+    /// The type strings of a node.
+    pub fn node_types(&self, n: NodeId) -> impl Iterator<Item = &str> {
+        self.node(n).types.iter().map(|&t| self.interner.resolve(t))
+    }
+
+    /// Looks up an interned label id without inserting.
+    pub fn label_id(&self, s: &str) -> Option<LabelId> {
+        self.interner.get(s)
+    }
+
+    /// Resolves a label id to its string.
+    pub fn resolve(&self, l: LabelId) -> &str {
+        self.interner.resolve(l)
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// All edges carrying label `l` (empty slice if none).
+    pub fn edges_with_label(&self, l: LabelId) -> &[EdgeId] {
+        self.edges_by_label
+            .get(&l)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All nodes carrying label `l` (empty slice if none).
+    pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
+        self.nodes_by_label
+            .get(&l)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All nodes having type `t` (empty slice if none).
+    pub fn nodes_with_type(&self, t: LabelId) -> &[NodeId] {
+        self.nodes_by_type.get(&t).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Finds a node by its exact label string — convenient in tests and
+    /// examples where labels are unique.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        let l = self.interner.get(label)?;
+        self.nodes_with_label(l).first().copied()
+    }
+
+    /// Looks up a node property value by key string.
+    pub fn node_prop(&self, n: NodeId, key: &str) -> Option<&Value> {
+        let k = self.interner.get(key)?;
+        lookup_prop(&self.node(n).props, k)
+    }
+
+    /// Looks up an edge property value by key string.
+    pub fn edge_prop(&self, e: EdgeId, key: &str) -> Option<&Value> {
+        let k = self.interner.get(key)?;
+        lookup_prop(&self.edge(e).props, k)
+    }
+
+    /// Renders an edge as `src -label-> dst` using node labels; meant for
+    /// debugging and example output.
+    pub fn describe_edge(&self, e: EdgeId) -> String {
+        let ed = self.edge(e);
+        format!(
+            "{} -{}-> {}",
+            self.node_label(ed.src),
+            self.resolve(ed.label),
+            self.node_label(ed.dst)
+        )
+    }
+}
+
+#[inline]
+fn lookup_prop(props: &[(LabelId, Value)], key: LabelId) -> Option<&Value> {
+    props
+        .binary_search_by_key(&key, |(k, _)| *k)
+        .ok()
+        .map(|i| &props[i].1)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+    use crate::ids::NodeId;
+
+    fn tiny() -> crate::Graph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("A");
+        let c = b.add_node("C");
+        b.add_edge(a, "knows", c);
+        b.add_edge(c, "likes", a);
+        b.add_edge(a, "self", a);
+        b.freeze()
+    }
+
+    #[test]
+    fn counts() {
+        let g = tiny();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn adjacency_is_bidirectional() {
+        let g = tiny();
+        let a = g.node_by_label("A").unwrap();
+        let c = g.node_by_label("C").unwrap();
+        // A: out "knows", in "likes", loop twice.
+        assert_eq!(g.degree(a), 4);
+        assert_eq!(g.degree(c), 2);
+        assert_eq!(g.outgoing(a).count(), 2); // knows + loop-out
+        assert_eq!(g.incoming(a).count(), 2); // likes + loop-in
+    }
+
+    #[test]
+    fn other_endpoint() {
+        let g = tiny();
+        let a = g.node_by_label("A").unwrap();
+        let c = g.node_by_label("C").unwrap();
+        let e = g.adjacent(a).iter().find(|x| x.other == c).unwrap().edge;
+        assert_eq!(g.other_endpoint(e, a), c);
+        assert_eq!(g.other_endpoint(e, c), a);
+    }
+
+    #[test]
+    fn label_indexes() {
+        let g = tiny();
+        let knows = g.label_id("knows").unwrap();
+        assert_eq!(g.edges_with_label(knows).len(), 1);
+        assert_eq!(g.nodes_with_label(g.label_id("A").unwrap()), &[NodeId(0)]);
+        assert!(g.label_id("absent").is_none());
+    }
+
+    #[test]
+    fn describe_edge() {
+        let g = tiny();
+        let knows = g.label_id("knows").unwrap();
+        let e = g.edges_with_label(knows)[0];
+        assert_eq!(g.describe_edge(e), "A -knows-> C");
+    }
+}

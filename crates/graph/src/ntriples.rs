@@ -1,0 +1,156 @@
+//! A minimal triple text format, mirroring the paper's storage layout
+//! (`graph(id, source, edgeLabel, target)` in PostgreSQL).
+//!
+//! Format, one triple per line:
+//! ```text
+//! source <TAB> edgeLabel <TAB> target
+//! ```
+//! Node type assertions use the pseudo-label `a` (as in Turtle):
+//! `Alice<TAB>a<TAB>entrepreneur` attaches type `entrepreneur` to node
+//! `Alice` without creating an edge. Lines starting with `#` are comments.
+
+use crate::builder::GraphBuilder;
+use crate::fxhash::FxHashMap;
+use crate::ids::NodeId;
+use crate::model::Graph;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_triples`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TripleError {
+    /// A line did not split into three tab-separated fields.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for TripleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TripleError::Malformed { line, content } => {
+                write!(f, "line {line}: expected `s\\tp\\to`, got {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TripleError {}
+
+/// Parses the triple format into a [`Graph`]. Node identity is by label:
+/// two triples mentioning `Alice` refer to the same node.
+pub fn parse_triples(text: &str) -> Result<Graph, TripleError> {
+    let mut b = GraphBuilder::new();
+    let mut by_label: FxHashMap<String, NodeId> = FxHashMap::default();
+    let mut node = |b: &mut GraphBuilder, label: &str| -> NodeId {
+        if let Some(&n) = by_label.get(label) {
+            return n;
+        }
+        let n = b.add_node(label);
+        by_label.insert(label.to_string(), n);
+        n
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let (s, p, o) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(p), Some(o), None) => (s.trim(), p.trim(), o.trim()),
+            _ => {
+                return Err(TripleError::Malformed {
+                    line: i + 1,
+                    content: raw.to_string(),
+                })
+            }
+        };
+        if p == "a" {
+            let sn = node(&mut b, s);
+            b.add_type(sn, o);
+        } else {
+            let sn = node(&mut b, s);
+            let on = node(&mut b, o);
+            b.add_edge(sn, p, on);
+        }
+    }
+    Ok(b.freeze())
+}
+
+/// Serialises a [`Graph`] back into the triple format (edges first, then
+/// type assertions). Round-trips through [`parse_triples`] up to node id
+/// renumbering.
+pub fn write_triples(g: &Graph) -> String {
+    let mut out = String::new();
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}",
+            g.node_label(ed.src),
+            g.resolve(ed.label),
+            g.node_label(ed.dst)
+        );
+    }
+    for n in g.node_ids() {
+        for t in g.node_types(n) {
+            let _ = writeln!(out, "{}\ta\t{}", g.node_label(n), t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a tiny graph
+Alice\tcitizenOf\tUSA
+Bob\tcitizenOf\tUSA
+Alice\ta\tentrepreneur
+";
+
+    #[test]
+    fn parse_basic() {
+        let g = parse_triples(SAMPLE).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        let alice = g.node_by_label("Alice").unwrap();
+        assert_eq!(g.node_types(alice).collect::<Vec<_>>(), ["entrepreneur"]);
+    }
+
+    #[test]
+    fn node_identity_by_label() {
+        let g = parse_triples("A\tx\tB\nA\ty\tB\n").unwrap();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn malformed_line() {
+        let err = parse_triples("just one field").unwrap_err();
+        assert!(matches!(err, TripleError::Malformed { line: 1, .. }));
+        assert!(err.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = parse_triples(SAMPLE).unwrap();
+        let text = write_triples(&g);
+        let g2 = parse_triples(&text).unwrap();
+        assert_eq!(g2.node_count(), g.node_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        let alice = g2.node_by_label("Alice").unwrap();
+        assert_eq!(g2.node_types(alice).collect::<Vec<_>>(), ["entrepreneur"]);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = parse_triples("\n# comment\n\nA\tr\tB\n").unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,391 @@
+//! The predicate language over nodes and edges (paper Def. 2.2).
+//!
+//! A *condition* is `p(v) op c` where `p` is a property (label, type, or a
+//! named property), `op ∈ {=, <, <=, ~}` and `c` a constant; a *predicate*
+//! is a conjunction of conditions over one variable. The empty predicate
+//! is satisfied by every node or edge.
+
+use crate::ids::{EdgeId, NodeId};
+use crate::model::Graph;
+use crate::value::Value;
+use std::fmt;
+
+/// Which property of the bound node/edge a condition inspects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PropRef {
+    /// The label `l(v)`.
+    Label,
+    /// The type `τ(v)` (nodes only; an edge never satisfies a type
+    /// condition).
+    Type,
+    /// A named property `p(v)`.
+    Named(String),
+}
+
+/// Comparison operators Ω = {=, <, ≤, ~} (Def. 2.2). `~` is glob-style
+/// pattern matching where `*` matches any substring and `?` any single
+/// character (a superset of the paper's SQL-`like` semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Pattern match (`~`).
+    Like,
+}
+
+/// One condition `p(v) op c`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// The inspected property.
+    pub prop: PropRef,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// The constant on the right-hand side.
+    pub constant: Value,
+}
+
+/// A conjunction of [`Condition`]s over a single variable. Empty means
+/// "always true".
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Predicate {
+    /// The conjuncts.
+    pub conditions: Vec<Condition>,
+}
+
+impl Predicate {
+    /// The empty predicate (satisfied by everything).
+    pub fn any() -> Self {
+        Predicate::default()
+    }
+
+    /// `l(v) = label` — the paper's short syntax where a bare constant
+    /// denotes a label-equality predicate.
+    pub fn label(label: &str) -> Self {
+        Predicate {
+            conditions: vec![Condition {
+                prop: PropRef::Label,
+                op: CmpOp::Eq,
+                constant: Value::str(label),
+            }],
+        }
+    }
+
+    /// `τ(v) = ty`.
+    pub fn typed(ty: &str) -> Self {
+        Predicate {
+            conditions: vec![Condition {
+                prop: PropRef::Type,
+                op: CmpOp::Eq,
+                constant: Value::str(ty),
+            }],
+        }
+    }
+
+    /// `l(v) ~ pattern` with `*`/`?` wildcards.
+    pub fn label_like(pattern: &str) -> Self {
+        Predicate {
+            conditions: vec![Condition {
+                prop: PropRef::Label,
+                op: CmpOp::Like,
+                constant: Value::str(pattern),
+            }],
+        }
+    }
+
+    /// A condition on a named property.
+    pub fn prop(name: &str, op: CmpOp, constant: impl Into<Value>) -> Self {
+        Predicate {
+            conditions: vec![Condition {
+                prop: PropRef::Named(name.to_string()),
+                op,
+                constant: constant.into(),
+            }],
+        }
+    }
+
+    /// Conjunction of two predicates.
+    pub fn and(mut self, other: Predicate) -> Self {
+        self.conditions.extend(other.conditions);
+        self
+    }
+
+    /// True iff this is the empty predicate.
+    pub fn is_any(&self) -> bool {
+        self.conditions.is_empty()
+    }
+
+    /// Evaluates the predicate on a node.
+    pub fn matches_node(&self, g: &Graph, n: NodeId) -> bool {
+        self.conditions.iter().all(|c| c.matches_node(g, n))
+    }
+
+    /// Evaluates the predicate on an edge.
+    pub fn matches_edge(&self, g: &Graph, e: EdgeId) -> bool {
+        self.conditions.iter().all(|c| c.matches_edge(g, e))
+    }
+
+    /// If the predicate contains a label-equality condition, returns the
+    /// label constant (used for index-backed evaluation).
+    pub fn eq_label(&self) -> Option<&str> {
+        self.conditions.iter().find_map(|c| match (&c.prop, c.op) {
+            (PropRef::Label, CmpOp::Eq) => c.constant.as_str(),
+            _ => None,
+        })
+    }
+
+    /// If the predicate contains a type-equality condition, returns the
+    /// type constant.
+    pub fn eq_type(&self) -> Option<&str> {
+        self.conditions.iter().find_map(|c| match (&c.prop, c.op) {
+            (PropRef::Type, CmpOp::Eq) => c.constant.as_str(),
+            _ => None,
+        })
+    }
+}
+
+impl Condition {
+    /// Evaluates this condition on a node.
+    pub fn matches_node(&self, g: &Graph, n: NodeId) -> bool {
+        match &self.prop {
+            PropRef::Label => self.cmp_str(g.node_label(n)),
+            PropRef::Type => match (self.op, self.constant.as_str()) {
+                // τ(v) = c holds if c is among the node's types.
+                (CmpOp::Eq, Some(want)) => g.node_types(n).any(|t| t == want),
+                (CmpOp::Like, Some(pat)) => g.node_types(n).any(|t| glob_match(pat, t)),
+                _ => false,
+            },
+            PropRef::Named(name) => match g.node_prop(n, name) {
+                Some(v) => self.cmp_value(v),
+                None => false,
+            },
+        }
+    }
+
+    /// Evaluates this condition on an edge.
+    pub fn matches_edge(&self, g: &Graph, e: EdgeId) -> bool {
+        match &self.prop {
+            PropRef::Label => self.cmp_str(g.edge_label(e)),
+            // Edges carry no types in our RDF-style model.
+            PropRef::Type => false,
+            PropRef::Named(name) => match g.edge_prop(e, name) {
+                Some(v) => self.cmp_value(v),
+                None => false,
+            },
+        }
+    }
+
+    fn cmp_str(&self, actual: &str) -> bool {
+        match (self.op, self.constant.as_str()) {
+            (CmpOp::Eq, Some(c)) => actual == c,
+            (CmpOp::Lt, Some(c)) => actual < c,
+            (CmpOp::Le, Some(c)) => actual <= c,
+            (CmpOp::Like, Some(pat)) => glob_match(pat, actual),
+            _ => false,
+        }
+    }
+
+    fn cmp_value(&self, actual: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self.op {
+            CmpOp::Eq => actual == &self.constant,
+            CmpOp::Lt => matches!(actual.partial_cmp_value(&self.constant), Some(Less)),
+            CmpOp::Le => matches!(
+                actual.partial_cmp_value(&self.constant),
+                Some(Less) | Some(Equal)
+            ),
+            CmpOp::Like => match (actual.as_str(), self.constant.as_str()) {
+                (Some(a), Some(p)) => glob_match(p, a),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.conditions.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, c) in self.conditions.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            let p = match &c.prop {
+                PropRef::Label => "l".to_string(),
+                PropRef::Type => "τ".to_string(),
+                PropRef::Named(n) => n.clone(),
+            };
+            let op = match c.op {
+                CmpOp::Eq => "=",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Like => "~",
+            };
+            write!(f, "{p}(v) {op} \"{}\"", c.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// Glob matching with `*` (any substring) and `?` (any one char).
+///
+/// Iterative backtracking over the last `*`; linear in practice.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut star_ti) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '*' {
+            star = pi;
+            star_ti = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+/// Enumerates all nodes of `g` satisfying `pred`, using the label or type
+/// index when the predicate pins one down, falling back to a full scan.
+///
+/// This implements the seed-set computation "restrict N to those that
+/// match g_i" from the paper's evaluation strategy (§3 step B.1).
+pub fn matching_nodes(g: &Graph, pred: &Predicate) -> Vec<NodeId> {
+    if let Some(label) = pred.eq_label() {
+        if let Some(l) = g.label_id(label) {
+            return g
+                .nodes_with_label(l)
+                .iter()
+                .copied()
+                .filter(|&n| pred.matches_node(g, n))
+                .collect();
+        }
+        return Vec::new();
+    }
+    if let Some(ty) = pred.eq_type() {
+        if let Some(t) = g.label_id(ty) {
+            return g
+                .nodes_with_type(t)
+                .iter()
+                .copied()
+                .filter(|&n| pred.matches_node(g, n))
+                .collect();
+        }
+        return Vec::new();
+    }
+    g.node_ids().filter(|&n| pred.matches_node(g, n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new();
+        let alice = b.add_typed_node("Alice", &["entrepreneur"]);
+        let bob = b.add_typed_node("Bob", &["entrepreneur", "politician"]);
+        let usa = b.add_typed_node("USA", &["country"]);
+        b.set_node_prop(alice, "age", 41i64);
+        b.set_node_prop(bob, "age", 55i64);
+        let e = b.add_edge(alice, "citizenOf", usa);
+        b.set_edge_prop(e, "since", 1999i64);
+        b.add_edge(bob, "citizenOf", usa);
+        b.freeze()
+    }
+
+    #[test]
+    fn paper_example_predicate() {
+        // l(v) ~ "*lice" ∧ τ(v) = entrepreneur — true only on Alice.
+        let g = sample();
+        let p = Predicate::label_like("*lice").and(Predicate::typed("entrepreneur"));
+        let matches = matching_nodes(&g, &p);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(g.node_label(matches[0]), "Alice");
+    }
+
+    #[test]
+    fn empty_predicate_matches_everything() {
+        let g = sample();
+        assert_eq!(matching_nodes(&g, &Predicate::any()).len(), 3);
+        assert!(Predicate::any().matches_edge(&g, crate::ids::EdgeId(0)));
+    }
+
+    #[test]
+    fn label_index_used() {
+        let g = sample();
+        assert_eq!(matching_nodes(&g, &Predicate::label("USA")).len(), 1);
+        assert_eq!(matching_nodes(&g, &Predicate::label("nobody")).len(), 0);
+    }
+
+    #[test]
+    fn type_with_multiple_types() {
+        let g = sample();
+        let pols = matching_nodes(&g, &Predicate::typed("politician"));
+        assert_eq!(pols.len(), 1);
+        assert_eq!(g.node_label(pols[0]), "Bob");
+    }
+
+    #[test]
+    fn numeric_property_comparison() {
+        let g = sample();
+        let under50 = matching_nodes(&g, &Predicate::prop("age", CmpOp::Lt, 50i64));
+        assert_eq!(under50.len(), 1);
+        let le55 = matching_nodes(&g, &Predicate::prop("age", CmpOp::Le, 55i64));
+        assert_eq!(le55.len(), 2);
+        // Missing property ⇒ condition false.
+        let none = matching_nodes(&g, &Predicate::prop("height", CmpOp::Eq, 1i64));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn edge_predicates() {
+        let g = sample();
+        let p = Predicate::label("citizenOf");
+        assert!(p.matches_edge(&g, crate::ids::EdgeId(0)));
+        // Type conditions never hold on edges.
+        assert!(!Predicate::typed("country").matches_edge(&g, crate::ids::EdgeId(0)));
+        // Edge property condition.
+        let since = Predicate::prop("since", CmpOp::Eq, 1999i64);
+        assert!(since.matches_edge(&g, crate::ids::EdgeId(0)));
+        assert!(!since.matches_edge(&g, crate::ids::EdgeId(1)));
+    }
+
+    #[test]
+    fn glob_cases() {
+        assert!(glob_match("*lice", "Alice"));
+        assert!(glob_match("A*", "Alice"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("A?ice", "Alice"));
+        assert!(!glob_match("A?ice", "Ace"));
+        assert!(glob_match("a*b*c", "a__b__c"));
+        assert!(!glob_match("a*b*c", "a__c__b"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("**", "anything"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Predicate::any().to_string(), "⊤");
+        let p = Predicate::label("Alice").and(Predicate::typed("x"));
+        assert!(p.to_string().contains("l(v) = \"Alice\""));
+        assert!(p.to_string().contains("∧"));
+    }
+}

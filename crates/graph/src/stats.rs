@@ -1,0 +1,148 @@
+//! Descriptive statistics over graphs — used by benchmark reports to
+//! describe generated workloads (node/edge counts, degree distribution,
+//! label frequencies).
+
+use crate::model::Graph;
+use std::fmt;
+
+/// Summary statistics of a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of distinct edge labels in use.
+    pub edge_labels: usize,
+    /// Number of distinct node types in use.
+    pub node_types: usize,
+    /// Maximum (undirected) degree.
+    pub max_degree: usize,
+    /// Mean (undirected) degree.
+    pub mean_degree: f64,
+    /// Number of connected components (edges taken as undirected).
+    pub components: usize,
+}
+
+/// Computes [`GraphStats`] in O(|N| + |E|).
+pub fn stats(g: &Graph) -> GraphStats {
+    let mut max_degree = 0;
+    for n in g.node_ids() {
+        max_degree = max_degree.max(g.degree(n));
+    }
+    let mean_degree = if g.node_count() == 0 {
+        0.0
+    } else {
+        2.0 * g.edge_count() as f64 / g.node_count() as f64
+    };
+
+    // Union-find over undirected edges.
+    let mut parent: Vec<u32> = (0..g.node_count() as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let (a, b) = (find(&mut parent, ed.src.0), find(&mut parent, ed.dst.0));
+        if a != b {
+            parent[a as usize] = b;
+        }
+    }
+    let mut components = 0;
+    for i in 0..g.node_count() as u32 {
+        if find(&mut parent, i) == i {
+            components += 1;
+        }
+    }
+
+    let edge_labels = g
+        .edges_by_label
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .count();
+    let node_types = g
+        .nodes_by_type
+        .iter()
+        .filter(|(_, v)| !v.is_empty())
+        .count();
+
+    GraphStats {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        edge_labels,
+        node_types,
+        max_degree,
+        mean_degree,
+        components,
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, {} edge labels, {} node types, degree max {} / mean {:.2}, {} component(s)",
+            self.nodes,
+            self.edges,
+            self.edge_labels,
+            self.node_types,
+            self.max_degree,
+            self.mean_degree,
+            self.components
+        )
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`
+/// (truncated at `max_bucket`, with an overflow bucket at the end).
+pub fn degree_histogram(g: &Graph, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 2];
+    for n in g.node_ids() {
+        let d = g.degree(n).min(max_bucket + 1);
+        hist[d] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+    use crate::generate::line;
+
+    #[test]
+    fn figure1_stats() {
+        let s = stats(&figure1());
+        assert_eq!(s.nodes, 12);
+        assert_eq!(s.edges, 19);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.max_degree, 4); // OrgA / OrgC / France / Doug
+        assert!(s.to_string().contains("12 nodes"));
+    }
+
+    #[test]
+    fn line_components() {
+        let w = line(3, 2);
+        assert_eq!(stats(&w.graph).components, 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = figure1();
+        let h = degree_histogram(&g, 8);
+        assert_eq!(h.iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::builder::GraphBuilder::new().freeze();
+        let s = stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.components, 0);
+        assert_eq!(s.mean_degree, 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property values attached to nodes and edges.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A property value: strings, integers, and floats cover the paper's data
+/// model (RDF literals / property-graph properties).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A string value (RDF literal or URI tail).
+    Str(Arc<str>),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns the string content if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric content widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Compares two values if they are of comparable kinds.
+    ///
+    /// Strings compare lexicographically with strings; numbers compare
+    /// numerically with numbers (ints and floats inter-compare). A
+    /// string never compares with a number — the paper requires the
+    /// operator to be "well-defined on any value of property p together
+    /// with c" (Def. 2.2), so incomparable pairs yield `None` and the
+    /// condition evaluates to false.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.partial_cmp_value(other) == Some(Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert!(Value::str("a").partial_cmp_value(&Value::str("b")) == Some(Ordering::Less));
+    }
+
+    #[test]
+    fn numeric_cross_comparison() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(2).partial_cmp_value(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn incomparable_kinds() {
+        assert_eq!(Value::str("3").partial_cmp_value(&Value::Int(3)), None);
+        assert_ne!(Value::str("3"), Value::Int(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::Int(-5).to_string(), "-5");
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: the paper's running example.
+//!
+//! Builds the Figure 1 graph and runs query Q1 — "what are the
+//! connections between some American entrepreneur x, some French
+//! entrepreneur y, and some French politician z?" — then prints every
+//! answer with its connecting tree.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use connection_search::eql::run_query;
+use connection_search::graph::figure1;
+
+fn main() {
+    let g = figure1();
+    println!(
+        "Figure 1 graph: {} nodes, {} edges\n",
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let q1 = r#"
+        SELECT x, y, z, w WHERE {
+            (x : type = "entrepreneur", "citizenOf", "USA")
+            (y : type = "entrepreneur", "citizenOf", "France")
+            (z : type = "politician",  "citizenOf", "France")
+            CONNECT(x, y, z -> w)
+        }
+    "#;
+    println!("Q1:{q1}");
+
+    let result = run_query(&g, q1).expect("Q1 is valid EQL");
+    println!("{} answers:\n", result.rows());
+    print!("{}", result.render(&g));
+
+    // The same CTP, now ranked by specificity (hub-avoiding) and
+    // limited to the top answer — requirement R2: any score function.
+    let ranked = run_query(
+        &g,
+        r#"
+        SELECT x, y, z, w WHERE {
+            (x : type = "entrepreneur", "citizenOf", "USA")
+            (y : type = "entrepreneur", "citizenOf", "France")
+            (z : type = "politician",  "citizenOf", "France")
+            CONNECT(x, y, z -> w) SCORE specificity TOP 1
+        }
+    "#,
+    )
+    .expect("valid EQL");
+    println!("\nTop answer by specificity:");
+    print!("{}", ranked.render(&g));
+}

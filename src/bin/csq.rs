@@ -1,0 +1,148 @@
+//! `csq` — the connection-search query CLI.
+//!
+//! ```text
+//! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS] [--stats]
+//! csq --demo <query-or-@file>            # run against the Figure 1 graph
+//! csq <graph.triples> --snapshot out.csg # convert triples to binary snapshot
+//! ```
+//!
+//! Graph files ending in `.csg` load as binary snapshots
+//! (`cs_graph::binfmt`); anything else parses as tab-separated triples
+//! (`cs_graph::ntriples`).
+
+use connection_search::core::Algorithm;
+use connection_search::eql::{run_query_with, ExecOptions};
+use connection_search::graph::{binfmt, figure1, ntriples, Graph};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: csq <graph-file|--demo> <query|@query-file> \
+         [--algorithm NAME] [--timeout MS] [--stats]\n       \
+         csq <graph-file> --snapshot <out.csg>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    if path == "--demo" {
+        return Ok(figure1());
+    }
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".csg") {
+        binfmt::decode_graph(&raw).map_err(|e| format!("bad snapshot {path}: {e}"))
+    } else {
+        let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8"))?;
+        ntriples::parse_triples(&text).map_err(|e| format!("bad triples in {path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        return usage();
+    }
+
+    let graph = match load_graph(&args[0]) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Snapshot conversion mode.
+    if args[1] == "--snapshot" {
+        let Some(out) = args.get(2) else {
+            return usage();
+        };
+        let bytes = binfmt::encode_graph(&graph);
+        if let Err(e) = std::fs::write(out, &bytes) {
+            eprintln!("error writing {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {out}: {} nodes, {} edges, {} bytes",
+            graph.node_count(),
+            graph.edge_count(),
+            bytes.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let query_arg = &args[1];
+    let query = if let Some(path) = query_arg.strip_prefix('@') {
+        match std::fs::read_to_string(path) {
+            Ok(q) => q,
+            Err(e) => {
+                eprintln!("error: cannot read query file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        query_arg.clone()
+    };
+
+    let mut opts = ExecOptions::default();
+    let mut show_stats = false;
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--algorithm" => {
+                let Some(name) = args.get(i + 1) else {
+                    return usage();
+                };
+                match name.parse::<Algorithm>() {
+                    Ok(a) => opts.default_algorithm = a,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--timeout" => {
+                let Some(ms) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                opts.default_timeout = Some(Duration::from_millis(ms));
+                i += 2;
+            }
+            "--stats" => {
+                show_stats = true;
+                i += 1;
+            }
+            _ => return usage(),
+        }
+    }
+
+    match run_query_with(&graph, &query, &opts) {
+        Ok(result) => {
+            print!("{}", result.render(&graph));
+            eprintln!("{} row(s)", result.rows());
+            if show_stats {
+                eprintln!(
+                    "bgp {:?} | ctp {:?} | join {:?}",
+                    result.stats.bgp_time, result.stats.ctp_time, result.stats.join_time
+                );
+                for (var, s, d) in &result.stats.ctp_stats {
+                    eprintln!(
+                        "CTP {var}: {} provenances, {} grows, {} merges, {} pruned, {:?}{}",
+                        s.provenances,
+                        s.grows,
+                        s.merges,
+                        s.pruned,
+                        d,
+                        if s.timed_out { " (TIMED OUT)" } else { "" }
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("query error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # connection-search
+//!
+//! A Rust reproduction of *Integrating Connection Search in Graph
+//! Queries* (Anadiotis, Manolescu, Mohanty — ICDE 2023): an Extended
+//! Query Language (EQL) combining Basic Graph Patterns with Connecting
+//! Tree Patterns (CTPs), a family of connection-search algorithms
+//! (BFT, GAM, ESP, MoESP, LESP, **MoLESP**), and an in-memory
+//! conjunctive graph-query engine substrate.
+//!
+//! This crate re-exports the public APIs of the workspace crates:
+//!
+//! * [`graph`] — labelled multigraph model, predicates, generators
+//! * [`engine`] — conjunctive (BGP) query engine
+//! * [`core`] — CTP search algorithms and baselines
+//! * [`eql`] — the extended query language: parser, planner, executor
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use connection_search::graph::figure1;
+//! use connection_search::eql::run_query;
+//!
+//! let g = figure1();
+//! let q = r#"
+//!     SELECT x, y, z, w WHERE {
+//!         (x : type = "entrepreneur", "citizenOf", "USA")
+//!         (y : type = "entrepreneur", "citizenOf", "France")
+//!         (z : type = "politician",  "citizenOf", "France")
+//!         CONNECT(x, y, z -> w)
+//!     }
+//! "#;
+//! let result = run_query(&g, q).expect("valid query");
+//! assert!(result.rows() > 0);
+//! ```
+
+pub use cs_core as core;
+pub use cs_engine as engine;
+pub use cs_eql as eql;
+pub use cs_graph as graph;

@@ -1,0 +1,151 @@
+//! Tests pinning the paper's *semantic* claims from Section 2:
+//! minimality, the difference from path-based semantics, edge-direction
+//! blindness (R3), and the exponential chain of Figure 2.
+
+use connection_search::core::baseline::{enumerate_paths, stitch, PathOptions};
+use connection_search::core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
+use connection_search::graph::generate::chain;
+use connection_search::graph::{figure1, GraphBuilder, NodeId};
+
+fn molesp(
+    g: &connection_search::graph::Graph,
+    seeds: Vec<Vec<NodeId>>,
+) -> connection_search::core::SearchOutcome {
+    let s = SeedSets::from_sets(seeds).unwrap();
+    evaluate_ctp(
+        g,
+        &s,
+        Algorithm::MoLesp,
+        Filters::none(),
+        QueueOrder::SmallestFirst,
+    )
+}
+
+#[test]
+fn figure2_chain_has_2_to_the_n_results() {
+    for n in [1usize, 3, 6, 9] {
+        let w = chain(n);
+        let out = molesp(&w.graph, w.seeds.clone());
+        assert_eq!(
+            out.results.len(),
+            1 << n,
+            "chain({n}) must have 2^{n} results"
+        );
+    }
+}
+
+#[test]
+fn minimality_excludes_paths_through_same_set_seeds() {
+    // Paper §2: "a path going from s1 ∈ S1 through s'1 ∈ S1 to s2 ∈ S2
+    // cannot appear in g'(S1, S2)".
+    // Graph: s1 - s1' - s2 in a line, with s1, s1' both in S1.
+    let mut b = GraphBuilder::new();
+    let s1 = b.add_node("s1");
+    let s1p = b.add_node("s1p");
+    let s2 = b.add_node("s2");
+    b.add_edge(s1, "r", s1p);
+    b.add_edge(s1p, "r", s2);
+    let g = b.freeze();
+
+    let out = molesp(&g, vec![vec![s1, s1p], vec![s2]]);
+    // Only the direct connection s1' - s2 qualifies; the 2-edge path
+    // contains two S1 nodes.
+    assert_eq!(out.results.len(), 1);
+    assert_eq!(out.results.trees()[0].size(), 1);
+
+    // Path enumeration (the path-based semantics) happily returns the
+    // 2-edge path from s1 — demonstrating the semantic difference.
+    let paths = enumerate_paths(&g, s1, s2, &PathOptions::undirected(4));
+    assert!(paths.iter().any(|p| p.len() == 2));
+}
+
+#[test]
+fn bidirectional_by_default_r3() {
+    // t_beta of the running example needs edges traversed against
+    // their direction: Bob -founded-> OrgB <-investsIn- Alice ….
+    let g = figure1();
+    let bob = g.node_by_label("Bob").unwrap();
+    let alice = g.node_by_label("Alice").unwrap();
+    let out = molesp(&g, vec![vec![bob], vec![alice]]);
+    // Bob and Alice connect through OrgB in 2 edges despite opposing
+    // edge directions.
+    assert!(out.results.trees().iter().any(|t| t.size() == 2));
+
+    // Under UNI the OrgB connection disappears (no dominating root).
+    let s = SeedSets::from_sets(vec![vec![bob], vec![alice]]).unwrap();
+    let uni = evaluate_ctp(
+        &g,
+        &s,
+        Algorithm::MoLesp,
+        Filters::none().uni().with_max_edges(2),
+        QueueOrder::SmallestFirst,
+    );
+    assert!(uni.results.trees().iter().all(|t| t.size() != 2));
+}
+
+#[test]
+fn stitching_produces_duplicates_the_ctp_semantics_avoid() {
+    // Paper §2: for each n-node tree in the result, the three-way join
+    // of root-to-seed paths produces n duplicate combinations.
+    let mut b = GraphBuilder::new();
+    let a = b.add_node("A");
+    let x = b.add_node("x");
+    let y = b.add_node("y");
+    let c = b.add_node("C");
+    let d = b.add_node("D");
+    b.add_edge(a, "r", x);
+    b.add_edge(x, "r", y);
+    b.add_edge(y, "r", c);
+    b.add_edge(x, "r", d);
+    let g = b.freeze();
+    let seeds_vec = vec![vec![a], vec![c], vec![d]];
+
+    let direct = molesp(&g, seeds_vec.clone());
+    assert_eq!(direct.results.len(), 1, "exactly one connecting tree");
+
+    let s = SeedSets::from_sets(seeds_vec).unwrap();
+    let st = stitch(&g, &s, &PathOptions::undirected(5));
+    assert_eq!(st.deduped.len(), 1, "stitching finds the same tree…");
+    assert!(
+        st.raw_combinations > 1,
+        "…but through {} raw join combinations (deduplication required)",
+        st.raw_combinations
+    );
+}
+
+#[test]
+fn every_leaf_is_a_seed_observation1() {
+    let g = figure1();
+    let carole = g.node_by_label("Carole").unwrap();
+    let elon = g.node_by_label("Elon").unwrap();
+    let doug = g.node_by_label("Doug").unwrap();
+    let out = molesp(&g, vec![vec![carole], vec![elon], vec![doug]]);
+    assert!(!out.results.is_empty());
+    let seeds = [carole, elon, doug];
+    for t in out.results.trees() {
+        use std::collections::HashMap;
+        let mut deg: HashMap<NodeId, usize> = HashMap::new();
+        for &e in t.edges.iter() {
+            let ed = g.edge(e);
+            *deg.entry(ed.src).or_default() += 1;
+            *deg.entry(ed.dst).or_default() += 1;
+        }
+        for (n, d) in deg {
+            if d == 1 {
+                assert!(seeds.contains(&n), "leaf {n:?} is not a seed");
+            }
+        }
+    }
+}
+
+#[test]
+fn results_are_edge_sets_not_rooted_trees() {
+    // §4.4: the root is meaningless in a CTP result — no two results
+    // share an edge set.
+    let w = chain(5);
+    let out = molesp(&w.graph, w.seeds.clone());
+    let mut canon = out.results.canonical();
+    let before = canon.len();
+    canon.dedup();
+    assert_eq!(canon.len(), before);
+}
