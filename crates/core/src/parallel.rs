@@ -10,7 +10,8 @@
 //! * **per workload** — benchmark batches of independent CTP searches
 //!   (Fig. 12 runs hundreds of queries).
 //!
-//! Work is distributed over a crossbeam scope with an atomic cursor.
+//! Work is distributed over a [`std::thread::scope`] with an atomic
+//! cursor.
 
 use crate::algo::{evaluate_ctp_with_policy, Algorithm};
 use crate::config::{Filters, QueueOrder, QueuePolicy};
@@ -64,9 +65,9 @@ pub fn evaluate_ctps_parallel(g: &Graph, jobs: &[CtpJob], threads: usize) -> Vec
     let slots: Vec<Mutex<Option<SearchOutcome>>> =
         (0..jobs.len()).map(|_| Mutex::new(None)).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
@@ -83,8 +84,7 @@ pub fn evaluate_ctps_parallel(g: &Graph, jobs: &[CtpJob], threads: usize) -> Vec
                 *slots[i].lock().unwrap() = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
 
     slots
         .into_iter()

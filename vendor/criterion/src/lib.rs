@@ -1,0 +1,208 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! Implements the surface the workspace benches use — `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!` / `criterion_main!`, `black_box`
+//! — with a simple fixed-budget timer instead of criterion's full
+//! statistical machinery: each benchmark is warmed up briefly, then
+//! timed for a fixed wall-clock budget and reported as mean
+//! time/iteration on stdout. Vendored because the build environment
+//! has no crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// An identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A parameter-only id (the group supplies the function name).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// The per-benchmark timing driver passed to bench closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it repeatedly for the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + rough calibration: run until ~20ms has passed.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        while calib_start.elapsed() < Duration::from_millis(20) {
+            black_box(f());
+            calib_iters += 1;
+        }
+        // Measurement: roughly `BUDGET` of wall clock in one batch.
+        let budget = Duration::from_millis(200);
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        let n = if per_iter.is_zero() {
+            1000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = n;
+    }
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let per = b.total / b.iters as u32;
+        println!("{name:<40} time: [{}] ({} iters)", fmt_time(per), b.iters);
+    } else {
+        println!("{name:<40} (no measurement)");
+    }
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.name, |b| f(b, input));
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), f);
+        self
+    }
+
+    /// Ends the group (no-op in this subset).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("noop", |b| {
+            hits += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("gam").to_string(), "gam");
+    }
+}
