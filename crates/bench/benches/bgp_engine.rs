@@ -2,7 +2,7 @@
 //! hash joins, and whole-BGP evaluation on the YAGO-like graph.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cs_engine::{eval_bgp, Bgp, Term};
+use cs_engine::{eval_bgp, eval_bgp_greedy, plan_bgp, Bgp, Term};
 use cs_graph::generate::{yago_like, YagoLikeParams};
 use cs_graph::Predicate;
 
@@ -40,7 +40,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| eval_bgp(&g, &bgp))
     });
 
-    c.bench_function("bgp_star_join_three_patterns", |b| {
+    let star_bgp = {
         let mut bgp = Bgp::new();
         bgp.push(
             Term::pred("x", Predicate::typed("person")),
@@ -57,8 +57,21 @@ fn benches(c: &mut Criterion) {
             Term::pred("e3", Predicate::label("citizenOf")),
             Term::var("cc"),
         );
-        b.iter(|| eval_bgp(&g, &bgp))
+        bgp
+    };
+
+    c.bench_function("bgp_star_join_three_patterns", |b| {
+        b.iter(|| eval_bgp(&g, &star_bgp))
     });
+
+    // A/B baseline: the pre-planner strategy (materialise every
+    // pattern table, join greedily by actual size) on the same BGP.
+    c.bench_function("bgp_star_join_three_patterns_greedy", |b| {
+        b.iter(|| eval_bgp_greedy(&g, &star_bgp))
+    });
+
+    // Planning alone: must be negligible next to evaluation.
+    c.bench_function("bgp_plan_only_star", |b| b.iter(|| plan_bgp(&g, &star_bgp)));
 }
 
 criterion_group!(bgp, benches);

@@ -5,7 +5,9 @@
 //! with one column per variable — step (A) of the paper's strategy (§3).
 
 use crate::binding::Binding;
+use crate::plan::{plan_bgp, AccessPath, BgpPlan};
 use crate::table::Table;
+use cs_graph::fxhash::FxHashSet;
 use cs_graph::{Graph, Predicate};
 use std::sync::Arc;
 
@@ -93,30 +95,99 @@ impl Bgp {
         vars
     }
 
-    /// Checks Def. 2.4 connectivity: with ≥ 2 patterns, each must share
-    /// a variable with another.
+    /// Checks Def. 2.4 connectivity: the variable-sharing graph over
+    /// the patterns must form a single connected component.
+    ///
+    /// Note this is strictly stronger than requiring each pattern to
+    /// share a variable with *some* other pattern — e.g. the patterns
+    /// {(x,e1,y), (x,e2,z), (a,e3,b), (a,e4,c)} pass the pairwise
+    /// check yet split into two components, and evaluating them as one
+    /// BGP would silently compute a cross product.
     pub fn is_connected(&self) -> bool {
-        if self.patterns.len() < 2 {
-            return true;
-        }
-        self.patterns.iter().enumerate().all(|(i, p)| {
-            self.patterns.iter().enumerate().any(|(j, q)| {
-                i != j
-                    && [&p.src, &p.edge, &p.dst]
-                        .iter()
-                        .any(|t| [&q.src, &q.edge, &q.dst].iter().any(|u| u.var == t.var))
-            })
-        })
+        pattern_components(&self.patterns).len() <= 1
     }
 }
 
-/// Evaluates one triple pattern into a table.
+/// Groups pattern indices into maximal components connected through
+/// shared variables (Def. 2.4) — union-find with path halving. Each
+/// component is one BGP; a single component means the pattern set is
+/// connected. Components are sorted by their smallest pattern index,
+/// members ascending.
+pub fn pattern_components(patterns: &[TriplePattern]) -> Vec<Vec<usize>> {
+    let n = patterns.len();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let vars_of = |p: &TriplePattern| [p.src.var.clone(), p.edge.var.clone(), p.dst.var.clone()];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let vi = vars_of(&patterns[i]);
+            let shared = vars_of(&patterns[j]).iter().any(|v| vi.contains(v));
+            if shared {
+                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+    }
+    let mut groups: cs_graph::fxhash::FxHashMap<usize, Vec<usize>> = Default::default();
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
+    out.sort_by_key(|v| v[0]);
+    out
+}
+
+/// The bindings the accumulated table already holds for a pattern's
+/// variable positions — the semi-join pushdown sets. A position is
+/// `None` when the variable is not yet bound.
+#[derive(Debug, Default)]
+struct BoundSets {
+    src: Option<FxHashSet<Binding>>,
+    edge: Option<FxHashSet<Binding>>,
+    dst: Option<FxHashSet<Binding>>,
+}
+
+impl BoundSets {
+    /// Collects the pushdown sets for `p` from the accumulated table.
+    fn from_table(acc: &Table, p: &TriplePattern) -> BoundSets {
+        let get = |v: &Arc<str>| -> Option<FxHashSet<Binding>> {
+            acc.col(v)
+                .map(|_| acc.distinct_column(v).into_iter().collect())
+        };
+        BoundSets {
+            src: get(&p.src.var),
+            edge: get(&p.edge.var),
+            dst: get(&p.dst.var),
+        }
+    }
+}
+
+/// Evaluates one triple pattern into a table under a planned access
+/// path, with bound-variable pushdown.
 ///
-/// Access path selection: a label-equality predicate on the edge uses
-/// the edge-label index; otherwise a label/type-equality on an endpoint
-/// drives a node-index scan over that endpoint's incident edges; the
-/// fallback is a full edge scan.
-fn eval_pattern(g: &Graph, p: &TriplePattern) -> Table {
+/// The access path fixes the *static* candidate source (edge-label
+/// index, node-index scan, full scan); when the accumulated table
+/// already binds one of the pattern's variables, the evaluator may
+/// instead expand from the bound bindings when that set is smaller —
+/// the semi-join-style pushdown that makes cost-ordered plans prune.
+/// Either way, bound sets are applied as membership filters, so the
+/// produced table contains exactly the rows that can survive the join
+/// with the accumulated table.
+fn eval_pattern_access(
+    g: &Graph,
+    p: &TriplePattern,
+    access: &AccessPath,
+    bound: &BoundSets,
+) -> Table {
     // Output schema: deduplicate repeated variables within the pattern.
     let mut cols: Vec<Arc<str>> = vec![p.src.var.clone()];
     let edge_dup = p.edge.var == p.src.var;
@@ -130,72 +201,166 @@ fn eval_pattern(g: &Graph, p: &TriplePattern) -> Table {
     }
     let mut out = Table::new(cols);
 
-    let mut emit = |g: &Graph, e: cs_graph::EdgeId| {
-        let ed = g.edge(e);
-        if !p.src.pred.matches_node(g, ed.src)
-            || !p.edge.pred.matches_edge(g, e)
-            || !p.dst.pred.matches_node(g, ed.dst)
-        {
-            return;
-        }
-        // Repeated variables force equality between positions. A node
-        // and an edge can never be equal bindings.
-        if edge_dup || dst_dup_edge {
-            return;
-        }
-        if dst_dup_src && ed.src != ed.dst {
-            return;
-        }
-        let mut row = vec![Binding::Node(ed.src), Binding::Edge(e)];
-        if !dst_dup_src {
-            row.push(Binding::Node(ed.dst));
-        } else {
-            row.truncate(2);
-        }
-        out.push(row.into_boxed_slice());
-    };
-
-    // Candidate generation.
-    if let Some(l) = p.edge.pred.eq_label().and_then(|s| g.label_id(s)) {
-        for &e in g.edges_with_label(l) {
-            emit(g, e);
-        }
-        return out;
-    }
-    if p.edge.pred.eq_label().is_some() {
-        return out; // label not present in graph at all
-    }
-    let src_nodes = pinned_nodes(g, &p.src.pred);
-    let dst_nodes = pinned_nodes(g, &p.dst.pred);
-    match (src_nodes, dst_nodes) {
-        (Some(sn), Some(dn)) if sn.len() <= dn.len() => {
-            for n in sn {
-                for a in g.outgoing(n) {
-                    emit(g, a.edge);
-                }
+    let dups = (edge_dup, dst_dup_src, dst_dup_edge);
+    if bound.src.is_some() || bound.edge.is_some() || bound.dst.is_some() {
+        scan_candidates(g, p, access, bound, |e| {
+            // Semi-join pushdown: rows incompatible with the
+            // accumulated table's bindings can never survive the join.
+            let ed = g.edge(e);
+            if bound
+                .src
+                .as_ref()
+                .is_some_and(|s| !s.contains(&Binding::Node(ed.src)))
+                || bound
+                    .edge
+                    .as_ref()
+                    .is_some_and(|s| !s.contains(&Binding::Edge(e)))
+                || bound
+                    .dst
+                    .as_ref()
+                    .is_some_and(|s| !s.contains(&Binding::Node(ed.dst)))
+            {
+                return;
             }
-        }
-        (Some(sn), None) => {
-            for n in sn {
-                for a in g.outgoing(n) {
-                    emit(g, a.edge);
-                }
-            }
-        }
-        (_, Some(dn)) => {
-            for n in dn {
-                for a in g.incoming(n) {
-                    emit(g, a.edge);
-                }
-            }
-        }
-        (None, None) => {
-            for e in g.edge_ids() {
-                emit(g, e);
-            }
-        }
+            emit_row(g, p, e, dups, &mut out);
+        });
+    } else {
+        // Monomorphised fast path: an unbound (first or standalone)
+        // pattern pays no per-edge bound checks at all.
+        scan_candidates(g, p, access, bound, |e| emit_row(g, p, e, dups, &mut out));
     }
     out
+}
+
+/// Applies the pattern predicates and repeated-variable constraints to
+/// one candidate edge and appends the resulting row. `dups` is
+/// (edge==src, dst==src, dst==edge) variable coincidence, precomputed
+/// by the caller.
+#[inline(always)]
+fn emit_row(
+    g: &Graph,
+    p: &TriplePattern,
+    e: cs_graph::EdgeId,
+    (edge_dup, dst_dup_src, dst_dup_edge): (bool, bool, bool),
+    out: &mut Table,
+) {
+    let ed = g.edge(e);
+    if !p.src.pred.matches_node(g, ed.src)
+        || !p.edge.pred.matches_edge(g, e)
+        || !p.dst.pred.matches_node(g, ed.dst)
+    {
+        return;
+    }
+    // Repeated variables force equality between positions. A node
+    // and an edge can never be equal bindings.
+    if edge_dup || dst_dup_edge {
+        return;
+    }
+    if dst_dup_src && ed.src != ed.dst {
+        return;
+    }
+    let mut row = vec![Binding::Node(ed.src), Binding::Edge(e)];
+    if !dst_dup_src {
+        row.push(Binding::Node(ed.dst));
+    } else {
+        row.truncate(2);
+    }
+    out.push(row.into_boxed_slice());
+}
+
+/// Generates the candidate edges of a pattern under an access path and
+/// feeds each to `emit` (which applies predicates, pushdown filters,
+/// and row construction). Separated from the emission so the
+/// no-pushdown path monomorphises without bound checks.
+///
+/// All candidate sources are costed in the same unit — incident edges
+/// iterated (degree sums for node expansions, index length for the
+/// label index) — the same measure the planner's estimates use, so
+/// without pushdown the executed source always matches the planned
+/// access path (ties resolved src-first, like [`crate::choose_access`]).
+/// With pushdown, a strictly cheaper bound endpoint set overrides the
+/// static path; the plan documents this possibility in
+/// [`crate::PatternPlan::pushdown`].
+fn scan_candidates(
+    g: &Graph,
+    p: &TriplePattern,
+    access: &AccessPath,
+    bound: &BoundSets,
+    mut emit: impl FnMut(cs_graph::EdgeId),
+) {
+    // Bound edge bindings are exact candidates: nothing can beat them.
+    if let Some(edges) = &bound.edge {
+        for b in edges {
+            if let Some(e) = b.as_edge() {
+                emit(e);
+            }
+        }
+        return;
+    }
+
+    let bound_nodes = |s: &FxHashSet<Binding>| -> Vec<cs_graph::NodeId> {
+        s.iter().filter_map(|b| b.as_node()).collect()
+    };
+    let degree_sum =
+        |nodes: &[cs_graph::NodeId]| -> usize { nodes.iter().map(|&n| g.degree(n)).sum() };
+    let mut expand = |nodes: Vec<cs_graph::NodeId>, outgoing: bool| {
+        for n in nodes {
+            if outgoing {
+                for a in g.outgoing(n) {
+                    emit(a.edge);
+                }
+            } else {
+                for a in g.incoming(n) {
+                    emit(a.edge);
+                }
+            }
+        }
+    };
+
+    // Node expansions available through pushdown: (cost, nodes,
+    // outgoing?), src before dst so ties resolve like the planner.
+    let mut sources: Vec<(usize, Vec<cs_graph::NodeId>, bool)> = Vec::new();
+    if let Some(s) = &bound.src {
+        let v = bound_nodes(s);
+        sources.push((degree_sum(&v), v, true));
+    }
+    if let Some(s) = &bound.dst {
+        let v = bound_nodes(s);
+        sources.push((degree_sum(&v), v, false));
+    }
+
+    if let AccessPath::EdgeLabelIndex { label } = access {
+        // The label index lists exactly the matching edges; expand from
+        // a bound endpoint instead only when strictly cheaper (e.g. a
+        // handful of bound nodes against a huge label index).
+        let index: &[cs_graph::EdgeId] = g.label_id(label).map_or(&[], |l| g.edges_with_label(l));
+        match sources.into_iter().min_by_key(|(c, _, _)| *c) {
+            Some((c, nodes, outgoing)) if c < index.len() => expand(nodes, outgoing),
+            _ => {
+                for &e in index {
+                    emit(e);
+                }
+            }
+        }
+        return; // absent label => empty table
+    }
+
+    // NodeIndexScan / FullScan: add the pinned endpoint indexes, then
+    // run the cheapest source, falling back to a full edge scan.
+    if let Some(sn) = pinned_nodes(g, &p.src.pred) {
+        sources.push((degree_sum(&sn), sn, true));
+    }
+    if let Some(dn) = pinned_nodes(g, &p.dst.pred) {
+        sources.push((degree_sum(&dn), dn, false));
+    }
+    match sources.into_iter().min_by_key(|(c, _, _)| *c) {
+        Some((_, nodes, outgoing)) => expand(nodes, outgoing),
+        None => {
+            for e in g.edge_ids() {
+                emit(e);
+            }
+        }
+    }
 }
 
 /// Returns the node candidates if `pred` pins a label or type, else
@@ -208,12 +373,62 @@ fn pinned_nodes(g: &Graph, pred: &Predicate) -> Option<Vec<cs_graph::NodeId>> {
     }
 }
 
-/// Evaluates a whole BGP: per-pattern tables, joined greedily — start
-/// from the smallest table, and at each step join a pattern sharing a
-/// variable with the accumulated result (falling back to the smallest
-/// remaining if none connects). This is the textbook left-deep greedy
-/// plan for conjunctive queries.
+/// Evaluates a whole BGP through the statistics-driven planner: a
+/// cost-ordered left-deep plan is chosen *before* any pattern table is
+/// materialised ([`plan_bgp`]), then executed with bound-variable
+/// pushdown — each step's pattern is evaluated against only the
+/// bindings the accumulated table can still join with.
 pub fn eval_bgp(g: &Graph, bgp: &Bgp) -> Table {
+    assert!(
+        bgp.is_connected(),
+        "BGP violates Def 2.4: patterns must be connected"
+    );
+    eval_bgp_with_plan(g, bgp, &plan_bgp(g, bgp))
+}
+
+/// Executes a BGP under an explicit [`BgpPlan`] (normally produced by
+/// [`plan_bgp`]). The plan must cover every pattern of `bgp` exactly
+/// once.
+pub fn eval_bgp_with_plan(g: &Graph, bgp: &Bgp, plan: &BgpPlan) -> Table {
+    if bgp.patterns.is_empty() {
+        return Table::new(Vec::new());
+    }
+    let mut acc: Option<Table> = None;
+    for (si, step) in plan.steps.iter().enumerate() {
+        let p = &bgp.patterns[step.pattern];
+        let t = match &acc {
+            None => eval_pattern_access(g, p, &step.access, &BoundSets::default()),
+            Some(a) => eval_pattern_access(g, p, &step.access, &BoundSets::from_table(a, p)),
+        };
+        let next = match acc.take() {
+            None => t,
+            Some(a) => a.natural_join(&t),
+        };
+        if next.is_empty() {
+            // Short-circuit: the join result can only stay empty, but
+            // the schema must still include every pattern variable.
+            let mut vars = next.vars().to_vec();
+            for later in &plan.steps[si..] {
+                let q = &bgp.patterns[later.pattern];
+                for term in [&q.src, &q.edge, &q.dst] {
+                    if !vars.contains(&term.var) {
+                        vars.push(term.var.clone());
+                    }
+                }
+            }
+            return Table::new(vars);
+        }
+        acc = Some(next);
+    }
+    acc.unwrap_or_else(|| Table::new(Vec::new()))
+}
+
+/// Evaluates a BGP with the pre-planner strategy: materialise every
+/// pattern table eagerly, then join greedily by actual table size
+/// (smallest first, preferring join partners that share a variable).
+/// Kept as the reference implementation the planner is property-tested
+/// against, and as an A/B baseline for benchmarks.
+pub fn eval_bgp_greedy(g: &Graph, bgp: &Bgp) -> Table {
     assert!(
         bgp.is_connected(),
         "BGP violates Def 2.4: patterns must be connected"
@@ -221,7 +436,14 @@ pub fn eval_bgp(g: &Graph, bgp: &Bgp) -> Table {
     if bgp.patterns.is_empty() {
         return Table::new(Vec::new());
     }
-    let mut tables: Vec<Table> = bgp.patterns.iter().map(|p| eval_pattern(g, p)).collect();
+    let mut tables: Vec<Table> = bgp
+        .patterns
+        .iter()
+        .map(|p| {
+            let (access, _) = crate::plan::choose_access(g, p);
+            eval_pattern_access(g, p, &access, &BoundSets::default())
+        })
+        .collect();
 
     // Pick the smallest to start.
     let start = tables
@@ -326,6 +548,56 @@ mod tests {
         b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
         b.push(Term::var("z"), Term::var("e2"), Term::var("w"));
         assert!(!b.is_connected());
+    }
+
+    /// Regression: {(x,e1,y), (x,e2,z), (a,e3,b), (a,e4,c)} passes the
+    /// naive pairwise-sharing check (every pattern shares a variable
+    /// with *some* other pattern) but forms two components — the old
+    /// `is_connected` accepted it and `eval_bgp` silently computed a
+    /// cross product.
+    #[test]
+    fn pairwise_sharing_but_two_components_rejected() {
+        let mut b = Bgp::new();
+        b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        b.push(Term::var("x"), Term::var("e2"), Term::var("z"));
+        b.push(Term::var("a"), Term::var("e3"), Term::var("b"));
+        b.push(Term::var("a"), Term::var("e4"), Term::var("c"));
+        assert!(
+            !b.is_connected(),
+            "two components must not count as connected"
+        );
+        assert_eq!(pattern_components(&b.patterns).len(), 2);
+    }
+
+    #[test]
+    fn pattern_components_grouping() {
+        let mut b = Bgp::new();
+        b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        b.push(Term::var("a"), Term::var("e2"), Term::var("c"));
+        b.push(Term::var("y"), Term::var("e3"), Term::var("z"));
+        let comps = pattern_components(&b.patterns);
+        assert_eq!(comps, vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn planned_matches_greedy_on_fig1() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("_e0", Predicate::label("citizenOf")),
+            Term::var("c"),
+        );
+        b.push(Term::var("x"), Term::var("e2"), Term::var("y"));
+        let planned = eval_bgp(&g, &b);
+        let greedy = eval_bgp_greedy(&g, &b);
+        assert_eq!(planned.len(), greedy.len());
+        let order: Vec<&str> = planned.vars().iter().map(|v| v.as_ref()).collect();
+        let mut a: Vec<Vec<Binding>> = planned.rows().map(|r| r.to_vec()).collect();
+        let mut c: Vec<Vec<Binding>> = greedy.project(&order).rows().map(|r| r.to_vec()).collect();
+        a.sort();
+        c.sort();
+        assert_eq!(a, c);
     }
 
     #[test]

@@ -3,8 +3,12 @@
 //! The paper delegates BGP evaluation and final joins to PostgreSQL
 //! (§5.1); this crate is the equivalent in-memory substrate: binding
 //! tables with relational operators (selection, projection, natural
-//! hash join, distinct, sort, limit) and a BGP matcher with index-backed
-//! access paths and a greedy left-deep join order.
+//! hash join, distinct, sort, limit) and a BGP matcher driven by a
+//! statistics-based planner — per-pattern [`AccessPath`]s with
+//! cardinality estimates from the graph's cached
+//! [`cs_graph::Cardinalities`] snapshot, ordered into a cost-based
+//! left-deep join plan with bound-variable pushdown ([`plan_bgp`],
+//! [`explain_plan`]).
 //!
 //! ```
 //! use cs_engine::{Bgp, Term, eval_bgp};
@@ -25,8 +29,12 @@
 
 mod bgp;
 mod binding;
+mod plan;
 mod table;
 
-pub use bgp::{eval_bgp, Bgp, Term, TriplePattern};
+pub use bgp::{
+    eval_bgp, eval_bgp_greedy, eval_bgp_with_plan, pattern_components, Bgp, Term, TriplePattern,
+};
 pub use binding::Binding;
+pub use plan::{choose_access, explain_plan, plan_bgp, AccessPath, BgpPlan, PatternPlan};
 pub use table::Table;

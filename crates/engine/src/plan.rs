@@ -1,0 +1,332 @@
+//! Statistics-driven BGP planning.
+//!
+//! The paper delegates BGP evaluation to an RDBMS (§5.1) and inherits
+//! its optimiser; this module is the equivalent for the in-memory
+//! substrate. Planning happens *before* any pattern table is
+//! materialised: each triple pattern gets an [`AccessPath`] with an
+//! estimated cardinality derived from the graph's cached
+//! [`Cardinalities`] snapshot, and the patterns are ordered into a
+//! left-deep join sequence so that high-selectivity patterns evaluate
+//! first and later steps can prune through bound-variable pushdown
+//! (a semi-join filter on the variables the accumulated table already
+//! binds).
+//!
+//! Every estimate is an **upper bound** on the actual pattern table
+//! size: residual predicates and pushdown only remove rows.
+
+use crate::bgp::{Bgp, TriplePattern};
+use cs_graph::{Graph, Predicate};
+use std::fmt;
+use std::sync::Arc;
+
+/// How the candidate edges of one triple pattern are generated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// The edge term pins a label: scan the edge-label index.
+    EdgeLabelIndex {
+        /// The pinned edge label.
+        label: String,
+    },
+    /// An endpoint term pins a node label or type: scan that
+    /// endpoint's node-index candidates and their incident edges.
+    NodeIndexScan {
+        /// True if the indexed endpoint is the source (outgoing scan),
+        /// false for the target (incoming scan).
+        on_src: bool,
+        /// The pinned node label or type.
+        key: String,
+    },
+    /// No index applies: scan every edge.
+    FullScan,
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::EdgeLabelIndex { label } => write!(f, "EdgeLabelIndex(\"{label}\")"),
+            AccessPath::NodeIndexScan { on_src, key } => {
+                let side = if *on_src { "src" } else { "dst" };
+                write!(f, "NodeIndexScan({side}, \"{key}\")")
+            }
+            AccessPath::FullScan => write!(f, "FullScan"),
+        }
+    }
+}
+
+/// One step of a [`BgpPlan`]: which pattern to evaluate, how, at what
+/// estimated cost, and which of its variables the accumulated table
+/// already binds (enabling semi-join pushdown).
+#[derive(Debug, Clone)]
+pub struct PatternPlan {
+    /// Index of the pattern in [`Bgp::patterns`].
+    pub pattern: usize,
+    /// The chosen access path.
+    pub access: AccessPath,
+    /// Upper bound on the pattern table size under `access`.
+    pub estimate: usize,
+    /// Variables of this pattern bound by earlier steps; the evaluator
+    /// pushes them down as semi-join filters (and may expand from the
+    /// bound node set instead of the static access path when smaller).
+    pub pushdown: Vec<Arc<str>>,
+}
+
+/// A cost-ordered left-deep evaluation plan for one BGP.
+#[derive(Debug, Clone, Default)]
+pub struct BgpPlan {
+    /// The evaluation steps, in execution order.
+    pub steps: Vec<PatternPlan>,
+}
+
+impl BgpPlan {
+    /// Total estimated cardinality scanned across all steps.
+    pub fn total_estimate(&self) -> usize {
+        self.steps.iter().map(|s| s.estimate).sum()
+    }
+}
+
+impl fmt::Display for BgpPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            write!(
+                f,
+                "step {}: pattern #{} via {} est {}",
+                i + 1,
+                s.pattern,
+                s.access,
+                s.estimate
+            )?;
+            if !s.pushdown.is_empty() {
+                let vars: Vec<&str> = s.pushdown.iter().map(|v| v.as_ref()).collect();
+                write!(f, " [pushdown: {}]", vars.join(", "))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Returns the label/type key a node predicate pins, if any; the flag
+/// is true for a label key (label conditions take precedence over type
+/// conditions, mirroring `matching_nodes`).
+fn node_key(pred: &Predicate) -> Option<(bool, &str)> {
+    pred.eq_label()
+        .map(|l| (true, l))
+        .or_else(|| pred.eq_type().map(|t| (false, t)))
+}
+
+/// Upper-bound estimate of a node-index scan on one endpoint: the sum
+/// of the candidate nodes' (combined) degrees — every emitted edge is
+/// incident to a candidate, and incident-edge counts per direction are
+/// bounded by the combined degree.
+fn node_scan_estimate(g: &Graph, is_label: bool, key: &str) -> usize {
+    let Some(l) = g.label_id(key) else { return 0 };
+    let nodes = if is_label {
+        g.nodes_with_label(l)
+    } else {
+        g.nodes_with_type(l)
+    };
+    nodes.iter().map(|&n| g.degree(n)).sum()
+}
+
+/// Chooses the access path and cardinality estimate of one pattern,
+/// consulting the graph's [`cs_graph::Cardinalities`] snapshot.
+pub fn choose_access(g: &Graph, p: &TriplePattern) -> (AccessPath, usize) {
+    let card = g.cardinalities();
+    // An edge-label equality always wins: the index yields exactly the
+    // matching edges, and the estimate is the exact index size.
+    if let Some(label) = p.edge.pred.eq_label() {
+        let est = g.label_id(label).map_or(0, |l| card.edge_label_count(l));
+        return (
+            AccessPath::EdgeLabelIndex {
+                label: label.to_string(),
+            },
+            est,
+        );
+    }
+    // Endpoint indexes: pick the cheaper pinned side.
+    let src = node_key(&p.src.pred).map(|(il, k)| (k, node_scan_estimate(g, il, k)));
+    let dst = node_key(&p.dst.pred).map(|(il, k)| (k, node_scan_estimate(g, il, k)));
+    let side = match (src, dst) {
+        (Some((sk, se)), Some((_, de))) if se <= de => Some((true, sk, se)),
+        (Some(_) | None, Some((dk, de))) => Some((false, dk, de)),
+        (Some((sk, se)), None) => Some((true, sk, se)),
+        (None, None) => None,
+    };
+    match side {
+        Some((on_src, key, est)) => (
+            AccessPath::NodeIndexScan {
+                on_src,
+                key: key.to_string(),
+            },
+            est,
+        ),
+        None => (AccessPath::FullScan, card.edges),
+    }
+}
+
+/// Plans a BGP: per-pattern access paths with estimates, ordered into a
+/// cost-based left-deep sequence. The first step is the cheapest
+/// pattern; each later step is the cheapest pattern sharing a variable
+/// with the already-planned prefix (falling back to the global cheapest
+/// for disconnected inputs, which [`crate::eval_bgp`] rejects anyway).
+pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> BgpPlan {
+    let n = bgp.patterns.len();
+    let mut choices: Vec<(AccessPath, usize)> =
+        bgp.patterns.iter().map(|p| choose_access(g, p)).collect();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut bound: Vec<Arc<str>> = Vec::new();
+    let mut steps = Vec::with_capacity(n);
+    while !remaining.is_empty() {
+        let vars_of = |i: usize| -> Vec<Arc<str>> {
+            let p = &bgp.patterns[i];
+            vec![p.src.var.clone(), p.edge.var.clone(), p.dst.var.clone()]
+        };
+        let connected = |i: usize| vars_of(i).iter().any(|v| bound.contains(v));
+        // Cheapest connected pattern, else cheapest overall (first
+        // step, or disconnected input).
+        let pick = remaining
+            .iter()
+            .copied()
+            .filter(|&i| bound.is_empty() || connected(i))
+            .min_by_key(|&i| (choices[i].1, i))
+            .or_else(|| remaining.iter().copied().min_by_key(|&i| (choices[i].1, i)))
+            .unwrap();
+        remaining.retain(|&i| i != pick);
+        let (access, estimate) = std::mem::replace(
+            &mut choices[pick],
+            (AccessPath::FullScan, 0), // slot consumed
+        );
+        let pushdown: Vec<Arc<str>> = vars_of(pick)
+            .into_iter()
+            .filter(|v| bound.contains(v))
+            .collect();
+        for v in vars_of(pick) {
+            if !bound.contains(&v) {
+                bound.push(v);
+            }
+        }
+        steps.push(PatternPlan {
+            pattern: pick,
+            access,
+            estimate,
+            pushdown,
+        });
+    }
+    BgpPlan { steps }
+}
+
+/// Renders the plan of a BGP as a human-readable string — the
+/// `EXPLAIN` surface of the engine.
+pub fn explain_plan(g: &Graph, bgp: &Bgp) -> String {
+    plan_bgp(g, bgp).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::Term;
+    use cs_graph::{figure1, Predicate};
+
+    #[test]
+    fn fig1_query_prefers_edge_label_index() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::pred("x", Predicate::typed("entrepreneur")),
+            Term::pred("e", Predicate::label("citizenOf")),
+            Term::constant("USA", 0),
+        );
+        let plan = plan_bgp(&g, &b);
+        assert_eq!(plan.steps.len(), 1);
+        assert!(
+            matches!(&plan.steps[0].access, AccessPath::EdgeLabelIndex { label } if label == "citizenOf"),
+            "{plan}"
+        );
+        assert_eq!(plan.steps[0].estimate, 5); // 5 citizenOf edges
+    }
+
+    #[test]
+    fn cheapest_pattern_goes_first() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        // Unconstrained pattern (est = |E|) then a label-indexed one
+        // (est = 2): the plan must flip the order.
+        b.push(Term::var("x"), Term::var("e1"), Term::var("y"));
+        b.push(
+            Term::var("x"),
+            Term::pred("e2", Predicate::label("founded")),
+            Term::var("z"),
+        );
+        let plan = plan_bgp(&g, &b);
+        assert_eq!(plan.steps[0].pattern, 1);
+        assert!(plan.steps[0].estimate < plan.steps[1].estimate);
+        // The second step sees x bound and can push it down.
+        assert!(plan.steps[1].pushdown.iter().any(|v| v.as_ref() == "x"));
+    }
+
+    #[test]
+    fn later_steps_stay_connected() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("a"),
+            Term::pred("e1", Predicate::label("citizenOf")),
+            Term::var("b"),
+        );
+        b.push(
+            Term::var("b"),
+            Term::pred("e2", Predicate::label("locatedIn")),
+            Term::var("c"),
+        );
+        b.push(
+            Term::var("c"),
+            Term::pred("e3", Predicate::label("founded")),
+            Term::var("d"),
+        );
+        let plan = plan_bgp(&g, &b);
+        // Whatever starts, each following step shares a variable with
+        // the prefix.
+        let mut bound: Vec<Arc<str>> = Vec::new();
+        for (i, s) in plan.steps.iter().enumerate() {
+            let p = &b.patterns[s.pattern];
+            let vars = [&p.src.var, &p.edge.var, &p.dst.var];
+            if i > 0 {
+                assert!(
+                    vars.iter().any(|v| bound.contains(v)),
+                    "step {i} disconnected in {plan}"
+                );
+                assert!(!s.pushdown.is_empty());
+            }
+            bound.extend(vars.into_iter().cloned());
+        }
+    }
+
+    #[test]
+    fn missing_label_estimates_zero() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("e", Predicate::label("noSuchLabel")),
+            Term::var("y"),
+        );
+        let plan = plan_bgp(&g, &b);
+        assert_eq!(plan.steps[0].estimate, 0);
+    }
+
+    #[test]
+    fn display_mentions_access_paths() {
+        let g = figure1();
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("e", Predicate::label("citizenOf")),
+            Term::var("y"),
+        );
+        b.push(Term::var("y"), Term::var("f"), Term::var("z"));
+        let s = explain_plan(&g, &b);
+        assert!(s.contains("EdgeLabelIndex(\"citizenOf\")"), "{s}");
+        assert!(s.contains("FullScan"), "{s}");
+        assert!(s.contains("pushdown: y"), "{s}");
+    }
+}

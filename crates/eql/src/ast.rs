@@ -98,6 +98,12 @@ pub struct QueryAst {
     pub ctps: Vec<CtpAst>,
 }
 
+/// The shared error message for [`QueryAst::duplicate_out_var`]
+/// violations (used verbatim by both parse- and execute-time checks).
+pub(crate) fn duplicate_out_var_message(var: &str) -> String {
+    format!("duplicate CTP output variable `{var}`: each CTP must bind a distinct output variable")
+}
+
 /// Whether the query returns bindings or only checks satisfiability
 /// (the "check-only" semantics class of the paper's Virtuoso
 /// baselines, §5.5).
@@ -112,6 +118,19 @@ pub enum QueryForm {
 }
 
 impl QueryAst {
+    /// The first CTP output variable bound by more than one CTP, if
+    /// any. Duplicates would silently overwrite each other's tree and
+    /// score entries during execution, so both the parser and the
+    /// executor reject them via this check.
+    pub fn duplicate_out_var(&self) -> Option<&str> {
+        self.ctps.iter().enumerate().find_map(|(i, c)| {
+            self.ctps[..i]
+                .iter()
+                .any(|c2| c2.out_var == c.out_var)
+                .then_some(c.out_var.as_str())
+        })
+    }
+
     /// All body variable names (explicit ones), in first-appearance
     /// order — hidden constant variables excluded.
     pub fn body_vars(&self) -> Vec<String> {

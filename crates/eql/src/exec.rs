@@ -9,12 +9,13 @@
 
 use crate::ast::{CtpAst, QueryAst, QueryForm, TermAst};
 use crate::parser::{parse, ParseError};
+use cs_core::parallel::{evaluate_ctps_parallel, CtpJob};
 use cs_core::score::by_name;
 use cs_core::{
     evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree, SearchStats,
     SeedError, SeedSets, SeedSpec,
 };
-use cs_engine::{eval_bgp, Bgp, Binding, Table, Term};
+use cs_engine::{eval_bgp_with_plan, plan_bgp, Bgp, BgpPlan, Binding, Table, Term, TriplePattern};
 use cs_graph::fxhash::FxHashMap;
 use cs_graph::{matching_nodes, Graph, NodeId};
 use std::fmt;
@@ -27,6 +28,9 @@ pub enum EqlError {
     Parse(ParseError),
     /// Invalid seed sets (e.g. > 64 groups).
     Seed(SeedError),
+    /// A structurally invalid query reached the executor (possible when
+    /// the AST is constructed programmatically, bypassing the parser).
+    Validate(String),
 }
 
 impl fmt::Display for EqlError {
@@ -34,6 +38,7 @@ impl fmt::Display for EqlError {
         match self {
             EqlError::Parse(e) => write!(f, "{e}"),
             EqlError::Seed(e) => write!(f, "{e}"),
+            EqlError::Validate(m) => write!(f, "{m}"),
         }
     }
 }
@@ -63,6 +68,13 @@ pub struct ExecOptions {
     /// largest explicit seed set exceeds the smallest by this factor,
     /// or when an `N` seed set is present.
     pub balance_ratio: usize,
+    /// Worker threads for step (B): independent CTPs are collected
+    /// into [`CtpJob`]s and evaluated through
+    /// [`cs_core::parallel::evaluate_ctps_parallel`] (the paper's §6
+    /// coarse-grained parallelism). `1` (the default) evaluates
+    /// in-line on the calling thread; `0` uses the available
+    /// parallelism.
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
@@ -71,6 +83,7 @@ impl Default for ExecOptions {
             default_algorithm: Algorithm::MoLesp,
             default_timeout: None,
             balance_ratio: 64,
+            threads: 1,
         }
     }
 }
@@ -86,6 +99,9 @@ pub struct ExecStats {
     pub join_time: Duration,
     /// Per-CTP search statistics, keyed by output variable.
     pub ctp_stats: Vec<(String, SearchStats, Duration)>,
+    /// The access-path plan of each BGP component, in component order —
+    /// the `EXPLAIN` surface of step (A).
+    pub plans: Vec<BgpPlan>,
 }
 
 /// The result of an EQL query.
@@ -176,32 +192,45 @@ pub fn run_ask(g: &Graph, text: &str) -> Result<bool, EqlError> {
     Ok(res.boolean.unwrap_or(res.rows() > 0))
 }
 
+/// First result cap for variable-sharing ASK CTPs; grown by
+/// [`ASK_LIMIT_GROWTH`] each deepening round while the join probe stays
+/// empty and a search was truncated by its cap.
+const ASK_INITIAL_LIMIT: usize = 4;
+/// Growth factor of the ASK deepening loop.
+const ASK_LIMIT_GROWTH: usize = 8;
+
 /// Executes a parsed query.
 pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResult, EqlError> {
+    // Re-check the invariant the parser enforces, for ASTs built
+    // programmatically: duplicate CTP output variables would silently
+    // overwrite each other's tree/score entries.
+    if let Some(v) = q.duplicate_out_var() {
+        return Err(EqlError::Validate(crate::ast::duplicate_out_var_message(v)));
+    }
     let mut stats = ExecStats::default();
 
-    // ---- Step (A): group edge patterns into BGPs and evaluate them.
+    // ---- Step (A): group edge patterns into BGPs, plan each against
+    // the graph's cardinality statistics, and evaluate the plans.
     let t0 = Instant::now();
-    let lowered = lower_patterns(q);
-    let components = connected_components(&lowered);
+    let bgps = query_bgps(q);
     let mut bgp_tables: Vec<Table> = Vec::new();
-    for comp in &components {
-        let mut bgp = Bgp::new();
-        for &idx in comp {
-            let p = &lowered[idx];
-            bgp.push(p.0.clone(), p.1.clone(), p.2.clone());
-        }
-        bgp_tables.push(eval_bgp(g, &bgp));
+    for bgp in &bgps {
+        let plan = plan_bgp(g, bgp);
+        bgp_tables.push(eval_bgp_with_plan(g, bgp, &plan));
+        stats.plans.push(plan);
     }
     stats.bgp_time = t0.elapsed();
 
-    // ---- Step (B): evaluate each CTP.
+    // ---- Step (B): evaluate the CTPs. All CTPs of a query are
+    // independent searches (their seed sets derive only from step A),
+    // so they are collected into [`CtpJob`]s and — when more than one
+    // worker is configured — dispatched through the §6 coarse-grained
+    // parallel evaluator.
     let t1 = Instant::now();
-    let mut ctp_tables: Vec<Table> = Vec::new();
-    let mut trees: FxHashMap<String, Vec<ResultTree>> = FxHashMap::default();
-    let mut scores: FxHashMap<String, Vec<f64>> = FxHashMap::default();
+    let mut jobs: Vec<CtpJob> = Vec::with_capacity(q.ctps.len());
+    let mut job_cols: Vec<Vec<Option<String>>> = Vec::with_capacity(q.ctps.len());
+    let mut deepenable: Vec<bool> = Vec::with_capacity(q.ctps.len());
     for (ci, ctp) in q.ctps.iter().enumerate() {
-        let tc = Instant::now();
         let (specs, col_vars) = seed_specs(g, ctp, ci, &bgp_tables);
         let seeds = SeedSets::new(specs)?;
 
@@ -210,38 +239,153 @@ pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResul
         filters.labels = ctp.filters.labels.clone();
         filters.max_edges = ctp.filters.max_edges;
         filters.timeout = ctp.filters.timeout.or(opts.default_timeout);
-        // ASK only needs existence: evaluate CTPs with LIMIT 1
-        // unless the query says otherwise (check-only semantics).
+        // ASK only needs existence, so a CTP can stop after its first
+        // result (implicit LIMIT 1) — but only when the CTP shares no
+        // variables with other tables: if its seed columns participate
+        // in a join, the single kept tree may not be the one that
+        // joins, yielding a false negative. Variable-sharing ASK CTPs
+        // without an explicit LIMIT instead start from a small result
+        // cap that the deepening loop below raises only while the join
+        // stays empty and some search was truncated.
+        let deepen = q.form == QueryForm::Ask
+            && ctp.filters.limit.is_none()
+            && ctp_shares_variables(q, ci, &bgp_tables);
         filters.max_results = ctp.filters.limit.or(match q.form {
+            QueryForm::Ask if deepen => Some(ASK_INITIAL_LIMIT),
             QueryForm::Ask => Some(1),
             QueryForm::Select => None,
         });
 
         let algorithm = ctp.algorithm.unwrap_or(opts.default_algorithm);
         let policy = pick_policy(&seeds, opts.balance_ratio);
-        let outcome = evaluate_ctp_with_policy(
-            g,
-            &seeds,
+        jobs.push(CtpJob {
+            seeds,
             algorithm,
             filters,
-            QueueOrder::SmallestFirst,
+            order: QueueOrder::SmallestFirst,
             policy,
-        );
+        });
+        job_cols.push(col_vars);
+        deepenable.push(deepen);
+    }
+
+    // Evaluate, materialise, and — for ASK — probe the join; deepen
+    // the result caps of sharing CTPs while the probe is empty and a
+    // truncated search might still produce the joining tree.
+    let (ctp_tables, trees, scores) = loop {
+        let outcomes = if opts.threads == 1 || jobs.len() <= 1 {
+            // In-line evaluation on the calling thread.
+            jobs.iter()
+                .map(|j| {
+                    evaluate_ctp_with_policy(
+                        g,
+                        &j.seeds,
+                        j.algorithm,
+                        j.filters.clone(),
+                        j.order.clone(),
+                        j.policy,
+                    )
+                })
+                .collect()
+        } else {
+            evaluate_ctps_parallel(g, &jobs, opts.threads)
+        };
+
+        // A deepening retry replaces the previous attempt's stats.
+        stats.ctp_stats.clear();
+        let truncated = jobs
+            .iter()
+            .zip(&outcomes)
+            .zip(&deepenable)
+            .any(|((j, o), &d)| {
+                d && (!o.complete() || j.filters.max_results.is_some_and(|k| o.results.len() >= k))
+            });
+        let timed_out = outcomes.iter().any(|o| o.stats.timed_out);
+
+        let materialised = materialise_ctps(g, q, outcomes, &job_cols, &mut stats);
+
+        // SELECT returns everything found; ASK stops as soon as the
+        // join is witnessed, or no truncated search can change it.
+        if q.form == QueryForm::Select || !truncated || timed_out {
+            break materialised;
+        }
+        let mut probe = bgp_tables.clone();
+        probe.extend(materialised.0.iter().cloned());
+        if !join_all(probe).is_empty() {
+            break materialised;
+        }
+        for (j, &d) in jobs.iter_mut().zip(&deepenable) {
+            if d {
+                let k = j.filters.max_results.unwrap_or(ASK_INITIAL_LIMIT);
+                j.filters.max_results = Some(k.saturating_mul(ASK_LIMIT_GROWTH));
+            }
+        }
+    };
+
+    stats.ctp_time = t1.elapsed();
+
+    // ---- Step (C): join everything and project the head.
+    let t2 = Instant::now();
+    let mut tables: Vec<Table> = bgp_tables;
+    tables.extend(ctp_tables);
+    let joined = join_all(tables);
+    let head_refs: Vec<&str> = q.head.iter().map(String::as_str).collect();
+    let table = joined.project(&head_refs).distinct();
+    stats.join_time = t2.elapsed();
+
+    let boolean = match q.form {
+        QueryForm::Ask => Some(!joined.is_empty()),
+        QueryForm::Select => None,
+    };
+
+    Ok(QueryResult {
+        table,
+        trees,
+        scores,
+        stats,
+        boolean,
+    })
+}
+
+/// The join tables, result-tree bindings, and scores one evaluation
+/// round produces.
+type CtpMaterialisation = (
+    Vec<Table>,
+    FxHashMap<String, Vec<ResultTree>>,
+    FxHashMap<String, Vec<f64>>,
+);
+
+/// Turns each CTP's search outcome into its join table `CTP_j`,
+/// applying `SCORE σ [TOP k]` (§4.8), and records per-CTP statistics.
+fn materialise_ctps(
+    g: &Graph,
+    q: &QueryAst,
+    outcomes: Vec<cs_core::SearchOutcome>,
+    job_cols: &[Vec<Option<String>>],
+    stats: &mut ExecStats,
+) -> CtpMaterialisation {
+    let mut ctp_tables: Vec<Table> = Vec::new();
+    let mut trees: FxHashMap<String, Vec<ResultTree>> = FxHashMap::default();
+    let mut scores: FxHashMap<String, Vec<f64>> = FxHashMap::default();
+    for ((ctp, outcome), col_vars) in q.ctps.iter().zip(outcomes).zip(job_cols) {
         stats
             .ctp_stats
-            .push((ctp.out_var.clone(), outcome.stats.clone(), tc.elapsed()));
+            .push((ctp.out_var.clone(), outcome.stats.clone(), outcome.duration));
 
         let mut result_trees = outcome.results.into_trees();
 
         // SCORE σ [TOP k] (§4.8): score each result; optionally keep
-        // only the k best.
+        // only the k best. Sorted descending under `f64::total_cmp`,
+        // which is a total order: a NaN-producing scorer yields a
+        // deterministic TOP-k (positive NaN sorts above +∞, i.e.
+        // first), instead of an arbitrary one.
         if let Some((sigma_name, top)) = &ctp.filters.score {
             let sigma = by_name(sigma_name).expect("validated by the parser");
             let mut scored: Vec<(f64, ResultTree)> = result_trees
                 .into_iter()
                 .map(|t| (sigma.score(g, &t), t))
                 .collect();
-            scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
             if let Some(k) = top {
                 scored.truncate(*k);
             }
@@ -270,35 +414,11 @@ pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResul
         ctp_tables.push(table);
         trees.insert(ctp.out_var.clone(), result_trees);
     }
-    stats.ctp_time = t1.elapsed();
-
-    // ---- Step (C): join everything and project the head.
-    let t2 = Instant::now();
-    let mut tables: Vec<Table> = bgp_tables;
-    tables.extend(ctp_tables);
-    let joined = join_all(tables);
-    let head_refs: Vec<&str> = q.head.iter().map(String::as_str).collect();
-    let table = joined.project(&head_refs).distinct();
-    stats.join_time = t2.elapsed();
-
-    let boolean = match q.form {
-        QueryForm::Ask => Some(!joined.is_empty()),
-        QueryForm::Select => None,
-    };
-
-    Ok(QueryResult {
-        table,
-        trees,
-        scores,
-        stats,
-        boolean,
-    })
+    (ctp_tables, trees, scores)
 }
 
-type LoweredPattern = (Term, Term, Term);
-
 /// Lowers edge patterns, assigning hidden variable names to constants.
-fn lower_patterns(q: &QueryAst) -> Vec<LoweredPattern> {
+fn lower_patterns(q: &QueryAst) -> Vec<TriplePattern> {
     let mut hidden = 0usize;
     let mut lower = |t: &TermAst| -> Term {
         match &t.var {
@@ -312,43 +432,62 @@ fn lower_patterns(q: &QueryAst) -> Vec<LoweredPattern> {
     };
     q.patterns
         .iter()
-        .map(|p| (lower(&p.src), lower(&p.edge), lower(&p.dst)))
+        .map(|p| TriplePattern {
+            src: lower(&p.src),
+            edge: lower(&p.edge),
+            dst: lower(&p.dst),
+        })
         .collect()
 }
 
 /// Groups pattern indices into maximal components connected by shared
-/// variables — each component is one BGP (Def. 2.4).
-fn connected_components(patterns: &[LoweredPattern]) -> Vec<Vec<usize>> {
-    let n = patterns.len();
-    let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut [usize], mut x: usize) -> usize {
-        while parent[x] != x {
-            parent[x] = parent[parent[x]];
-            x = parent[x];
-        }
-        x
-    }
-    let vars_of = |p: &LoweredPattern| vec![p.0.var.clone(), p.1.var.clone(), p.2.var.clone()];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let vi = vars_of(&patterns[i]);
-            let shared = vars_of(&patterns[j]).iter().any(|v| vi.contains(v));
-            if shared {
-                let (a, b) = (find(&mut parent, i), find(&mut parent, j));
-                if a != b {
-                    parent[a] = b;
-                }
+/// variables — each component is one BGP (Def. 2.4). Delegates to the
+/// engine's union-find ([`cs_engine::pattern_components`]), the same
+/// implementation backing [`Bgp::is_connected`].
+fn connected_components(patterns: &[TriplePattern]) -> Vec<Vec<usize>> {
+    cs_engine::pattern_components(patterns)
+}
+
+/// Lowers a query's edge patterns and groups them into their BGP
+/// components (Def. 2.4), in first-pattern order.
+fn query_bgps(q: &QueryAst) -> Vec<Bgp> {
+    let lowered = lower_patterns(q);
+    connected_components(&lowered)
+        .into_iter()
+        .map(|comp| {
+            let mut bgp = Bgp::new();
+            for idx in comp {
+                let p = &lowered[idx];
+                bgp.push(p.src.clone(), p.edge.clone(), p.dst.clone());
             }
-        }
-    }
-    let mut groups: FxHashMap<usize, Vec<usize>> = FxHashMap::default();
-    for i in 0..n {
-        let r = find(&mut parent, i);
-        groups.entry(r).or_default().push(i);
-    }
-    let mut out: Vec<Vec<usize>> = groups.into_values().collect();
-    out.sort_by_key(|v| v[0]);
-    out
+            bgp
+        })
+        .collect()
+}
+
+/// The access-path plans step (A) would run for a query, without
+/// executing anything — one [`BgpPlan`] per BGP component. This is the
+/// `EXPLAIN` entry point; the same plans are recorded in
+/// [`ExecStats::plans`] when the query actually runs.
+pub fn explain_plan(g: &Graph, q: &QueryAst) -> Vec<BgpPlan> {
+    query_bgps(q).iter().map(|b| plan_bgp(g, b)).collect()
+}
+
+/// True if CTP `ci`'s explicit seed variables occur in any BGP table
+/// or in another CTP — i.e. the CTP's table participates in a join on
+/// those columns, so keeping only its first result (the ASK implicit
+/// `LIMIT 1`) could discard exactly the tree that joins.
+fn ctp_shares_variables(q: &QueryAst, ci: usize, bgp_tables: &[Table]) -> bool {
+    q.ctps[ci]
+        .terms
+        .iter()
+        .filter_map(|t| t.var.as_deref())
+        .any(|v| {
+            bgp_tables.iter().any(|t| t.col(v).is_some())
+                || q.ctps.iter().enumerate().any(|(cj, c2)| {
+                    cj != ci && c2.terms.iter().any(|t2| t2.var.as_deref() == Some(v))
+                })
+        })
 }
 
 /// Computes the seed specs of one CTP (step B.1 of §3). Returns the
@@ -666,12 +805,58 @@ mod ask_tests {
 
     #[test]
     fn ask_applies_limit_one_by_default() {
+        // The CTP shares no variables with anything else, so the
+        // implicit LIMIT 1 is safe and applied.
         let g = figure1();
         let ast = parse(r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) }"#).unwrap();
         let res = execute(&g, &ast, &ExecOptions::default()).unwrap();
         assert_eq!(res.boolean, Some(true));
         // Only one tree computed thanks to the implicit LIMIT 1.
         assert_eq!(res.trees["w"].len(), 1);
+    }
+
+    /// Regression (ASK false negative): the implicit per-CTP `LIMIT 1`
+    /// used to apply even when a CTP's seed columns join against other
+    /// tables. Here both CTPs constrain `x`; each kept a single tree,
+    /// and those trees bound `x` to different entrepreneurs, so the
+    /// join on `x` came out empty and ASK answered false although
+    /// common-`x` answers exist. The limit is now suppressed for
+    /// variable-sharing CTPs.
+    #[test]
+    fn ask_no_false_negative_when_ctps_share_variables() {
+        let g = figure1();
+        let ask = r#"ASK WHERE {
+            CONNECT(x : type = "entrepreneur", "USA" -> w1) MAX 2
+            CONNECT(x, "France" -> w2) MAX 2
+        }"#;
+        // The SELECT form proves common-x answers exist…
+        let sel = r#"SELECT x WHERE {
+            CONNECT(x : type = "entrepreneur", "USA" -> w1) MAX 2
+            CONNECT(x, "France" -> w2) MAX 2
+        }"#;
+        assert!(run_query(&g, sel).unwrap().rows() > 0);
+        // …so ASK must agree.
+        assert!(run_ask(&g, ask).unwrap());
+    }
+
+    /// The implicit limit is also suppressed when a CTP's seeds come
+    /// from a BGP: the CTP table joins the BGP table on those columns.
+    #[test]
+    fn ask_with_bgp_bound_ctp_computes_all_trees() {
+        let g = figure1();
+        let ast = parse(
+            r#"ASK WHERE {
+                (x : type = "entrepreneur", "citizenOf", "USA")
+                CONNECT(x, "Elon" -> w) MAX 3
+            }"#,
+        )
+        .unwrap();
+        let res = execute(&g, &ast, &ExecOptions::default()).unwrap();
+        assert_eq!(res.boolean, Some(true));
+        assert!(
+            res.trees["w"].len() > 1,
+            "x is join-shared: no implicit LIMIT 1"
+        );
     }
 
     #[test]
@@ -702,5 +887,106 @@ mod ask_tests {
         let g = figure1();
         let r = run_query(&g, r#"SELECT x WHERE { (x, "founded", y) }"#).unwrap();
         assert_eq!(r.boolean, None);
+    }
+}
+
+#[cfg(test)]
+mod planner_and_batching_tests {
+    use super::*;
+    use cs_engine::AccessPath;
+    use cs_graph::figure1;
+
+    const Q1: &str = r#"
+        SELECT x, y, z, w WHERE {
+            (x : type = "entrepreneur", "citizenOf", "USA")
+            (y : type = "entrepreneur", "citizenOf", "France")
+            (z : type = "politician",  "citizenOf", "France")
+            CONNECT(x, y, z -> w)
+        }
+    "#;
+
+    #[test]
+    fn explain_plan_picks_edge_label_index_on_q1() {
+        let g = figure1();
+        let q = parse(Q1).unwrap();
+        let plans = explain_plan(&g, &q);
+        assert_eq!(plans.len(), 3, "three BGP components");
+        for p in &plans {
+            assert!(
+                matches!(&p.steps[0].access, AccessPath::EdgeLabelIndex { label } if label == "citizenOf"),
+                "expected the citizenOf index, got {p}"
+            );
+            assert_eq!(p.steps[0].estimate, 5);
+        }
+    }
+
+    #[test]
+    fn exec_stats_record_the_plans() {
+        let g = figure1();
+        let q = parse(Q1).unwrap();
+        let r = execute(&g, &q, &ExecOptions::default()).unwrap();
+        assert_eq!(r.stats.plans.len(), 3);
+        let rendered = r.stats.plans[0].to_string();
+        assert!(rendered.contains("EdgeLabelIndex"), "{rendered}");
+    }
+
+    #[test]
+    fn batched_parallel_execution_matches_sequential() {
+        let g = figure1();
+        let q = parse(
+            r#"SELECT x, w1, w2 WHERE {
+                (x : type = "entrepreneur", "citizenOf", "USA")
+                CONNECT(x, "France" -> w1) LIMIT 20
+                CONNECT(x, "Elon" -> w2) LIMIT 20
+            }"#,
+        )
+        .unwrap();
+        let seq = execute(&g, &q, &ExecOptions::default()).unwrap();
+        let par = execute(
+            &g,
+            &q,
+            &ExecOptions {
+                threads: 4,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.rows(), par.rows());
+        assert_eq!(seq.trees["w1"].len(), par.trees["w1"].len());
+        assert_eq!(seq.trees["w2"].len(), par.trees["w2"].len());
+        // Zero means "available parallelism".
+        let auto = execute(
+            &g,
+            &q,
+            &ExecOptions {
+                threads: 0,
+                ..ExecOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.rows(), auto.rows());
+    }
+
+    #[test]
+    fn execute_rejects_duplicate_out_vars() {
+        let g = figure1();
+        let mk = || CtpAst {
+            terms: vec![TermAst::constant("Bob"), TermAst::constant("Elon")],
+            out_var: "w".into(),
+            filters: Default::default(),
+            algorithm: None,
+        };
+        let q = QueryAst {
+            form: QueryForm::Select,
+            head: vec!["w".into()],
+            patterns: Vec::new(),
+            ctps: vec![mk(), mk()],
+        };
+        let err = execute(&g, &q, &ExecOptions::default()).unwrap_err();
+        assert!(matches!(err, EqlError::Validate(_)));
+        assert!(
+            err.to_string().contains("duplicate CTP output variable"),
+            "{err}"
+        );
     }
 }

@@ -29,6 +29,7 @@ pub mod parser;
 
 pub use ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, QueryForm, TermAst};
 pub use exec::{
-    execute, run_ask, run_query, run_query_with, EqlError, ExecOptions, ExecStats, QueryResult,
+    execute, explain_plan, run_ask, run_query, run_query_with, EqlError, ExecOptions, ExecStats,
+    QueryResult,
 };
 pub use parser::{parse, ParseError};

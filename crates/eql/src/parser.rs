@@ -332,6 +332,12 @@ impl Parser {
                 pos: 0,
             });
         }
+        if let Some(v) = q.duplicate_out_var() {
+            return Err(ParseError {
+                message: crate::ast::duplicate_out_var_message(v),
+                pos: 0,
+            });
+        }
         // Each underlined variable appears exactly once in the query
         // body (Def. 2.6); it may appear in the head.
         for (i, c) in q.ctps.iter().enumerate() {
@@ -462,6 +468,16 @@ mod tests {
     fn rejects_reused_out_var() {
         let e = parse(r#"SELECT w WHERE { (w, "r", y) CONNECT(x, y -> w) }"#).unwrap_err();
         assert!(e.message.contains("exactly once"));
+    }
+
+    #[test]
+    fn rejects_duplicate_out_vars_across_ctps() {
+        let e = parse(r#"SELECT x WHERE { CONNECT(x, y -> w) CONNECT(a, b -> w) }"#).unwrap_err();
+        assert!(
+            e.message.contains("duplicate CTP output variable"),
+            "{}",
+            e.message
+        );
     }
 
     #[test]

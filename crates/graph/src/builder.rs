@@ -203,6 +203,7 @@ impl GraphBuilder {
             edges_by_label,
             nodes_by_label,
             nodes_by_type,
+            cardinalities: std::sync::OnceLock::new(),
         }
     }
 }

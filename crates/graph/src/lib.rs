@@ -36,5 +36,6 @@ pub use ids::{EdgeId, LabelId, NodeId};
 pub use interner::Interner;
 pub use model::{Adj, EdgeData, Graph, NodeData};
 pub use predicate::{glob_match, matching_nodes, CmpOp, Condition, Predicate, PropRef};
+pub use stats::{Cardinalities, LabelCard};
 pub use subgraph::extract_subgraph;
 pub use value::Value;

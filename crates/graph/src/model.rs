@@ -8,7 +8,9 @@
 use crate::fxhash::FxHashMap;
 use crate::ids::{EdgeId, LabelId, NodeId};
 use crate::interner::Interner;
+use crate::stats::Cardinalities;
 use crate::value::Value;
+use std::sync::OnceLock;
 
 /// Per-node payload: label, zero or more types, sparse properties.
 #[derive(Debug, Clone)]
@@ -61,6 +63,7 @@ pub struct Graph {
     pub(crate) edges_by_label: FxHashMap<LabelId, Vec<EdgeId>>,
     pub(crate) nodes_by_label: FxHashMap<LabelId, Vec<NodeId>>,
     pub(crate) nodes_by_type: FxHashMap<LabelId, Vec<NodeId>>,
+    pub(crate) cardinalities: OnceLock<Cardinalities>,
 }
 
 impl Graph {
@@ -203,6 +206,13 @@ impl Graph {
     pub fn edge_prop(&self, e: EdgeId, key: &str) -> Option<&Value> {
         let k = self.interner.get(key)?;
         lookup_prop(&self.edge(e).props, k)
+    }
+
+    /// The cardinality snapshot of this graph, computed on first use
+    /// and cached for the graph's lifetime (the graph is immutable).
+    /// Consumed by the BGP planner's cost model.
+    pub fn cardinalities(&self) -> &Cardinalities {
+        self.cardinalities.get_or_init(|| Cardinalities::of(self))
     }
 
     /// Renders an edge as `src -label-> dst` using node labels; meant for

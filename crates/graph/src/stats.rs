@@ -1,7 +1,10 @@
 //! Descriptive statistics over graphs — used by benchmark reports to
 //! describe generated workloads (node/edge counts, degree distribution,
-//! label frequencies).
+//! label frequencies) and by the query planner to estimate access-path
+//! cardinalities ([`Cardinalities`]).
 
+use crate::fxhash::{FxHashMap, FxHashSet};
+use crate::ids::LabelId;
 use crate::model::Graph;
 use std::fmt;
 
@@ -97,6 +100,99 @@ impl fmt::Display for GraphStats {
     }
 }
 
+/// Per-label frequencies of one edge label, with distinct-endpoint
+/// estimates used for join selectivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LabelCard {
+    /// Number of edges carrying the label.
+    pub edges: usize,
+    /// Number of distinct source nodes among those edges.
+    pub distinct_src: usize,
+    /// Number of distinct target nodes among those edges.
+    pub distinct_dst: usize,
+}
+
+/// A cardinality snapshot of a [`Graph`] — the statistics the planner
+/// consumes: per-edge-label counts with distinct-endpoint estimates,
+/// per-node-label and per-node-type counts. Computed once per graph in
+/// O(|N| + |E|) and cached on the graph itself
+/// ([`Graph::cardinalities`]); the graph is immutable, so the snapshot
+/// never goes stale.
+#[derive(Debug, Clone, Default)]
+pub struct Cardinalities {
+    /// |N|.
+    pub nodes: usize,
+    /// |E|.
+    pub edges: usize,
+    /// Per-edge-label cardinalities.
+    pub edge_labels: FxHashMap<LabelId, LabelCard>,
+    /// Number of nodes per node label.
+    pub node_labels: FxHashMap<LabelId, usize>,
+    /// Number of nodes per node type.
+    pub node_types: FxHashMap<LabelId, usize>,
+}
+
+impl Cardinalities {
+    /// Computes the snapshot. Prefer [`Graph::cardinalities`], which
+    /// computes it at most once per graph.
+    pub fn of(g: &Graph) -> Cardinalities {
+        let mut edge_labels: FxHashMap<LabelId, LabelCard> = FxHashMap::default();
+        let mut srcs: FxHashMap<LabelId, FxHashSet<u32>> = FxHashMap::default();
+        let mut dsts: FxHashMap<LabelId, FxHashSet<u32>> = FxHashMap::default();
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            edge_labels.entry(ed.label).or_default().edges += 1;
+            srcs.entry(ed.label).or_default().insert(ed.src.0);
+            dsts.entry(ed.label).or_default().insert(ed.dst.0);
+        }
+        for (l, card) in edge_labels.iter_mut() {
+            card.distinct_src = srcs.get(l).map_or(0, FxHashSet::len);
+            card.distinct_dst = dsts.get(l).map_or(0, FxHashSet::len);
+        }
+        let mut node_labels: FxHashMap<LabelId, usize> = FxHashMap::default();
+        let mut node_types: FxHashMap<LabelId, usize> = FxHashMap::default();
+        for n in g.node_ids() {
+            let nd = g.node(n);
+            *node_labels.entry(nd.label).or_default() += 1;
+            for &t in nd.types.iter() {
+                *node_types.entry(t).or_default() += 1;
+            }
+        }
+        Cardinalities {
+            nodes: g.node_count(),
+            edges: g.edge_count(),
+            edge_labels,
+            node_labels,
+            node_types,
+        }
+    }
+
+    /// Number of edges carrying label `l` (0 if absent).
+    pub fn edge_label_count(&self, l: LabelId) -> usize {
+        self.edge_labels.get(&l).map_or(0, |c| c.edges)
+    }
+
+    /// Number of nodes labelled `l` (0 if absent).
+    pub fn node_label_count(&self, l: LabelId) -> usize {
+        self.node_labels.get(&l).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes with type `t` (0 if absent).
+    pub fn node_type_count(&self, t: LabelId) -> usize {
+        self.node_types.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Mean (undirected) degree — the expansion factor of an
+    /// unconstrained adjacency step.
+    pub fn mean_degree(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.edges as f64 / self.nodes as f64
+        }
+    }
+}
+
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`
 /// (truncated at `max_bucket`, with an overflow bucket at the end).
 pub fn degree_histogram(g: &Graph, max_bucket: usize) -> Vec<usize> {
@@ -144,5 +240,50 @@ mod tests {
         assert_eq!(s.nodes, 0);
         assert_eq!(s.components, 0);
         assert_eq!(s.mean_degree, 0.0);
+    }
+
+    #[test]
+    fn cardinalities_figure1() {
+        let g = figure1();
+        let c = g.cardinalities();
+        assert_eq!(c.nodes, 12);
+        assert_eq!(c.edges, 19);
+        let citizen = g.label_id("citizenOf").unwrap();
+        let card = c.edge_labels[&citizen];
+        assert_eq!(card.edges, 5); // Alice, Bob, Carole, Doug, Elon
+        assert_eq!(card.distinct_src, 5);
+        assert_eq!(card.distinct_dst, 2); // USA, France
+        assert_eq!(c.edge_label_count(citizen), 5);
+        let ent = g.label_id("entrepreneur").unwrap();
+        assert_eq!(c.node_type_count(ent), 4);
+        let usa = g.label_id("USA").unwrap();
+        assert_eq!(c.node_label_count(usa), 1);
+        assert!((c.mean_degree() - 2.0 * 19.0 / 12.0).abs() < 1e-12);
+        // Absent label ⇒ zero everywhere.
+        assert_eq!(c.edge_label_count(crate::ids::LabelId(9999)), 0);
+        assert_eq!(c.node_type_count(crate::ids::LabelId(9999)), 0);
+    }
+
+    #[test]
+    fn cardinalities_cached_once() {
+        let g = figure1();
+        let a = g.cardinalities() as *const Cardinalities;
+        let b = g.cardinalities() as *const Cardinalities;
+        assert_eq!(a, b, "snapshot computed at most once per graph");
+    }
+
+    #[test]
+    fn cardinalities_sums_consistent() {
+        let g = figure1();
+        let c = g.cardinalities();
+        assert_eq!(
+            c.edge_labels.values().map(|l| l.edges).sum::<usize>(),
+            c.edges
+        );
+        assert_eq!(c.node_labels.values().sum::<usize>(), c.nodes);
+        for card in c.edge_labels.values() {
+            assert!(card.distinct_src <= card.edges);
+            assert!(card.distinct_dst <= card.edges);
+        }
     }
 }

@@ -1,10 +1,15 @@
 //! `csq` — the connection-search query CLI.
 //!
 //! ```text
-//! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS] [--stats]
+//! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS]
+//!     [--threads N] [--stats] [--explain]
 //! csq --demo <query-or-@file>            # run against the Figure 1 graph
 //! csq <graph.triples> --snapshot out.csg # convert triples to binary snapshot
 //! ```
+//!
+//! `--threads N` evaluates independent CTPs in parallel (0 = available
+//! parallelism); `--explain` prints the access-path plan of each BGP
+//! before the results.
 //!
 //! Graph files ending in `.csg` load as binary snapshots
 //! (`cs_graph::binfmt`); anything else parses as tab-separated triples
@@ -19,7 +24,7 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: csq <graph-file|--demo> <query|@query-file> \
-         [--algorithm NAME] [--timeout MS] [--stats]\n       \
+         [--algorithm NAME] [--timeout MS] [--threads N] [--stats] [--explain]\n       \
          csq <graph-file> --snapshot <out.csg>"
     );
     ExitCode::from(2)
@@ -86,6 +91,7 @@ fn main() -> ExitCode {
 
     let mut opts = ExecOptions::default();
     let mut show_stats = false;
+    let mut show_plan = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -109,8 +115,19 @@ fn main() -> ExitCode {
                 opts.default_timeout = Some(Duration::from_millis(ms));
                 i += 2;
             }
+            "--threads" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                opts.threads = n;
+                i += 2;
+            }
             "--stats" => {
                 show_stats = true;
+                i += 1;
+            }
+            "--explain" => {
+                show_plan = true;
                 i += 1;
             }
             _ => return usage(),
@@ -119,6 +136,12 @@ fn main() -> ExitCode {
 
     match run_query_with(&graph, &query, &opts) {
         Ok(result) => {
+            if show_plan {
+                for (i, plan) in result.stats.plans.iter().enumerate() {
+                    eprintln!("BGP {i} plan (est {} rows scanned):", plan.total_estimate());
+                    eprint!("{plan}");
+                }
+            }
             print!("{}", result.render(&graph));
             eprintln!("{} row(s)", result.rows());
             if show_stats {
