@@ -1,10 +1,34 @@
 //! End-to-end EQL benchmarks: parse + plan + BGPs + CTP search + join
-//! on a small CDF graph (the Fig. 13 pipeline at micro scale).
+//! on a small CDF graph (the Fig. 13 pipeline at micro scale), plus
+//! the Session-API workloads: a repeated-shape query stream that
+//! exercises the plan cache (warm session vs cold per-query sessions)
+//! and a multi-query batch comparing `execute_batch` (one cross-query
+//! parallel dispatch) against sequential one-shot execution.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cs_bench::harness::cdf_query;
-use cs_eql::{parse, run_query};
+use cs_eql::{parse, ExecOptions, Session};
+use cs_graph::figure1;
 use cs_graph::generate::{cdf, CdfParams};
+
+/// One of `n` distinct queries sharing a single 8-pattern star-join
+/// BGP shape over the Figure 1 labels (non-empty result): only the
+/// variable names differ, so a warm session plans the first and
+/// serves the other `n-1` from the shape-keyed cache.
+fn star_query(i: usize) -> String {
+    format!(
+        r#"SELECT x{i} WHERE {{
+             (x{i}, "citizenOf", c{i})
+             (x{i}, "founded", o{i})
+             (o{i}, "locatedIn", c{i})
+             (y{i}, "investsIn", o{i})
+             (y{i}, "citizenOf", d{i})
+             (z{i}, "affiliation", a{i})
+             (z{i}, "citizenOf", d{i})
+             (p{i}, "investsIn", o{i})
+           }}"#
+    )
+}
 
 fn benches(c: &mut Criterion) {
     let built = cdf(&CdfParams {
@@ -18,7 +42,8 @@ fn benches(c: &mut Criterion) {
 
     c.bench_function("eql_parse_cdf_query", |b| b.iter(|| parse(&q2).unwrap()));
     c.bench_function("eql_cdf_m2_full_pipeline", |b| {
-        b.iter(|| run_query(&built.graph, &q2).unwrap())
+        let session = Session::new(&built.graph);
+        b.iter(|| session.run(&q2).unwrap())
     });
 
     let built3 = cdf(&CdfParams {
@@ -30,12 +55,80 @@ fn benches(c: &mut Criterion) {
     });
     let q3 = cdf_query(3, false, 10_000);
     c.bench_function("eql_cdf_m3_full_pipeline", |b| {
-        b.iter(|| run_query(&built3.graph, &q3).unwrap())
+        let session = Session::new(&built3.graph);
+        b.iter(|| session.run(&q3).unwrap())
     });
 
     let uni = cdf_query(2, true, 10_000);
     c.bench_function("eql_cdf_m2_uni_pipeline", |b| {
-        b.iter(|| run_query(&built.graph, &uni).unwrap())
+        let session = Session::new(&built.graph);
+        b.iter(|| session.run(&uni).unwrap())
+    });
+
+    // ---- Plan-cache workload (Fig. 13 amortisation): 120 distinct
+    // queries of one star-join shape. Cold pays planning per query;
+    // warm plans once and hits the cache 119 times.
+    let g = figure1();
+    let shape_stream: Vec<String> = (0..120).map(star_query).collect();
+
+    c.bench_function("eql_repeated_shape_cold_sessions", |b| {
+        b.iter(|| {
+            let mut rows = 0usize;
+            for q in &shape_stream {
+                rows += Session::new(&g).run(q).unwrap().rows();
+            }
+            rows
+        })
+    });
+    c.bench_function("eql_repeated_shape_warm_session", |b| {
+        b.iter(|| {
+            let session = Session::new(&g);
+            let mut rows = 0usize;
+            for q in &shape_stream {
+                let r = session.run(q).unwrap();
+                rows += r.rows();
+            }
+            assert!(
+                session.plan_cache_hits() >= 119,
+                "cache must serve the stream"
+            );
+            rows
+        })
+    });
+
+    // ---- Cross-query batching: 8 CTP-heavy queries through one
+    // `evaluate_ctps_parallel` dispatch (threads = 0, i.e. available
+    // parallelism) vs the same queries one-shot, sequentially.
+    let batch_queries: Vec<String> = (0..8)
+        .map(|i| cdf_query(2, i % 2 == 1, 10_000 + i as u64))
+        .collect();
+    let batch_refs: Vec<&str> = batch_queries.iter().map(String::as_str).collect();
+
+    c.bench_function("eql_multi_query_oneshot_sequential", |b| {
+        let session = Session::new(&built.graph);
+        b.iter(|| {
+            let mut rows = 0usize;
+            for q in &batch_refs {
+                rows += session.run(q).unwrap().rows();
+            }
+            rows
+        })
+    });
+    c.bench_function("eql_multi_query_batch_threads0", |b| {
+        let session = Session::with_options(
+            &built.graph,
+            ExecOptions {
+                threads: 0,
+                ..ExecOptions::default()
+            },
+        );
+        b.iter(|| {
+            session
+                .execute_batch(&batch_refs)
+                .into_iter()
+                .map(|r| r.unwrap().rows())
+                .sum::<usize>()
+        })
     });
 }
 

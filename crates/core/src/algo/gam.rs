@@ -23,8 +23,8 @@ use crate::seeds::SeedSets;
 use crate::tree::{Provenance, TreeData, TreeId, TreeStore};
 use cs_graph::fxhash::{FxHashMap, FxHashSet};
 use cs_graph::{EdgeId, Graph, LabelId, NodeId};
-use std::collections::BinaryHeap;
-use std::time::Instant;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Which refinements are active on top of plain GAM.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -72,6 +72,25 @@ impl GamConfig {
 
 /// Streaming consumer type for [`GamEngine::run_streaming`].
 type ResultCallback<'g> = Box<dyn FnMut(&ResultTree) -> bool + 'g>;
+
+/// The engine's seed sets: borrowed for the classic entry points, owned
+/// for pull-based streaming ([`GamEngine::into_stream`]), where the
+/// stream must carry the seeds along with the engine.
+enum SeedsRef<'g> {
+    /// Seeds borrowed from the caller.
+    Borrowed(&'g SeedSets),
+    /// Seeds owned by the engine.
+    Owned(Box<SeedSets>),
+}
+
+impl SeedsRef<'_> {
+    fn get(&self) -> &SeedSets {
+        match self {
+            SeedsRef::Borrowed(s) => s,
+            SeedsRef::Owned(b) => b,
+        }
+    }
+}
 
 /// A Grow opportunity in the priority queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,10 +172,11 @@ impl Queues {
 }
 
 /// The GAM-family search engine. Construct with [`GamEngine::new`],
-/// run with [`GamEngine::run`].
+/// run with [`GamEngine::run`] — or pull results incrementally through
+/// [`GamEngine::into_stream`].
 pub struct GamEngine<'g> {
     g: &'g Graph,
-    seeds: &'g SeedSets,
+    seeds: SeedsRef<'g>,
     cfg: GamConfig,
     filters: Filters,
     label_filter: Option<FxHashSet<LabelId>>,
@@ -182,6 +202,11 @@ pub struct GamEngine<'g> {
     deadline: Option<Instant>,
     tick: u32,
     stop: bool,
+    /// Init trees not yet processed — fed by [`GamEngine::begin`],
+    /// drained before the Grow loop (Algorithm 1 lines 3–7). Holding
+    /// them as engine state (rather than a local loop) is what makes
+    /// the search resumable one [`GamEngine::step`] at a time.
+    init_pending: VecDeque<NodeId>,
     /// Streaming consumer: called on each new result; returning false
     /// stops the search (see [`GamEngine::run_streaming`]).
     on_result: Option<ResultCallback<'g>>,
@@ -198,12 +223,44 @@ impl<'g> GamEngine<'g> {
         order: QueueOrder,
         policy: QueuePolicy,
     ) -> Self {
+        Self::with_seeds(g, SeedsRef::Borrowed(seeds), cfg, filters, order, policy)
+    }
+
+    /// Like [`GamEngine::new`], but the engine takes ownership of the
+    /// seed sets — required by [`GamEngine::into_stream`], where the
+    /// returned stream must carry the seeds along with the engine.
+    pub fn with_owned_seeds(
+        g: &'g Graph,
+        seeds: SeedSets,
+        cfg: GamConfig,
+        filters: Filters,
+        order: QueueOrder,
+        policy: QueuePolicy,
+    ) -> Self {
+        Self::with_seeds(
+            g,
+            SeedsRef::Owned(Box::new(seeds)),
+            cfg,
+            filters,
+            order,
+            policy,
+        )
+    }
+
+    fn with_seeds(
+        g: &'g Graph,
+        seeds: SeedsRef<'g>,
+        cfg: GamConfig,
+        filters: Filters,
+        order: QueueOrder,
+        policy: QueuePolicy,
+    ) -> Self {
         let label_filter = filters.resolve_labels(g);
         // Initialise ss_n: seeds start with their membership mask,
         // other nodes with 0 (§4.6).
         let mut ss = vec![SeedMask::EMPTY; g.node_count()];
-        for n in seeds.all_seed_nodes() {
-            ss[n.index()] = seeds.membership(n);
+        for n in seeds.get().all_seed_nodes() {
+            ss[n.index()] = seeds.get().membership(n);
         }
         GamEngine {
             g,
@@ -225,6 +282,7 @@ impl<'g> GamEngine<'g> {
             deadline: None,
             tick: 0,
             stop: false,
+            init_pending: VecDeque::new(),
             on_result: None,
         }
     }
@@ -261,44 +319,75 @@ impl<'g> GamEngine<'g> {
 
     fn run_inner(&mut self) -> SearchOutcome {
         let start = Instant::now();
-        self.deadline = self.filters.timeout.map(|t| start + t);
-
-        // Algorithm 1 lines 3–7: Init trees for every seed.
-        for n in self.seeds.all_seed_nodes() {
-            let t = self.store.make_init(n, self.seeds);
-            self.process_tree(t);
-            self.drain_merges();
-            if self.stop {
-                break;
-            }
-        }
-
-        // Algorithm 1 lines 8–11: Grow loop.
-        while !self.stop {
-            let Some(entry) = self.queue.pop() else { break };
-            self.check_time();
-            if self.stop {
-                break;
-            }
-            let td = self.store.get(entry.tree);
-            let new_root = self.g.other_endpoint(entry.edge, td.root);
-            let grown = self
-                .store
-                .make_grow(entry.tree, td, entry.edge, new_root, self.seeds);
-            self.stats.grows += 1;
-            // Algorithm 1 line 10: update ss_root(t') before processing.
-            if !grown.path_from.is_empty() {
-                let slot = &mut self.ss[grown.root.index()];
-                *slot = slot.union(grown.path_from);
-            }
-            self.process_tree(grown);
-            self.drain_merges();
-        }
-
+        self.begin(start);
+        while self.step() {}
         SearchOutcome {
             results: std::mem::take(&mut self.results),
             stats: self.stats.clone(),
             duration: start.elapsed(),
+        }
+    }
+
+    /// Arms the deadline and queues the Init trees (Algorithm 1 lines
+    /// 3–7). Must be called exactly once, before the first
+    /// [`GamEngine::step`].
+    fn begin(&mut self, start: Instant) {
+        self.deadline = self.filters.timeout.map(|t| start + t);
+        self.init_pending = self.seeds.get().all_seed_nodes().into();
+    }
+
+    /// Advances the search by one unit of work: processing one Init
+    /// tree while any is pending, then one Grow opportunity per call
+    /// (Algorithm 1 lines 8–11). Returns `false` once the search is
+    /// exhausted or stopped (filters, timeout, streaming callback) —
+    /// the resumption point [`CtpStream`] pulls on.
+    fn step(&mut self) -> bool {
+        if self.stop {
+            return false;
+        }
+        if let Some(n) = self.init_pending.pop_front() {
+            let t = self.store.make_init(n, self.seeds.get());
+            self.process_tree(t);
+            self.drain_merges();
+            return !self.stop;
+        }
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        self.check_time();
+        if self.stop {
+            return false;
+        }
+        let td = self.store.get(entry.tree);
+        let new_root = self.g.other_endpoint(entry.edge, td.root);
+        let grown = self
+            .store
+            .make_grow(entry.tree, td, entry.edge, new_root, self.seeds.get());
+        self.stats.grows += 1;
+        // Algorithm 1 line 10: update ss_root(t') before processing.
+        if !grown.path_from.is_empty() {
+            let slot = &mut self.ss[grown.root.index()];
+            *slot = slot.union(grown.path_from);
+        }
+        self.process_tree(grown);
+        self.drain_merges();
+        !self.stop
+    }
+
+    /// Converts the engine into a pull-based stream over its results.
+    /// Each [`Iterator::next`] call advances the search just far enough
+    /// to discover the next result, so consumers pay only for what they
+    /// pull — dropping the stream after `k` results is the TOP-k-style
+    /// early termination of the paper's "as many results as possible,
+    /// as fast as possible" contract (Observation 2), in pull form.
+    pub fn into_stream(mut self) -> CtpStream<'g> {
+        let start = Instant::now();
+        self.begin(start);
+        CtpStream {
+            engine: self,
+            start,
+            emitted: 0,
+            exhausted: false,
         }
     }
 
@@ -345,8 +434,8 @@ impl<'g> GamEngine<'g> {
             }
         }
 
-        let sat_total = t.sat.union(self.seeds.presatisfied());
-        let is_result = sat_total == self.seeds.full();
+        let sat_total = t.sat.union(self.seeds.get().presatisfied());
+        let is_result = sat_total == self.seeds.get().full();
         let is_mo = t.is_mo;
         let root = t.root;
         let seeds_increased = match t.provenance {
@@ -358,9 +447,10 @@ impl<'g> GamEngine<'g> {
 
         if is_result {
             let td = self.store.get(id);
-            let r = ResultTree::from_tree(td.edges.clone(), td.nodes.clone(), root, self.seeds);
+            let r =
+                ResultTree::from_tree(td.edges.clone(), td.nodes.clone(), root, self.seeds.get());
             debug_assert!(
-                crate::result::check_result_minimal(self.g, &r, self.seeds).is_ok(),
+                crate::result::check_result_minimal(self.g, &r, self.seeds.get()).is_ok(),
                 "GAM produced a non-minimal result (Property 2 violated)"
             );
             let inserted = {
@@ -387,7 +477,7 @@ impl<'g> GamEngine<'g> {
             // cannot reach new seeds (Grow2). With an `N` seed set
             // (§4.9), every supertree is a further result (a different
             // N-match), so the tree stays active.
-            if self.seeds.presatisfied().is_empty() {
+            if self.seeds.get().presatisfied().is_empty() {
                 return Some(id);
             }
         }
@@ -419,7 +509,7 @@ impl<'g> GamEngine<'g> {
             .nodes
             .iter()
             .copied()
-            .filter(|&n| n != td.root && self.seeds.is_seed(n))
+            .filter(|&n| n != td.root && self.seeds.get().is_seed(n))
             .collect();
         for r in mo_roots {
             // Skip if the identical rooted tree already exists; Mo
@@ -463,7 +553,7 @@ impl<'g> GamEngine<'g> {
                 continue;
             }
             // Grow2: the new node is no seed of an already-covered set.
-            if !self.seeds.membership(a.other).disjoint(td.sat) {
+            if !self.seeds.get().membership(a.other).disjoint(td.sat) {
                 continue;
             }
             // MAX n (§4.8).
@@ -513,7 +603,7 @@ impl<'g> GamEngine<'g> {
                         continue;
                     }
                 }
-                if let Some(m) = self.store.make_merge(cur, a, p, b, self.seeds) {
+                if let Some(m) = self.store.make_merge(cur, a, p, b, self.seeds.get()) {
                     self.stats.merges += 1;
                     self.process_tree(m);
                 }
@@ -545,6 +635,70 @@ pub fn run_gam_family(
     order: QueueOrder,
 ) -> SearchOutcome {
     GamEngine::new(g, seeds, cfg, filters, order, QueuePolicy::Single).run()
+}
+
+/// A pull-based stream over a GAM-family search's results, created by
+/// [`GamEngine::into_stream`].
+///
+/// Each [`Iterator::next`] call advances the underlying search only
+/// until the next result is discovered, so the caller pays exactly for
+/// the results it consumes: `stream.take(k)` is a true TOP-k-style
+/// early termination — the push (callback) twin of this contract is
+/// [`crate::evaluate_ctp_streaming`]. All of the engine's filters
+/// (`MAX`, `LIMIT`, timeout, labels, `UNI`) apply unchanged; when a
+/// filter stops the search the stream simply ends.
+pub struct CtpStream<'g> {
+    engine: GamEngine<'g>,
+    start: Instant,
+    /// Results already handed out (`engine.results` is append-only).
+    emitted: usize,
+    exhausted: bool,
+}
+
+impl CtpStream<'_> {
+    /// The search statistics accumulated so far (they keep growing
+    /// while the stream is pulled).
+    pub fn stats(&self) -> &SearchStats {
+        &self.engine.stats
+    }
+
+    /// Wall-clock time since the stream was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// True once the underlying search is exhausted (no further `next`
+    /// can yield).
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted && self.emitted >= self.engine.results.len()
+    }
+
+    /// Drains the rest of the search and returns the complete
+    /// [`SearchOutcome`] (all results, including the already-streamed
+    /// prefix, in discovery order).
+    pub fn into_outcome(mut self) -> SearchOutcome {
+        while self.engine.step() {}
+        SearchOutcome {
+            results: std::mem::take(&mut self.engine.results),
+            stats: self.engine.stats.clone(),
+            duration: self.start.elapsed(),
+        }
+    }
+}
+
+impl Iterator for CtpStream<'_> {
+    type Item = ResultTree;
+
+    fn next(&mut self) -> Option<ResultTree> {
+        while !self.exhausted && self.engine.results.len() <= self.emitted {
+            if !self.engine.step() {
+                self.exhausted = true;
+            }
+        }
+        let tree = self.engine.results.trees().get(self.emitted)?.clone();
+        self.emitted += 1;
+        Some(tree)
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@ pub mod bft;
 pub mod gam;
 
 pub use bft::{minimize, run_bft, BftMerge};
-pub use gam::{run_gam_family, GamConfig, GamEngine};
+pub use gam::{run_gam_family, CtpStream, GamConfig, GamEngine};
 
 use crate::config::{Filters, QueueOrder, QueuePolicy};
 use crate::result::SearchOutcome;
@@ -224,15 +224,127 @@ pub fn evaluate_ctp_streaming<'g>(
     order: QueueOrder,
     on_result: impl FnMut(&crate::result::ResultTree) -> bool + 'g,
 ) -> SearchOutcome {
-    let cfg = match algo {
+    let cfg = gam_config(algo);
+    GamEngine::new(g, seeds, cfg, filters, order, QueuePolicy::Single).run_streaming(on_result)
+}
+
+/// The [`GamConfig`] of a GAM-family algorithm.
+///
+/// # Panics
+/// Panics on the BFT variants (batch-only reference algorithms).
+fn gam_config(algo: Algorithm) -> GamConfig {
+    match algo {
         Algorithm::Gam => GamConfig::GAM,
         Algorithm::Esp => GamConfig::ESP,
         Algorithm::MoEsp => GamConfig::MOESP,
         Algorithm::Lesp => GamConfig::LESP,
         Algorithm::MoLesp => GamConfig::MOLESP,
         other => panic!("streaming evaluation requires a GAM-family algorithm, got {other}"),
-    };
-    GamEngine::new(g, seeds, cfg, filters, order, QueuePolicy::Single).run_streaming(on_result)
+    }
+}
+
+/// Opens a pull-based [`CtpStream`] over a GAM-family CTP search: the
+/// search advances only as far as the results the caller consumes
+/// (`stream.take(k)` is TOP-k-style early termination). The stream
+/// owns the seed sets, so it can outlive the caller's locals; only the
+/// graph stays borrowed. This is the pull twin of the push-based
+/// [`evaluate_ctp_streaming`].
+///
+/// # Panics
+/// Panics if `algo` is a BFT variant (batch-only reference algorithms).
+pub fn stream_ctp(
+    g: &Graph,
+    seeds: SeedSets,
+    algo: Algorithm,
+    filters: Filters,
+    order: QueueOrder,
+    policy: QueuePolicy,
+) -> CtpStream<'_> {
+    let cfg = gam_config(algo);
+    GamEngine::with_owned_seeds(g, seeds, cfg, filters, order, policy).into_stream()
+}
+
+#[cfg(test)]
+mod pull_stream_tests {
+    use super::*;
+    use cs_graph::generate::chain;
+
+    #[test]
+    fn pull_stream_matches_batch() {
+        let w = chain(5); // 32 results
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let batch = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        let streamed: Vec<_> = stream_ctp(
+            &w.graph,
+            seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+        )
+        .collect();
+        assert_eq!(streamed.len(), batch.results.len());
+        let mut a: Vec<_> = streamed.iter().map(|t| t.edges.to_vec()).collect();
+        let mut b = batch.results.canonical();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pull_stream_take_is_early_termination() {
+        let w = chain(8); // 256 results
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let full = evaluate_ctp(
+            &w.graph,
+            &seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        );
+        let mut stream = stream_ctp(
+            &w.graph,
+            seeds,
+            Algorithm::MoLesp,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+        );
+        let first: Vec<_> = stream.by_ref().take(5).collect();
+        assert_eq!(first.len(), 5);
+        assert!(
+            stream.stats().grows < full.stats.grows,
+            "pulling 5 of 256 results must not run the whole search \
+             ({} grows vs {} for the full run)",
+            stream.stats().grows,
+            full.stats.grows
+        );
+        // The abandoned stream can still be drained to the full outcome.
+        let rest = stream.into_outcome();
+        assert_eq!(rest.results.len(), full.results.len());
+    }
+
+    #[test]
+    fn pull_stream_respects_result_limit() {
+        let w = chain(6);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let streamed: Vec<_> = stream_ctp(
+            &w.graph,
+            seeds,
+            Algorithm::MoLesp,
+            Filters::none().with_max_results(7),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+        )
+        .collect();
+        assert_eq!(streamed.len(), 7);
+    }
 }
 
 #[cfg(test)]

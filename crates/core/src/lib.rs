@@ -33,7 +33,8 @@ mod seeds;
 pub mod tree;
 
 pub use algo::{
-    evaluate_ctp, evaluate_ctp_streaming, evaluate_ctp_with_policy, Algorithm, GamConfig,
+    evaluate_ctp, evaluate_ctp_streaming, evaluate_ctp_with_policy, stream_ctp, Algorithm,
+    CtpStream, GamConfig,
 };
 pub use config::{Filters, PriorityFn, QueueOrder, QueuePolicy};
 pub use result::{

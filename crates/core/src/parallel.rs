@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// One independent CTP evaluation job.
+#[derive(Clone)]
 pub struct CtpJob {
     /// The seed sets.
     pub seeds: SeedSets,

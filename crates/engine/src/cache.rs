@@ -1,0 +1,337 @@
+//! Cross-query BGP plan caching, keyed by pattern *shape*.
+//!
+//! The paper's Fig. 13 workload runs hundreds of structurally
+//! identical queries; planning each from scratch repeats the same
+//! cost-ordering work. A [`PlanCache`] amortises it: each BGP is
+//! fingerprinted by [`bgp_shape`] — predicates (labels, types, property
+//! conditions) taken literally, variable names canonicalised to
+//! first-occurrence indices — so two queries that differ only in how
+//! their variables are spelled share one cached [`BgpPlan`].
+//!
+//! A cached plan's step order, access paths, and estimates transfer
+//! directly (they depend only on the shape and the graph's cardinality
+//! snapshot); the per-step `pushdown` variable lists are re-derived
+//! against the concrete BGP on every hit, so `EXPLAIN` output always
+//! names the instance's variables.
+//!
+//! The cache is deliberately tied to **one graph**: estimates baked
+//! into cached plans come from that graph's [`cs_graph::Cardinalities`]
+//! snapshot. Callers (e.g. `cs_eql::Session`) own one cache per graph.
+
+use crate::bgp::{Bgp, TriplePattern};
+use crate::plan::{plan_bgp, BgpPlan, PatternPlan};
+use cs_graph::fxhash::fx_hash_one;
+use cs_graph::{CmpOp, Graph, Predicate, PropRef, Value};
+use std::sync::Arc;
+
+/// Fingerprints one predicate into the token stream: every condition's
+/// property, operator, and constant participate, so two BGPs share a
+/// shape only when their predicates are syntactically identical (up to
+/// condition order as written).
+fn predicate_tokens(p: &Predicate, out: &mut Vec<u64>) {
+    out.push(p.conditions.len() as u64);
+    for c in &p.conditions {
+        match &c.prop {
+            PropRef::Label => out.push(1),
+            PropRef::Type => out.push(2),
+            PropRef::Named(name) => {
+                out.push(3);
+                out.push(fx_hash_one(&name.as_str()));
+            }
+        }
+        out.push(match c.op {
+            CmpOp::Eq => 10,
+            CmpOp::Lt => 11,
+            CmpOp::Le => 12,
+            CmpOp::Like => 13,
+        });
+        match &c.constant {
+            Value::Str(s) => {
+                out.push(20);
+                out.push(fx_hash_one(&s.as_ref()));
+            }
+            Value::Int(i) => {
+                out.push(21);
+                out.push(*i as u64);
+            }
+            Value::Float(f) => {
+                out.push(22);
+                out.push(f.to_bits());
+            }
+        }
+    }
+}
+
+/// The shape fingerprint of a BGP: labels/types/conditions taken
+/// literally, variable names replaced by their first-occurrence index.
+/// Structurally identical BGPs — same patterns in the same order, same
+/// predicates, same variable-sharing structure — hash equal regardless
+/// of how their variables are named, which is exactly the equivalence
+/// class under which a [`BgpPlan`] transfers between queries.
+pub fn bgp_shape(bgp: &Bgp) -> u64 {
+    let mut names: Vec<&Arc<str>> = Vec::new();
+    let mut tokens: Vec<u64> = Vec::with_capacity(bgp.patterns.len() * 12);
+    tokens.push(bgp.patterns.len() as u64);
+    for p in &bgp.patterns {
+        for t in [&p.src, &p.edge, &p.dst] {
+            let id = match names.iter().position(|v| **v == t.var) {
+                Some(i) => i,
+                None => {
+                    names.push(&t.var);
+                    names.len() - 1
+                }
+            };
+            tokens.push(id as u64);
+            predicate_tokens(&t.pred, &mut tokens);
+        }
+    }
+    fx_hash_one(&tokens)
+}
+
+/// Re-derives the per-step pushdown variable lists of a cached plan
+/// against a concrete BGP, keeping step order, access paths, and
+/// estimates. Shape equality guarantees the variable-sharing structure
+/// matches, so the rebound plan is exactly what [`plan_bgp`] would
+/// have produced for this instance.
+fn rebind(plan: &BgpPlan, bgp: &Bgp) -> BgpPlan {
+    let mut bound: Vec<Arc<str>> = Vec::new();
+    let steps = plan
+        .steps
+        .iter()
+        .map(|s| {
+            let p: &TriplePattern = &bgp.patterns[s.pattern];
+            let vars = [p.src.var.clone(), p.edge.var.clone(), p.dst.var.clone()];
+            let pushdown: Vec<Arc<str>> =
+                vars.iter().filter(|v| bound.contains(v)).cloned().collect();
+            for v in vars {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+            PatternPlan {
+                pattern: s.pattern,
+                access: s.access.clone(),
+                estimate: s.estimate,
+                pushdown,
+            }
+        })
+        .collect();
+    BgpPlan {
+        steps,
+        shape: plan.shape,
+        cached: true,
+    }
+}
+
+/// An LRU cache of [`BgpPlan`]s keyed by [`bgp_shape`], with hit/miss
+/// counters. Lookup and insertion are O(len) — fine for the dozens of
+/// distinct shapes a query stream presents.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    /// Most recently used last.
+    entries: Vec<(u64, BgpPlan)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` plans. Capacity `0` disables
+    /// caching (every lookup plans from scratch and counts a miss).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the plan for `bgp`'s shape, planning and caching it on
+    /// a miss. Hits return the cached step order with pushdown lists
+    /// rebound to `bgp`'s variable names and `cached` set.
+    pub fn plan(&mut self, g: &Graph, bgp: &Bgp) -> BgpPlan {
+        let shape = bgp_shape(bgp);
+        let pos = self.entries.iter().position(|(k, p)| {
+            // The length guard makes a (astronomically unlikely) hash
+            // collision degrade to a miss instead of a wrong plan.
+            *k == shape && p.steps.len() == bgp.patterns.len()
+        });
+        if let Some(pos) = pos {
+            let entry = self.entries.remove(pos);
+            let plan = rebind(&entry.1, bgp);
+            self.entries.push(entry);
+            self.hits += 1;
+            return plan;
+        }
+        self.misses += 1;
+        let mut plan = plan_bgp(g, bgp);
+        plan.shape = shape;
+        if self.capacity > 0 {
+            if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+            }
+            self.entries.push((shape, plan.clone()));
+        }
+        plan
+    }
+
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to plan from scratch.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgp::Term;
+    use cs_graph::figure1;
+
+    fn star(vars: [&str; 4]) -> Bgp {
+        let [c, a, b, d] = vars;
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var(c),
+            Term::pred("e1", Predicate::label("citizenOf")),
+            Term::var(a),
+        );
+        bgp.push(
+            Term::var(c),
+            Term::pred("e2", Predicate::label("founded")),
+            Term::var(b),
+        );
+        bgp.push(Term::var(c), Term::var("e3"), Term::var(d));
+        bgp
+    }
+
+    #[test]
+    fn shape_ignores_variable_names() {
+        let a = star(["c", "a", "b", "d"]);
+        let b = star(["center", "p", "q", "r"]);
+        assert_eq!(bgp_shape(&a), bgp_shape(&b));
+    }
+
+    #[test]
+    fn shape_distinguishes_labels_and_sharing() {
+        let a = star(["c", "a", "b", "d"]);
+        // Different edge label ⇒ different shape.
+        let mut other_label = Bgp::new();
+        other_label.push(
+            Term::var("c"),
+            Term::pred("e1", Predicate::label("locatedIn")),
+            Term::var("a"),
+        );
+        other_label.push(
+            Term::var("c"),
+            Term::pred("e2", Predicate::label("founded")),
+            Term::var("b"),
+        );
+        other_label.push(Term::var("c"), Term::var("e3"), Term::var("d"));
+        assert_ne!(bgp_shape(&a), bgp_shape(&other_label));
+        // Different variable-sharing structure (chain, not star) ⇒
+        // different shape, even with identical predicates.
+        let mut chain = Bgp::new();
+        chain.push(
+            Term::var("c"),
+            Term::pred("e1", Predicate::label("citizenOf")),
+            Term::var("a"),
+        );
+        chain.push(
+            Term::var("a"),
+            Term::pred("e2", Predicate::label("founded")),
+            Term::var("b"),
+        );
+        chain.push(Term::var("b"), Term::var("e3"), Term::var("d"));
+        assert_ne!(bgp_shape(&a), bgp_shape(&chain));
+    }
+
+    #[test]
+    fn hit_rebinds_pushdown_to_instance_variables() {
+        let g = figure1();
+        let mut cache = PlanCache::new(8);
+        let cold = cache.plan(&g, &star(["c", "a", "b", "d"]));
+        assert!(!cold.cached);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let warm = cache.plan(&g, &star(["hub", "x", "y", "z"]));
+        assert!(warm.cached);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Same step order and estimates…
+        let order: Vec<usize> = cold.steps.iter().map(|s| s.pattern).collect();
+        let order2: Vec<usize> = warm.steps.iter().map(|s| s.pattern).collect();
+        assert_eq!(order, order2);
+        // …but pushdown names belong to the new query.
+        let mentions_hub = warm
+            .steps
+            .iter()
+            .any(|s| s.pushdown.iter().any(|v| v.as_ref() == "hub"));
+        assert!(mentions_hub, "{warm}");
+        for s in &warm.steps {
+            assert!(s.pushdown.iter().all(|v| v.as_ref() != "c"), "{warm}");
+        }
+        // The rebound plan matches a from-scratch plan exactly.
+        let fresh = plan_bgp(&g, &star(["hub", "x", "y", "z"]));
+        for (ws, fs) in warm.steps.iter().zip(&fresh.steps) {
+            assert_eq!(ws.pattern, fs.pattern);
+            assert_eq!(ws.access, fs.access);
+            assert_eq!(ws.estimate, fs.estimate);
+            assert_eq!(ws.pushdown, fs.pushdown);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let g = figure1();
+        let mut cache = PlanCache::new(2);
+        let labels = ["citizenOf", "founded", "locatedIn"];
+        let one = |l: &str| {
+            let mut b = Bgp::new();
+            b.push(
+                Term::var("x"),
+                Term::pred("e", Predicate::label(l)),
+                Term::var("y"),
+            );
+            b
+        };
+        for l in labels {
+            cache.plan(&g, &one(l));
+        }
+        assert_eq!(cache.len(), 2);
+        // "citizenOf" was evicted: re-planning it misses.
+        cache.plan(&g, &one(labels[0]));
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let g = figure1();
+        let mut cache = PlanCache::new(0);
+        let bgp = star(["c", "a", "b", "d"]);
+        cache.plan(&g, &bgp);
+        cache.plan(&g, &bgp);
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+        assert!(cache.is_empty());
+    }
+}

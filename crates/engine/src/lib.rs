@@ -29,6 +29,7 @@
 
 mod bgp;
 mod binding;
+mod cache;
 mod plan;
 mod table;
 
@@ -36,5 +37,6 @@ pub use bgp::{
     eval_bgp, eval_bgp_greedy, eval_bgp_with_plan, pattern_components, Bgp, Term, TriplePattern,
 };
 pub use binding::Binding;
+pub use cache::{bgp_shape, PlanCache};
 pub use plan::{choose_access, explain_plan, plan_bgp, AccessPath, BgpPlan, PatternPlan};
 pub use table::Table;

@@ -75,6 +75,13 @@ pub struct PatternPlan {
 pub struct BgpPlan {
     /// The evaluation steps, in execution order.
     pub steps: Vec<PatternPlan>,
+    /// The pattern-shape fingerprint this plan was cached under
+    /// ([`crate::bgp_shape`]); `0` for plans built outside a
+    /// [`crate::PlanCache`].
+    pub shape: u64,
+    /// True when the plan was served from a [`crate::PlanCache`]
+    /// rather than planned from scratch.
+    pub cached: bool,
 }
 
 impl BgpPlan {
@@ -212,7 +219,11 @@ pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> BgpPlan {
             pushdown,
         });
     }
-    BgpPlan { steps }
+    BgpPlan {
+        steps,
+        shape: 0,
+        cached: false,
+    }
 }
 
 /// Renders the plan of a BGP as a human-readable string — the

@@ -8,18 +8,19 @@
 //! * **(C)** natural-join all tables and project on the head.
 
 use crate::ast::{CtpAst, QueryAst, QueryForm, TermAst};
-use crate::parser::{parse, ParseError};
+use crate::parser::ParseError;
+use crate::session::Session;
 use cs_core::parallel::{evaluate_ctps_parallel, CtpJob};
 use cs_core::score::by_name;
 use cs_core::{
-    evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree, SearchStats,
-    SeedError, SeedSets, SeedSpec,
+    evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree,
+    SearchOutcome, SearchStats, SeedError, SeedSets, SeedSpec,
 };
-use cs_engine::{eval_bgp_with_plan, plan_bgp, Bgp, BgpPlan, Binding, Table, Term, TriplePattern};
+use cs_engine::{plan_bgp, Bgp, BgpPlan, Binding, Table, Term, TriplePattern};
 use cs_graph::fxhash::FxHashMap;
 use cs_graph::{matching_nodes, Graph, NodeId};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Errors from parsing or executing an EQL query.
 #[derive(Debug)]
@@ -75,6 +76,10 @@ pub struct ExecOptions {
     /// in-line on the calling thread; `0` uses the available
     /// parallelism.
     pub threads: usize,
+    /// Capacity of the per-[`Session`] BGP plan cache (plans keyed by
+    /// pattern shape, the Fig. 13 per-label plan-cache idea). `0`
+    /// disables caching.
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ExecOptions {
@@ -84,6 +89,7 @@ impl Default for ExecOptions {
             default_timeout: None,
             balance_ratio: 64,
             threads: 1,
+            plan_cache_capacity: 128,
         }
     }
 }
@@ -91,6 +97,9 @@ impl Default for ExecOptions {
 /// Timing and search statistics of one query execution.
 #[derive(Debug, Default)]
 pub struct ExecStats {
+    /// End-to-end execution time (planning + steps A–C), so the
+    /// overhead around the per-step times is visible.
+    pub total_time: Duration,
     /// Time evaluating BGPs (step A).
     pub bgp_time: Duration,
     /// Time evaluating CTPs (step B).
@@ -102,6 +111,11 @@ pub struct ExecStats {
     /// The access-path plan of each BGP component, in component order —
     /// the `EXPLAIN` surface of step (A).
     pub plans: Vec<BgpPlan>,
+    /// BGP plans this execution reused from the session's shape-keyed
+    /// plan cache.
+    pub plan_cache_hits: u64,
+    /// BGP plans this execution had to build from scratch.
+    pub plan_cache_misses: u64,
 }
 
 /// The result of an EQL query.
@@ -167,89 +181,86 @@ impl QueryResult {
 }
 
 /// Parses and executes an EQL query with default options.
+#[deprecated(note = "create a `Session` and use `Session::run`, which also caches plans")]
 pub fn run_query(g: &Graph, text: &str) -> Result<QueryResult, EqlError> {
-    run_query_with(g, text, &ExecOptions::default())
+    Session::new(g).run(text)
 }
 
 /// Parses and executes an EQL query.
+#[deprecated(note = "create a `Session` with `Session::with_options` and use `Session::run`")]
 pub fn run_query_with(g: &Graph, text: &str, opts: &ExecOptions) -> Result<QueryResult, EqlError> {
-    let ast = parse(text)?;
-    execute(g, &ast, opts)
+    Session::with_options(g, opts.clone()).run(text)
 }
 
 /// Parses and executes an `ASK` query, returning its boolean answer.
-///
-/// ```
-/// use cs_eql::run_ask;
-/// use cs_graph::figure1;
-/// let g = figure1();
-/// assert!(run_ask(&g, r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) }"#).unwrap());
-/// assert!(!run_ask(&g, r#"ASK WHERE { (x, "founded", "France") }"#).unwrap());
-/// ```
+#[deprecated(note = "create a `Session` and use `Session::ask`")]
 pub fn run_ask(g: &Graph, text: &str) -> Result<bool, EqlError> {
-    let ast = parse(text)?;
-    let res = execute(g, &ast, &ExecOptions::default())?;
-    Ok(res.boolean.unwrap_or(res.rows() > 0))
+    Session::new(g).ask(text)
 }
 
 /// First result cap for variable-sharing ASK CTPs; grown by
 /// [`ASK_LIMIT_GROWTH`] each deepening round while the join probe stays
 /// empty and a search was truncated by its cap.
-const ASK_INITIAL_LIMIT: usize = 4;
+pub(crate) const ASK_INITIAL_LIMIT: usize = 4;
 /// Growth factor of the ASK deepening loop.
-const ASK_LIMIT_GROWTH: usize = 8;
+pub(crate) const ASK_LIMIT_GROWTH: usize = 8;
 
-/// Executes a parsed query.
+/// Executes a parsed query over a throwaway [`Session`]. Prefer
+/// holding a session and using [`Session::prepare`] +
+/// [`Session::execute`] when the same graph serves several queries —
+/// that is what lets structurally identical BGPs reuse cached plans.
 pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResult, EqlError> {
-    // Re-check the invariant the parser enforces, for ASTs built
-    // programmatically: duplicate CTP output variables would silently
-    // overwrite each other's tree/score entries.
-    if let Some(v) = q.duplicate_out_var() {
-        return Err(EqlError::Validate(crate::ast::duplicate_out_var_message(v)));
-    }
-    let mut stats = ExecStats::default();
+    let session = Session::with_options(g, opts.clone());
+    let prepared = session.prepare_ast(q.clone())?;
+    session.execute(&prepared)
+}
 
-    // ---- Step (A): group edge patterns into BGPs, plan each against
-    // the graph's cardinality statistics, and evaluate the plans.
-    let t0 = Instant::now();
-    let bgps = query_bgps(q);
-    let mut bgp_tables: Vec<Table> = Vec::new();
-    for bgp in &bgps {
-        let plan = plan_bgp(g, bgp);
-        bgp_tables.push(eval_bgp_with_plan(g, bgp, &plan));
-        stats.plans.push(plan);
-    }
-    stats.bgp_time = t0.elapsed();
+/// The step (B) job list: per CTP, the job, the table columns of its
+/// seed positions (`None` for hidden constants), and whether the ASK
+/// deepening loop may raise its result cap.
+pub(crate) type CtpJobs = (Vec<CtpJob>, Vec<Vec<Option<String>>>, Vec<bool>);
 
-    // ---- Step (B): evaluate the CTPs. All CTPs of a query are
-    // independent searches (their seed sets derive only from step A),
-    // so they are collected into [`CtpJob`]s and — when more than one
-    // worker is configured — dispatched through the §6 coarse-grained
-    // parallel evaluator.
-    let t1 = Instant::now();
+/// Lowers a CTP's filter clauses into search [`Filters`] — everything
+/// except the result cap (`LIMIT`), which each call site layers on
+/// (implicit ASK limits here, streaming early termination in the
+/// session). The single lowering point keeps the materialised,
+/// streaming, and ASK fast paths honouring exactly the same clauses.
+pub(crate) fn ctp_filters(ctp: &CtpAst, opts: &ExecOptions) -> Filters {
+    let mut filters = Filters::none();
+    filters.uni = ctp.filters.uni;
+    filters.labels = ctp.filters.labels.clone();
+    filters.max_edges = ctp.filters.max_edges;
+    filters.timeout = ctp.filters.timeout.or(opts.default_timeout);
+    filters
+}
+
+/// Builds the [`CtpJob`]s of step (B) from a query's CTPs and the step
+/// (A) binding tables.
+pub(crate) fn build_ctp_jobs(
+    g: &Graph,
+    q: &QueryAst,
+    bgp_tables: &[Table],
+    opts: &ExecOptions,
+) -> Result<CtpJobs, EqlError> {
     let mut jobs: Vec<CtpJob> = Vec::with_capacity(q.ctps.len());
     let mut job_cols: Vec<Vec<Option<String>>> = Vec::with_capacity(q.ctps.len());
     let mut deepenable: Vec<bool> = Vec::with_capacity(q.ctps.len());
     for (ci, ctp) in q.ctps.iter().enumerate() {
-        let (specs, col_vars) = seed_specs(g, ctp, ci, &bgp_tables);
+        let (specs, col_vars) = seed_specs(g, ctp, ci, bgp_tables);
         let seeds = SeedSets::new(specs)?;
 
-        let mut filters = Filters::none();
-        filters.uni = ctp.filters.uni;
-        filters.labels = ctp.filters.labels.clone();
-        filters.max_edges = ctp.filters.max_edges;
-        filters.timeout = ctp.filters.timeout.or(opts.default_timeout);
+        let mut filters = ctp_filters(ctp, opts);
         // ASK only needs existence, so a CTP can stop after its first
         // result (implicit LIMIT 1) — but only when the CTP shares no
         // variables with other tables: if its seed columns participate
         // in a join, the single kept tree may not be the one that
         // joins, yielding a false negative. Variable-sharing ASK CTPs
         // without an explicit LIMIT instead start from a small result
-        // cap that the deepening loop below raises only while the join
-        // stays empty and some search was truncated.
+        // cap that the deepening loop raises only while the join stays
+        // empty and some search was truncated.
         let deepen = q.form == QueryForm::Ask
             && ctp.filters.limit.is_none()
-            && ctp_shares_variables(q, ci, &bgp_tables);
+            && ctp_shares_variables(q, ci, bgp_tables);
         filters.max_results = ctp.filters.limit.or(match q.form {
             QueryForm::Ask if deepen => Some(ASK_INITIAL_LIMIT),
             QueryForm::Ask => Some(1),
@@ -268,88 +279,70 @@ pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResul
         job_cols.push(col_vars);
         deepenable.push(deepen);
     }
+    Ok((jobs, job_cols, deepenable))
+}
 
-    // Evaluate, materialise, and — for ASK — probe the join; deepen
-    // the result caps of sharing CTPs while the probe is empty and a
-    // truncated search might still produce the joining tree.
-    let (ctp_tables, trees, scores) = loop {
-        let outcomes = if opts.threads == 1 || jobs.len() <= 1 {
-            // In-line evaluation on the calling thread.
-            jobs.iter()
-                .map(|j| {
-                    evaluate_ctp_with_policy(
-                        g,
-                        &j.seeds,
-                        j.algorithm,
-                        j.filters.clone(),
-                        j.order.clone(),
-                        j.policy,
-                    )
-                })
-                .collect()
-        } else {
-            evaluate_ctps_parallel(g, &jobs, opts.threads)
-        };
-
-        // A deepening retry replaces the previous attempt's stats.
-        stats.ctp_stats.clear();
-        let truncated = jobs
-            .iter()
-            .zip(&outcomes)
-            .zip(&deepenable)
-            .any(|((j, o), &d)| {
-                d && (!o.complete() || j.filters.max_results.is_some_and(|k| o.results.len() >= k))
-            });
-        let timed_out = outcomes.iter().any(|o| o.stats.timed_out);
-
-        let materialised = materialise_ctps(g, q, outcomes, &job_cols, &mut stats);
-
-        // SELECT returns everything found; ASK stops as soon as the
-        // join is witnessed, or no truncated search can change it.
-        if q.form == QueryForm::Select || !truncated || timed_out {
-            break materialised;
-        }
-        let mut probe = bgp_tables.clone();
-        probe.extend(materialised.0.iter().cloned());
-        if !join_all(probe).is_empty() {
-            break materialised;
-        }
-        for (j, &d) in jobs.iter_mut().zip(&deepenable) {
-            if d {
-                let k = j.filters.max_results.unwrap_or(ASK_INITIAL_LIMIT);
-                j.filters.max_results = Some(k.saturating_mul(ASK_LIMIT_GROWTH));
-            }
-        }
+/// Evaluates a slice of CTP jobs: in-line on the calling thread when a
+/// single worker is configured (`0` resolves to the available
+/// parallelism first, so single-CPU hosts don't pay for a useless
+/// worker thread) or there is at most one job, through
+/// [`evaluate_ctps_parallel`] otherwise.
+pub(crate) fn dispatch_jobs(g: &Graph, jobs: &[CtpJob], threads: usize) -> Vec<SearchOutcome> {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        threads
     };
+    if threads == 1 || jobs.len() <= 1 {
+        jobs.iter()
+            .map(|j| {
+                evaluate_ctp_with_policy(
+                    g,
+                    &j.seeds,
+                    j.algorithm,
+                    j.filters.clone(),
+                    j.order.clone(),
+                    j.policy,
+                )
+            })
+            .collect()
+    } else {
+        evaluate_ctps_parallel(g, jobs, threads)
+    }
+}
 
-    stats.ctp_time = t1.elapsed();
+/// True if some deepenable ASK CTP's search was truncated by its
+/// result cap (or is otherwise incomplete), so raising the cap could
+/// still produce the joining tree.
+pub(crate) fn ask_truncated(
+    jobs: &[CtpJob],
+    outcomes: &[SearchOutcome],
+    deepenable: &[bool],
+) -> bool {
+    jobs.iter()
+        .zip(outcomes)
+        .zip(deepenable)
+        .any(|((j, o), &d)| {
+            d && (!o.complete() || j.filters.max_results.is_some_and(|k| o.results.len() >= k))
+        })
+}
 
-    // ---- Step (C): join everything and project the head.
-    let t2 = Instant::now();
-    let mut tables: Vec<Table> = bgp_tables;
-    tables.extend(ctp_tables);
-    let joined = join_all(tables);
-    let head_refs: Vec<&str> = q.head.iter().map(String::as_str).collect();
-    let table = joined.project(&head_refs).distinct();
-    stats.join_time = t2.elapsed();
-
-    let boolean = match q.form {
-        QueryForm::Ask => Some(!joined.is_empty()),
-        QueryForm::Select => None,
-    };
-
-    Ok(QueryResult {
-        table,
-        trees,
-        scores,
-        stats,
-        boolean,
-    })
+/// Raises the result caps of the deepenable jobs for the next ASK
+/// deepening round.
+pub(crate) fn grow_ask_limits(jobs: &mut [CtpJob], deepenable: &[bool]) {
+    for (j, &d) in jobs.iter_mut().zip(deepenable) {
+        if d {
+            let k = j.filters.max_results.unwrap_or(ASK_INITIAL_LIMIT);
+            j.filters.max_results = Some(k.saturating_mul(ASK_LIMIT_GROWTH));
+        }
+    }
 }
 
 /// The join tables, result-tree bindings, and scores one evaluation
 /// round produces.
-type CtpMaterialisation = (
+pub(crate) type CtpMaterialisation = (
     Vec<Table>,
     FxHashMap<String, Vec<ResultTree>>,
     FxHashMap<String, Vec<f64>>,
@@ -357,7 +350,7 @@ type CtpMaterialisation = (
 
 /// Turns each CTP's search outcome into its join table `CTP_j`,
 /// applying `SCORE σ [TOP k]` (§4.8), and records per-CTP statistics.
-fn materialise_ctps(
+pub(crate) fn materialise_ctps(
     g: &Graph,
     q: &QueryAst,
     outcomes: Vec<cs_core::SearchOutcome>,
@@ -418,7 +411,7 @@ fn materialise_ctps(
 }
 
 /// Lowers edge patterns, assigning hidden variable names to constants.
-fn lower_patterns(q: &QueryAst) -> Vec<TriplePattern> {
+pub(crate) fn lower_patterns(q: &QueryAst) -> Vec<TriplePattern> {
     let mut hidden = 0usize;
     let mut lower = |t: &TermAst| -> Term {
         match &t.var {
@@ -444,13 +437,13 @@ fn lower_patterns(q: &QueryAst) -> Vec<TriplePattern> {
 /// variables — each component is one BGP (Def. 2.4). Delegates to the
 /// engine's union-find ([`cs_engine::pattern_components`]), the same
 /// implementation backing [`Bgp::is_connected`].
-fn connected_components(patterns: &[TriplePattern]) -> Vec<Vec<usize>> {
+pub(crate) fn connected_components(patterns: &[TriplePattern]) -> Vec<Vec<usize>> {
     cs_engine::pattern_components(patterns)
 }
 
 /// Lowers a query's edge patterns and groups them into their BGP
 /// components (Def. 2.4), in first-pattern order.
-fn query_bgps(q: &QueryAst) -> Vec<Bgp> {
+pub(crate) fn query_bgps(q: &QueryAst) -> Vec<Bgp> {
     let lowered = lower_patterns(q);
     connected_components(&lowered)
         .into_iter()
@@ -477,7 +470,7 @@ pub fn explain_plan(g: &Graph, q: &QueryAst) -> Vec<BgpPlan> {
 /// or in another CTP — i.e. the CTP's table participates in a join on
 /// those columns, so keeping only its first result (the ASK implicit
 /// `LIMIT 1`) could discard exactly the tree that joins.
-fn ctp_shares_variables(q: &QueryAst, ci: usize, bgp_tables: &[Table]) -> bool {
+pub(crate) fn ctp_shares_variables(q: &QueryAst, ci: usize, bgp_tables: &[Table]) -> bool {
     q.ctps[ci]
         .terms
         .iter()
@@ -493,7 +486,7 @@ fn ctp_shares_variables(q: &QueryAst, ci: usize, bgp_tables: &[Table]) -> bool {
 /// Computes the seed specs of one CTP (step B.1 of §3). Returns the
 /// specs plus, per position, the variable that becomes a column of the
 /// CTP table (`None` for hidden constants).
-fn seed_specs(
+pub(crate) fn seed_specs(
     g: &Graph,
     ctp: &CtpAst,
     _ci: usize,
@@ -536,7 +529,7 @@ fn seed_specs(
 
 /// Chooses the queue policy (§4.9): balance when an `N` set is present
 /// or explicit set sizes are badly skewed.
-fn pick_policy(seeds: &SeedSets, ratio: usize) -> QueuePolicy {
+pub(crate) fn pick_policy(seeds: &SeedSets, ratio: usize) -> QueuePolicy {
     if !seeds.presatisfied().is_empty() {
         return QueuePolicy::Balanced;
     }
@@ -561,7 +554,7 @@ fn pick_policy(seeds: &SeedSets, ratio: usize) -> QueuePolicy {
 
 /// Greedy natural join of all tables: smallest first, preferring
 /// join partners that share variables.
-fn join_all(mut tables: Vec<Table>) -> Table {
+pub(crate) fn join_all(mut tables: Vec<Table>) -> Table {
     if tables.is_empty() {
         return Table::new(Vec::new());
     }
@@ -596,6 +589,7 @@ fn join_all(mut tables: Vec<Table>) -> Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parser::parse;
     use cs_graph::figure1;
 
     const Q1: &str = r#"
@@ -610,7 +604,7 @@ mod tests {
     #[test]
     fn q1_runs_on_figure1() {
         let g = figure1();
-        let r = run_query(&g, Q1).unwrap();
+        let r = Session::new(&g).run(Q1).unwrap();
         assert!(r.rows() > 0, "Q1 must have answers");
         // Every row binds x to a US entrepreneur.
         let xcol = r.table.col("x").unwrap();
@@ -638,18 +632,18 @@ mod tests {
     #[test]
     fn bgp_only_query() {
         let g = figure1();
-        let r = run_query(
-            &g,
-            r#"SELECT x WHERE { (x : type = "entrepreneur", "citizenOf", "USA") }"#,
-        )
-        .unwrap();
+        let r = Session::new(&g)
+            .run(r#"SELECT x WHERE { (x : type = "entrepreneur", "citizenOf", "USA") }"#)
+            .unwrap();
         assert_eq!(r.rows(), 2); // Bob, Carole
     }
 
     #[test]
     fn ctp_only_query_with_constants() {
         let g = figure1();
-        let r = run_query(&g, r#"SELECT w WHERE { CONNECT("Bob", "Carole" -> w) }"#).unwrap();
+        let r = Session::new(&g)
+            .run(r#"SELECT w WHERE { CONNECT("Bob", "Carole" -> w) }"#)
+            .unwrap();
         assert!(r.rows() > 0);
         // Shortest connection: Bob -citizenOf-> USA <-citizenOf- Carole
         // (2 edges).
@@ -661,14 +655,14 @@ mod tests {
     fn seed_sets_from_bgp_are_restricted() {
         let g = figure1();
         // y bound by BGP to French entrepreneurs; CTP reuses y.
-        let r = run_query(
-            &g,
-            r#"SELECT y, w WHERE {
+        let r = Session::new(&g)
+            .run(
+                r#"SELECT y, w WHERE {
                 (y : type = "entrepreneur", "citizenOf", "France")
                 CONNECT(y, "USA" -> w) LIMIT 5
             }"#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         let ycol = r.table.col("y").unwrap();
         for row in r.table.rows() {
             let label = g.node_label(row[ycol].as_node().unwrap());
@@ -679,13 +673,13 @@ mod tests {
     #[test]
     fn score_top_k() {
         let g = figure1();
-        let r = run_query(
-            &g,
-            r#"SELECT w WHERE {
+        let r = Session::new(&g)
+            .run(
+                r#"SELECT w WHERE {
                 CONNECT("Bob", "Alice" -> w) SCORE edgecount TOP 2
             }"#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         assert!(r.rows() <= 2);
         let s = &r.scores["w"];
         assert!(s.len() <= 2);
@@ -696,11 +690,9 @@ mod tests {
     #[test]
     fn max_and_limit_filters() {
         let g = figure1();
-        let r = run_query(
-            &g,
-            r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 3 LIMIT 2 }"#,
-        )
-        .unwrap();
+        let r = Session::new(&g)
+            .run(r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 3 LIMIT 2 }"#)
+            .unwrap();
         assert!(r.rows() <= 2);
         for t in &r.trees["w"] {
             assert!(t.size() <= 3);
@@ -712,12 +704,12 @@ mod tests {
         let g = figure1();
         // Bob -> USA <- Carole is NOT unidirectional (no root reaches
         // both): check UNI prunes relative to the bidirectional run.
-        let bi = run_query(&g, r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 }"#).unwrap();
-        let uni = run_query(
-            &g,
-            r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 UNI }"#,
-        )
-        .unwrap();
+        let bi = Session::new(&g)
+            .run(r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 }"#)
+            .unwrap();
+        let uni = Session::new(&g)
+            .run(r#"SELECT w WHERE { CONNECT("Bob", "USA" -> w) MAX 1 UNI }"#)
+            .unwrap();
         // Bob -citizenOf-> USA is a directed path: both find it.
         assert!(bi.rows() >= 1);
         assert!(uni.rows() >= 1);
@@ -727,11 +719,9 @@ mod tests {
     fn n_seed_set_query() {
         // J3-style query: one explicit set, one N set.
         let g = figure1();
-        let r = run_query(
-            &g,
-            r#"SELECT w WHERE { CONNECT("Alice", anything -> w) MAX 1 }"#,
-        )
-        .unwrap();
+        let r = Session::new(&g)
+            .run(r#"SELECT w WHERE { CONNECT("Alice", anything -> w) MAX 1 }"#)
+            .unwrap();
         // All 1-edge trees touching Alice (3 incident edges).
         assert_eq!(r.trees["w"].iter().filter(|t| t.size() == 1).count(), 3);
     }
@@ -739,15 +729,15 @@ mod tests {
     #[test]
     fn two_ctps_join_on_shared_variable() {
         let g = figure1();
-        let r = run_query(
-            &g,
-            r#"SELECT x, w1, w2 WHERE {
+        let r = Session::new(&g)
+            .run(
+                r#"SELECT x, w1, w2 WHERE {
                 (x : type = "entrepreneur", "citizenOf", "USA")
                 CONNECT(x, "France" -> w1) LIMIT 20
                 CONNECT(x, "Elon" -> w2) LIMIT 20
             }"#,
-        )
-        .unwrap();
+            )
+            .unwrap();
         assert!(r.rows() > 0);
         assert!(r.trees.contains_key("w1") && r.trees.contains_key("w2"));
     }
@@ -755,8 +745,7 @@ mod tests {
     #[test]
     fn empty_bgp_result_gives_empty_answer() {
         let g = figure1();
-        let r = run_query(
-            &g,
+        let r = Session::new(&g).run(
             r#"SELECT x, w WHERE {
                 (x : type = "robot", "citizenOf", "USA")
                 CONNECT(x, "France" -> w)
@@ -786,21 +775,24 @@ mod tests {
 #[cfg(test)]
 mod ask_tests {
     use super::*;
+    use crate::parser::parse;
     use cs_graph::figure1;
 
     #[test]
     fn ask_true_and_false() {
         let g = figure1();
-        assert!(run_ask(&g, r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) }"#).unwrap());
+        assert!(Session::new(&g)
+            .ask(r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) }"#)
+            .unwrap());
         assert!(
-            !run_ask(
-                &g,
-                r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) LABEL "founded" }"#
-            )
-            .unwrap(),
+            !Session::new(&g)
+                .ask(r#"ASK WHERE { CONNECT("Bob", "Carole" -> w) LABEL "founded" }"#)
+                .unwrap(),
             "no founded-only connection exists"
         );
-        assert!(run_ask(&g, r#"ASK WHERE { (x, "founded", "OrgB") }"#).unwrap());
+        assert!(Session::new(&g)
+            .ask(r#"ASK WHERE { (x, "founded", "OrgB") }"#)
+            .unwrap());
     }
 
     #[test]
@@ -834,9 +826,9 @@ mod ask_tests {
             CONNECT(x : type = "entrepreneur", "USA" -> w1) MAX 2
             CONNECT(x, "France" -> w2) MAX 2
         }"#;
-        assert!(run_query(&g, sel).unwrap().rows() > 0);
+        assert!(Session::new(&g).run(sel).unwrap().rows() > 0);
         // …so ASK must agree.
-        assert!(run_ask(&g, ask).unwrap());
+        assert!(Session::new(&g).ask(ask).unwrap());
     }
 
     /// The implicit limit is also suppressed when a CTP's seeds come
@@ -863,29 +855,31 @@ mod ask_tests {
     fn ask_with_bgp_join() {
         let g = figure1();
         // Is any US entrepreneur connected to Elon within 3 edges?
-        assert!(run_ask(
-            &g,
-            r#"ASK WHERE {
+        assert!(Session::new(&g)
+            .ask(
+                r#"ASK WHERE {
                 (x : type = "entrepreneur", "citizenOf", "USA")
                 CONNECT(x, "Elon" -> w) MAX 3
             }"#
-        )
-        .unwrap());
+            )
+            .unwrap());
         // ... within 1 edge? No.
-        assert!(!run_ask(
-            &g,
-            r#"ASK WHERE {
+        assert!(!Session::new(&g)
+            .ask(
+                r#"ASK WHERE {
                 (x : type = "entrepreneur", "citizenOf", "USA")
                 CONNECT(x, "Elon" -> w) MAX 1
             }"#
-        )
-        .unwrap());
+            )
+            .unwrap());
     }
 
     #[test]
     fn select_has_no_boolean() {
         let g = figure1();
-        let r = run_query(&g, r#"SELECT x WHERE { (x, "founded", y) }"#).unwrap();
+        let r = Session::new(&g)
+            .run(r#"SELECT x WHERE { (x, "founded", y) }"#)
+            .unwrap();
         assert_eq!(r.boolean, None);
     }
 }
@@ -893,6 +887,7 @@ mod ask_tests {
 #[cfg(test)]
 mod planner_and_batching_tests {
     use super::*;
+    use crate::parser::parse;
     use cs_engine::AccessPath;
     use cs_graph::figure1;
 

@@ -6,12 +6,17 @@
 //! §3 evaluation strategy wiring `cs-engine` (BGPs, joins) to
 //! `cs-core` (CTP search).
 //!
+//! Queries execute through a [`Session`], which owns the execution
+//! options and a shape-keyed BGP plan cache, so a stream of
+//! structurally similar queries amortises planning (Fig. 13):
+//!
 //! ```
-//! use cs_eql::run_query;
+//! use cs_eql::Session;
 //! use cs_graph::figure1;
 //!
 //! let g = figure1();
-//! let r = run_query(&g, r#"
+//! let session = Session::new(&g);
+//! let r = session.run(r#"
 //!     SELECT x, w WHERE {
 //!         (x : type = "entrepreneur", "citizenOf", "USA")
 //!         CONNECT(x, "France" -> w) MAX 3 SCORE edgecount
@@ -19,6 +24,12 @@
 //! "#).unwrap();
 //! assert!(r.rows() > 0);
 //! ```
+//!
+//! Beyond one-shot [`Session::run`], a session offers
+//! [`Session::prepare`] + [`Session::execute`] (parse once, execute
+//! many), [`Session::execute_batch`] (CTP jobs of many queries in one
+//! parallel dispatch), and [`Session::execute_streaming`] (a pull
+//! iterator of connecting trees with TOP-k-style early termination).
 
 #![warn(missing_docs)]
 
@@ -26,10 +37,11 @@ pub mod ast;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod session;
 
 pub use ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, QueryForm, TermAst};
-pub use exec::{
-    execute, explain_plan, run_ask, run_query, run_query_with, EqlError, ExecOptions, ExecStats,
-    QueryResult,
-};
+pub use exec::{execute, explain_plan, EqlError, ExecOptions, ExecStats, QueryResult};
+#[allow(deprecated)]
+pub use exec::{run_ask, run_query, run_query_with};
 pub use parser::{parse, ParseError};
+pub use session::{PreparedQuery, ResultStream, Session};

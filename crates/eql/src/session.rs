@@ -1,0 +1,602 @@
+//! The session-based execution API: prepare once, execute many,
+//! batch across queries, stream results.
+//!
+//! The free functions of [`crate::exec`] parse, plan, and execute from
+//! scratch on every call, so nothing survives between queries. A
+//! [`Session`] is the stateful counterpart: it owns the graph
+//! reference, the [`ExecOptions`], and an LRU [`cs_engine::PlanCache`]
+//! keyed by BGP *shape* (labels/types with variable names
+//! canonicalised), so structurally identical BGPs across a query
+//! stream reuse plans — the paper's Fig. 13 per-label plan-cache idea
+//! generalised to whole patterns.
+//!
+//! On top of the cache the session adds the ROADMAP's two scale
+//! levers:
+//!
+//! * [`Session::execute_batch`] collects the CTP jobs of *many*
+//!   queries into one [`cs_core::parallel::evaluate_ctps_parallel`] dispatch, so a batch
+//!   saturates the worker pool even when each query has a single CTP;
+//! * [`Session::execute_streaming`] returns a pull-based
+//!   [`ResultStream`] that advances the CTP search only as far as the
+//!   results the caller consumes (TOP-k-style early termination).
+//!
+//! ```
+//! use cs_eql::Session;
+//! use cs_graph::figure1;
+//!
+//! let g = figure1();
+//! let session = Session::new(&g);
+//! let prepared = session
+//!     .prepare(r#"SELECT x, w WHERE {
+//!         (x : type = "entrepreneur", "citizenOf", "USA")
+//!         CONNECT(x, "France" -> w) MAX 3
+//!     }"#)
+//!     .unwrap();
+//! // Execute the prepared query as often as you like — parsing,
+//! // validation, and component grouping happened once.
+//! let first = session.execute(&prepared).unwrap();
+//! let again = session.execute(&prepared).unwrap();
+//! assert_eq!(first.rows(), again.rows());
+//! // The second execution reused the cached plan.
+//! assert!(again.stats.plan_cache_hits > 0);
+//! ```
+
+use crate::ast::{QueryAst, QueryForm};
+use crate::exec::{
+    ask_truncated, build_ctp_jobs, ctp_filters, dispatch_jobs, grow_ask_limits, join_all,
+    materialise_ctps, pick_policy, query_bgps, seed_specs, CtpMaterialisation, EqlError,
+    ExecOptions, ExecStats, QueryResult,
+};
+use crate::parser::parse;
+use cs_core::parallel::CtpJob;
+use cs_core::{
+    evaluate_ctp_streaming, stream_ctp, Algorithm, CtpStream, QueueOrder, QueuePolicy, ResultTree,
+    SearchStats, SeedSets,
+};
+use cs_engine::{eval_bgp_with_plan, Bgp, PlanCache, Table};
+use cs_graph::Graph;
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+/// A stateful query-execution context over one graph.
+///
+/// Sessions are cheap to create but meant to be held: the plan cache
+/// only pays off across queries. A session is single-threaded by
+/// design (`!Sync` — the plan cache sits behind a [`RefCell`]); CTP
+/// evaluation inside one query or batch still fans out over
+/// [`ExecOptions::threads`] workers. Use one session per thread.
+pub struct Session<'g> {
+    graph: &'g Graph,
+    opts: ExecOptions,
+    cache: RefCell<PlanCache>,
+}
+
+/// A parsed, validated, component-grouped query, produced by
+/// [`Session::prepare`] and executable any number of times via
+/// [`Session::execute`] without re-parsing.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    ast: QueryAst,
+    /// The BGP components (Def. 2.4) of the query's edge patterns,
+    /// grouped once at prepare time.
+    bgps: Vec<Bgp>,
+}
+
+impl PreparedQuery {
+    /// The parsed query.
+    pub fn ast(&self) -> &QueryAst {
+        &self.ast
+    }
+
+    /// The query form (`SELECT` or `ASK`).
+    pub fn form(&self) -> QueryForm {
+        self.ast.form
+    }
+
+    /// Number of BGP components step (A) will evaluate.
+    pub fn bgp_count(&self) -> usize {
+        self.bgps.len()
+    }
+
+    /// Executes this query on `session` — sugar for
+    /// [`Session::execute`].
+    pub fn execute(&self, session: &Session<'_>) -> Result<QueryResult, EqlError> {
+        session.execute(self)
+    }
+}
+
+impl<'g> Session<'g> {
+    /// A session over `g` with default [`ExecOptions`].
+    pub fn new(graph: &'g Graph) -> Self {
+        Session::with_options(graph, ExecOptions::default())
+    }
+
+    /// A session over `g` with explicit options.
+    pub fn with_options(graph: &'g Graph, opts: ExecOptions) -> Self {
+        let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        Session { graph, opts, cache }
+    }
+
+    /// The graph this session queries.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The session's execution options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// Mutable access to the options (e.g. to change `threads` between
+    /// queries). The plan cache is kept — except that changing
+    /// `plan_cache_capacity` takes effect only for new sessions.
+    pub fn options_mut(&mut self) -> &mut ExecOptions {
+        &mut self.opts
+    }
+
+    /// Plans served from the session's shape-keyed cache so far.
+    pub fn plan_cache_hits(&self) -> u64 {
+        self.cache.borrow().hits()
+    }
+
+    /// Plans built from scratch so far.
+    pub fn plan_cache_misses(&self) -> u64 {
+        self.cache.borrow().misses()
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Parses, validates, and component-groups a query. The returned
+    /// [`PreparedQuery`] can be executed repeatedly without paying for
+    /// parsing again.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, EqlError> {
+        let ast = parse(text)?;
+        self.prepare_ast(ast)
+    }
+
+    /// Prepares a programmatically built AST: re-checks the invariants
+    /// the parser enforces (duplicate CTP output variables) and groups
+    /// the edge patterns into BGP components.
+    pub fn prepare_ast(&self, ast: QueryAst) -> Result<PreparedQuery, EqlError> {
+        if let Some(v) = ast.duplicate_out_var() {
+            return Err(EqlError::Validate(crate::ast::duplicate_out_var_message(v)));
+        }
+        let bgps = query_bgps(&ast);
+        Ok(PreparedQuery { ast, bgps })
+    }
+
+    /// Parses and executes a query in one call — the session-aware
+    /// replacement for the deprecated `run_query` free function.
+    pub fn run(&self, text: &str) -> Result<QueryResult, EqlError> {
+        let prepared = self.prepare(text)?;
+        self.execute(&prepared)
+    }
+
+    /// Executes a prepared query — steps (A)–(C) of the paper's
+    /// evaluation strategy (§3), with step (A) plans served from the
+    /// session's shape-keyed cache.
+    pub fn execute(&self, q: &PreparedQuery) -> Result<QueryResult, EqlError> {
+        let g = self.graph;
+        let ast = &q.ast;
+        let t_total = Instant::now();
+        let mut stats = ExecStats::default();
+
+        // ---- Step (A): plan each BGP component through the session
+        // cache and evaluate the plans.
+        let t0 = Instant::now();
+        let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
+        stats.bgp_time = t0.elapsed();
+
+        // ---- Step (B): evaluate the CTPs. All CTPs of a query are
+        // independent searches (their seed sets derive only from step
+        // A), so they are collected into [`CtpJob`]s and — when more
+        // than one worker is configured — dispatched through the §6
+        // coarse-grained parallel evaluator.
+        let t1 = Instant::now();
+        let (mut jobs, job_cols, deepenable) = build_ctp_jobs(g, ast, &bgp_tables, &self.opts)?;
+        let materialised = self.run_ctp_rounds(
+            ast,
+            &bgp_tables,
+            &mut jobs,
+            &job_cols,
+            &deepenable,
+            &mut stats,
+        );
+        stats.ctp_time = t1.elapsed();
+
+        Ok(assemble(
+            ast,
+            bgp_tables,
+            materialised,
+            stats,
+            Some(t_total),
+        ))
+    }
+
+    /// Step (B)'s evaluate–probe–deepen loop: dispatches the jobs,
+    /// materialises the outcomes, and — for ASK — raises the
+    /// deepenable result caps while the join probe stays empty and a
+    /// truncated search might still produce the joining tree. Each
+    /// round replaces the previous attempt's per-CTP stats.
+    fn run_ctp_rounds(
+        &self,
+        ast: &QueryAst,
+        bgp_tables: &[Table],
+        jobs: &mut [CtpJob],
+        job_cols: &[Vec<Option<String>>],
+        deepenable: &[bool],
+        stats: &mut ExecStats,
+    ) -> CtpMaterialisation {
+        loop {
+            let outcomes = dispatch_jobs(self.graph, jobs, self.opts.threads);
+
+            stats.ctp_stats.clear();
+            let truncated = ask_truncated(jobs, &outcomes, deepenable);
+            let timed_out = outcomes.iter().any(|o| o.stats.timed_out);
+
+            let materialised = materialise_ctps(self.graph, ast, outcomes, job_cols, stats);
+
+            // SELECT returns everything found; ASK stops as soon as
+            // the join is witnessed, or no truncated search can change
+            // it.
+            if ast.form == QueryForm::Select || !truncated || timed_out {
+                return materialised;
+            }
+            let mut probe = bgp_tables.to_vec();
+            probe.extend(materialised.0.iter().cloned());
+            if !join_all(probe).is_empty() {
+                return materialised;
+            }
+            grow_ask_limits(jobs, deepenable);
+        }
+    }
+
+    /// Parses and executes an `ASK` query, returning its boolean
+    /// answer.
+    ///
+    /// Single-CTP ASK queries without edge patterns take a streaming
+    /// fast path: the search is evaluated through
+    /// [`cs_core::evaluate_ctp_streaming`] and stopped the moment the
+    /// first witness appears.
+    ///
+    /// ```
+    /// use cs_eql::Session;
+    /// use cs_graph::figure1;
+    /// let g = figure1();
+    /// let session = Session::new(&g);
+    /// assert!(session
+    ///     .ask(r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) }"#)
+    ///     .unwrap());
+    /// assert!(!session
+    ///     .ask(r#"ASK WHERE { (x, "founded", "France") }"#)
+    ///     .unwrap());
+    /// ```
+    pub fn ask(&self, text: &str) -> Result<bool, EqlError> {
+        let prepared = self.prepare(text)?;
+        if let Some(answer) = self.try_streaming_ask(&prepared)? {
+            return Ok(answer);
+        }
+        let res = self.execute(&prepared)?;
+        Ok(res.boolean.unwrap_or(res.rows() > 0))
+    }
+
+    /// The ASK fast path: when the query is a single GAM-family CTP
+    /// with no edge patterns (so its table joins nothing), existence
+    /// is decided by streaming the search and stopping at the first
+    /// result. Returns `None` when the query doesn't qualify and must
+    /// go through the materialised path.
+    fn try_streaming_ask(&self, q: &PreparedQuery) -> Result<Option<bool>, EqlError> {
+        let ast = &q.ast;
+        if ast.form != QueryForm::Ask || !ast.patterns.is_empty() || ast.ctps.len() != 1 {
+            return Ok(None);
+        }
+        let ctp = &ast.ctps[0];
+        let algorithm = ctp.algorithm.unwrap_or(self.opts.default_algorithm);
+        if !Algorithm::GAM_FAMILY.contains(&algorithm) {
+            return Ok(None);
+        }
+        let (specs, _) = seed_specs(self.graph, ctp, 0, &[]);
+        let seeds = SeedSets::new(specs)?;
+        // `evaluate_ctp_streaming` runs single-queue; defer to the
+        // materialised path when the policy heuristic wants balancing.
+        if pick_policy(&seeds, self.opts.balance_ratio) != QueuePolicy::Single {
+            return Ok(None);
+        }
+        let outcome = evaluate_ctp_streaming(
+            self.graph,
+            &seeds,
+            algorithm,
+            ctp_filters(ctp, &self.opts),
+            QueueOrder::SmallestFirst,
+            |_| false, // first witness decides: stop immediately
+        );
+        Ok(Some(!outcome.results.is_empty()))
+    }
+
+    /// Executes a batch of queries with the CTP jobs of *all* queries
+    /// collected into a single [`cs_core::parallel::evaluate_ctps_parallel`] dispatch, so
+    /// the worker pool (`ExecOptions::threads`; `0` = available
+    /// parallelism) is saturated across query boundaries — the
+    /// cross-query batching lever on top of the per-query batching of
+    /// step (B).
+    ///
+    /// Results are returned in input order; a query that fails to
+    /// parse or seed reports its error without aborting the rest of
+    /// the batch. Step (B) runs once for the whole batch, so each
+    /// result's `ctp_time` reports the shared dispatch time, and
+    /// `total_time` is the sum of the per-step times (a per-query
+    /// wall clock would mostly measure the other queries). ASK
+    /// queries whose join probe stays empty continue deepening from
+    /// *grown* result caps — the batch dispatch was their first
+    /// round.
+    pub fn execute_batch(&self, queries: &[&str]) -> Vec<Result<QueryResult, EqlError>> {
+        struct Staged {
+            prepared: PreparedQuery,
+            stats: ExecStats,
+            bgp_tables: Vec<Table>,
+            job_cols: Vec<Vec<Option<String>>>,
+            deepenable: Vec<bool>,
+            n_jobs: usize,
+        }
+
+        let g = self.graph;
+        let mut staged: Vec<Result<Staged, EqlError>> = Vec::with_capacity(queries.len());
+        let mut all_jobs: Vec<CtpJob> = Vec::new();
+        for text in queries {
+            let one = self.prepare(text).and_then(|prepared| {
+                let mut stats = ExecStats::default();
+                let t0 = Instant::now();
+                let bgp_tables = self.eval_bgps(&prepared.bgps, &mut stats);
+                stats.bgp_time = t0.elapsed();
+                let (jobs, job_cols, deepenable) =
+                    build_ctp_jobs(g, &prepared.ast, &bgp_tables, &self.opts)?;
+                let n_jobs = jobs.len();
+                all_jobs.extend(jobs);
+                Ok(Staged {
+                    prepared,
+                    stats,
+                    bgp_tables,
+                    job_cols,
+                    deepenable,
+                    n_jobs,
+                })
+            });
+            staged.push(one);
+        }
+
+        // The one cross-query dispatch.
+        let t1 = Instant::now();
+        let outcomes = dispatch_jobs(g, &all_jobs, self.opts.threads);
+        let dispatch_time = t1.elapsed();
+
+        let mut outcome_iter = outcomes.into_iter();
+        let mut job_base = 0usize;
+        staged
+            .into_iter()
+            .map(|one| {
+                let mut st = match one {
+                    Ok(st) => st,
+                    Err(e) => return Err(e),
+                };
+                let jobs = &all_jobs[job_base..job_base + st.n_jobs];
+                job_base += st.n_jobs;
+                let outs: Vec<_> = outcome_iter.by_ref().take(st.n_jobs).collect();
+
+                let truncated = ask_truncated(jobs, &outs, &st.deepenable);
+                let timed_out = outs.iter().any(|o| o.stats.timed_out);
+                let materialised =
+                    materialise_ctps(g, &st.prepared.ast, outs, &st.job_cols, &mut st.stats);
+                st.stats.ctp_time = dispatch_time;
+
+                if st.prepared.ast.form == QueryForm::Ask && truncated && !timed_out {
+                    let mut probe = st.bgp_tables.clone();
+                    probe.extend(materialised.0.iter().cloned());
+                    if join_all(probe).is_empty() {
+                        // The batch dispatch was this query's first
+                        // deepening round: continue from grown result
+                        // caps (re-running at the initial caps would
+                        // repeat the search the probe just rejected).
+                        let mut retry_jobs = jobs.to_vec();
+                        grow_ask_limits(&mut retry_jobs, &st.deepenable);
+                        let t2 = Instant::now();
+                        let deepened = self.run_ctp_rounds(
+                            &st.prepared.ast,
+                            &st.bgp_tables,
+                            &mut retry_jobs,
+                            &st.job_cols,
+                            &st.deepenable,
+                            &mut st.stats,
+                        );
+                        st.stats.ctp_time += t2.elapsed();
+                        return Ok(assemble(
+                            &st.prepared.ast,
+                            st.bgp_tables,
+                            deepened,
+                            st.stats,
+                            None,
+                        ));
+                    }
+                }
+                Ok(assemble(
+                    &st.prepared.ast,
+                    st.bgp_tables,
+                    materialised,
+                    st.stats,
+                    None,
+                ))
+            })
+            .collect()
+    }
+
+    /// Opens a pull-based stream over a query's connecting trees: the
+    /// CTP search advances only as far as the results the caller
+    /// consumes, so `stream.take(k)` is TOP-k-style early termination
+    /// — the consumer the ROADMAP noted was missing for
+    /// [`cs_core::evaluate_ctp_streaming`]'s machinery.
+    ///
+    /// Streaming requires a `SELECT` query with exactly one CTP, a
+    /// GAM-family algorithm (BFT is batch-only), and no `SCORE`
+    /// clause (ranking needs the materialised result set). Edge
+    /// patterns are allowed: step (A) runs eagerly (through the plan
+    /// cache) to derive the CTP's seed sets, and the stream yields the
+    /// CTP's trees — per-seed bindings travel on each
+    /// [`ResultTree::seeds`].
+    pub fn execute_streaming(&self, q: &PreparedQuery) -> Result<ResultStream<'g>, EqlError> {
+        let ast = &q.ast;
+        if ast.form != QueryForm::Select {
+            return Err(EqlError::Validate(
+                "streaming execution requires a SELECT query (use `ask` for ASK)".into(),
+            ));
+        }
+        if ast.ctps.len() != 1 {
+            return Err(EqlError::Validate(format!(
+                "streaming execution requires exactly one CTP, query has {}",
+                ast.ctps.len()
+            )));
+        }
+        let ctp = &ast.ctps[0];
+        if ctp.filters.score.is_some() {
+            return Err(EqlError::Validate(
+                "SCORE/TOP ranks the full result set and cannot stream; \
+                 drop the clause or use `execute`"
+                    .into(),
+            ));
+        }
+        let algorithm = ctp.algorithm.unwrap_or(self.opts.default_algorithm);
+        if !Algorithm::GAM_FAMILY.contains(&algorithm) {
+            return Err(EqlError::Validate(format!(
+                "streaming execution requires a GAM-family algorithm, got {algorithm}"
+            )));
+        }
+
+        let mut stats = ExecStats::default();
+        let t0 = Instant::now();
+        let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
+        stats.bgp_time = t0.elapsed();
+
+        let (specs, _) = seed_specs(self.graph, ctp, 0, &bgp_tables);
+        let seeds = SeedSets::new(specs)?;
+        let policy = pick_policy(&seeds, self.opts.balance_ratio);
+        let mut filters = ctp_filters(ctp, &self.opts);
+        filters.max_results = ctp.filters.limit;
+
+        let inner = stream_ctp(
+            self.graph,
+            seeds,
+            algorithm,
+            filters,
+            QueueOrder::SmallestFirst,
+            policy,
+        );
+        Ok(ResultStream {
+            inner,
+            out_var: ctp.out_var.clone(),
+            exec_stats: stats,
+        })
+    }
+
+    /// Step (A): plan every BGP component through the session cache
+    /// and evaluate the plans, recording plans and cache-hit deltas in
+    /// `stats`.
+    fn eval_bgps(&self, bgps: &[Bgp], stats: &mut ExecStats) -> Vec<Table> {
+        let mut cache = self.cache.borrow_mut();
+        let (h0, m0) = (cache.hits(), cache.misses());
+        let tables = bgps
+            .iter()
+            .map(|bgp| {
+                let plan = cache.plan(self.graph, bgp);
+                let table = eval_bgp_with_plan(self.graph, bgp, &plan);
+                stats.plans.push(plan);
+                table
+            })
+            .collect();
+        stats.plan_cache_hits += cache.hits() - h0;
+        stats.plan_cache_misses += cache.misses() - m0;
+        tables
+    }
+}
+
+/// Step (C): join the BGP and CTP tables, project the head, and wrap
+/// everything into a [`QueryResult`].
+fn assemble(
+    ast: &QueryAst,
+    bgp_tables: Vec<Table>,
+    materialised: CtpMaterialisation,
+    mut stats: ExecStats,
+    t_total: Option<Instant>,
+) -> QueryResult {
+    let (ctp_tables, trees, scores) = materialised;
+    let t2 = Instant::now();
+    let mut tables: Vec<Table> = bgp_tables;
+    tables.extend(ctp_tables);
+    let joined = join_all(tables);
+    let head_refs: Vec<&str> = ast.head.iter().map(String::as_str).collect();
+    let table = joined.project(&head_refs).distinct();
+    stats.join_time = t2.elapsed();
+
+    let boolean = match ast.form {
+        QueryForm::Ask => Some(!joined.is_empty()),
+        QueryForm::Select => None,
+    };
+    // Batched executions interleave several queries on one clock, so
+    // their per-query total is the sum of this query's step times.
+    stats.total_time = match t_total {
+        Some(t) => t.elapsed(),
+        None => stats.bgp_time + stats.ctp_time + stats.join_time,
+    };
+
+    QueryResult {
+        table,
+        trees,
+        scores,
+        stats,
+        boolean,
+    }
+}
+
+/// A pull-based stream over one query's connecting trees, created by
+/// [`Session::execute_streaming`].
+///
+/// Dropping the stream abandons the remaining search — consuming `k`
+/// trees costs roughly what a `LIMIT k` execution would, without
+/// having to know `k` up front.
+pub struct ResultStream<'g> {
+    inner: CtpStream<'g>,
+    out_var: String,
+    exec_stats: ExecStats,
+}
+
+impl ResultStream<'_> {
+    /// The CTP output variable the streamed trees bind.
+    pub fn out_var(&self) -> &str {
+        &self.out_var
+    }
+
+    /// Step (A) statistics: BGP time, plans, and plan-cache counters
+    /// (CTP search counters accumulate in [`ResultStream::stats`]).
+    pub fn exec_stats(&self) -> &ExecStats {
+        &self.exec_stats
+    }
+
+    /// The search statistics accumulated so far; they keep growing
+    /// while the stream is pulled.
+    pub fn stats(&self) -> &SearchStats {
+        self.inner.stats()
+    }
+
+    /// Wall-clock time since the stream was opened.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.elapsed()
+    }
+}
+
+impl Iterator for ResultStream<'_> {
+    type Item = ResultTree;
+
+    fn next(&mut self) -> Option<ResultTree> {
+        self.inner.next()
+    }
+}

@@ -2,7 +2,7 @@
 //! combination parsed AND executed, error reporting, and cross-checks
 //! between per-CTP `ALGORITHM` overrides.
 
-use cs_eql::{parse, run_ask, run_query, run_query_with, EqlError, ExecOptions};
+use cs_eql::{parse, EqlError, ExecOptions, Session};
 use cs_graph::figure1;
 
 #[test]
@@ -12,7 +12,9 @@ fn all_score_functions_run() {
         let q = format!(
             r#"SELECT w WHERE {{ CONNECT("Bob", "Alice" -> w) MAX 4 SCORE {sigma} TOP 3 }}"#
         );
-        let r = run_query(&g, &q).unwrap_or_else(|e| panic!("{sigma}: {e}"));
+        let r = Session::new(&g)
+            .run(&q)
+            .unwrap_or_else(|e| panic!("{sigma}: {e}"));
         assert!(r.rows() >= 1, "{sigma}");
         assert!(r.scores["w"].len() <= 3);
     }
@@ -26,7 +28,7 @@ fn algorithm_overrides_agree() {
         let q = format!(
             r#"SELECT w WHERE {{ CONNECT("Carole", "Falcon" -> w) MAX 4 ALGORITHM {algo} }}"#
         );
-        let r = run_query(&g, &q).unwrap();
+        let r = Session::new(&g).run(&q).unwrap();
         let mut c: Vec<_> = r.trees["w"].iter().map(|t| t.edges.to_vec()).collect();
         c.sort();
         canon.push(c);
@@ -39,15 +41,15 @@ fn algorithm_overrides_agree() {
 #[test]
 fn filters_compose() {
     let g = figure1();
-    let r = run_query(
-        &g,
-        r#"SELECT w WHERE {
+    let r = Session::new(&g)
+        .run(
+            r#"SELECT w WHERE {
             CONNECT("Bob", "Elon" -> w)
                 LABEL "citizenOf", "affiliation", "funds", "founded", "investsIn", "parentOf"
                 MAX 5 SCORE edgecount TOP 4 LIMIT 10 TIMEOUT 2000
         }"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert!(r.rows() <= 4);
     for t in &r.trees["w"] {
         assert!(t.size() <= 5);
@@ -60,11 +62,9 @@ fn filters_compose() {
 #[test]
 fn whitespace_comments_and_case_insensitivity() {
     let g = figure1();
-    let r = run_query(
-        &g,
-        "select x where {\n  # comment line\n  (x, \"founded\", y)  }",
-    )
-    .unwrap();
+    let r = Session::new(&g)
+        .run("select x where {\n  # comment line\n  (x, \"founded\", y)  }")
+        .unwrap();
     assert_eq!(r.rows(), 2); // distinct founders: Bob, Carole
 }
 
@@ -78,7 +78,7 @@ fn error_messages_are_actionable() {
         ("SELECT w WHERE { CONNECT(\"A\" -> w) }", "at least 2"),
     ];
     for (q, needle) in cases {
-        match run_query(&g, q) {
+        match Session::new(&g).run(q) {
             Err(EqlError::Parse(e)) => {
                 assert!(
                     e.message.to_lowercase().contains(&needle.to_lowercase()),
@@ -100,8 +100,8 @@ fn ask_and_select_consistency() {
         r#"WHERE { CONNECT("OrgB", "Falcon" -> w) MAX 2 }"#,
     ];
     for body in queries {
-        let ask = run_ask(&g, &format!("ASK {body}")).unwrap();
-        let select = run_query(&g, &format!("SELECT w {body}")).unwrap();
+        let ask = Session::new(&g).ask(&format!("ASK {body}")).unwrap();
+        let select = Session::new(&g).run(&format!("SELECT w {body}")).unwrap();
         assert_eq!(ask, select.rows() > 0, "{body}");
     }
 }
@@ -118,12 +118,9 @@ fn default_algorithm_option_is_used() {
             default_algorithm: algo,
             ..ExecOptions::default()
         };
-        let r = run_query_with(
-            &g,
-            r#"SELECT w WHERE { CONNECT("Alice", "Elon" -> w) MAX 3 }"#,
-            &opts,
-        )
-        .unwrap();
+        let r = Session::with_options(&g, opts)
+            .run(r#"SELECT w WHERE { CONNECT("Alice", "Elon" -> w) MAX 3 }"#)
+            .unwrap();
         assert!(r.rows() > 0, "{algo}");
     }
 }
@@ -131,16 +128,16 @@ fn default_algorithm_option_is_used() {
 #[test]
 fn multi_bgp_multi_ctp_query() {
     let g = figure1();
-    let r = run_query(
-        &g,
-        r#"SELECT x, y, w1, w2 WHERE {
+    let r = Session::new(&g)
+        .run(
+            r#"SELECT x, y, w1, w2 WHERE {
             (x, "founded", o1)
             (y, "investsIn", o2)
             CONNECT(x, y -> w1) MAX 3 LIMIT 50
             CONNECT(o1, o2 -> w2) MAX 3 LIMIT 50
         }"#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     // Joins over four shared variables; check schema integrity.
     for col in ["x", "y", "w1", "w2"] {
         assert!(r.table.col(col).is_some(), "missing column {col}");

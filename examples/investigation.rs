@@ -14,6 +14,7 @@
 use connection_search::core::score::{EdgeCount, ScoreFn, Specificity};
 use connection_search::core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
 use connection_search::graph::{Graph, GraphBuilder, NodeId};
+use connection_search::Session;
 
 fn build_case() -> (Graph, NodeId, NodeId, NodeId) {
     let mut b = GraphBuilder::new();
@@ -92,6 +93,30 @@ fn main() {
         "\nThe country-hub tree wins on size, but the account-chain tree wins \
          on specificity — the score function is the analyst's choice (R2)."
     );
+
+    // The same investigation in EQL, through a prepared query: the
+    // analyst typically re-runs the case query as the graph view
+    // evolves, so parse + validate + plan happen once on the session.
+    let session = Session::new(&g);
+    let prepared = session
+        .prepare(
+            r#"SELECT w WHERE {
+                 CONNECT("MrShady", "BankABC", "TaxOfficeDEF" -> w)
+                 MAX 8 SCORE specificity TOP 2
+               }"#,
+        )
+        .expect("valid EQL");
+    let eql_result = session.execute(&prepared).expect("case query executes");
+    println!(
+        "\nEQL (prepared, specificity TOP 2): {} answers",
+        eql_result.rows()
+    );
+    for (score, tree) in eql_result.scores["w"]
+        .iter()
+        .zip(eql_result.trees["w"].iter())
+    {
+        println!("  score {score:>6.3}:  {}", tree.describe(&g));
+    }
 
     // Export the evidence subgraph: the union of all found connecting
     // trees, as shareable triples.

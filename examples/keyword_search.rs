@@ -12,6 +12,7 @@ use connection_search::core::baseline::dpbf;
 use connection_search::core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets, SeedSpec};
 use connection_search::graph::generate::{yago_like, YagoLikeParams};
 use connection_search::graph::{matching_nodes, Predicate};
+use connection_search::Session;
 
 fn main() {
     let g = yago_like(&YagoLikeParams {
@@ -57,6 +58,34 @@ fn main() {
     for t in out.results.trees().iter().take(3) {
         println!("  [{} edges] {}", t.size(), t.describe(&g));
     }
+
+    // The same keyword search as an EQL query through the Session
+    // streaming API: glob predicates select the keyword matches, and
+    // the pull-based stream advances the search only as far as the
+    // trees we consume — the analyst sees the first hits immediately,
+    // TOP-k style, without bounding the result count up front.
+    let session = Session::new(&g);
+    let prepared = session
+        .prepare(
+            r#"SELECT w WHERE {
+                 CONNECT(a : label ~ "person1?", b : label ~ "org3", c : label ~ "place2" -> w)
+                 MAX 5
+               }"#,
+        )
+        .expect("valid EQL");
+    let mut stream = session
+        .execute_streaming(&prepared)
+        .expect("single-CTP SELECT streams");
+    println!("\nEQL streaming (first 3 trees pulled, search then abandoned):");
+    for t in stream.by_ref().take(3) {
+        println!("  [{} edges] {}", t.size(), t.describe(&g));
+    }
+    println!(
+        "  … after {} provenances in {:?} — the batch run above needed {}",
+        stream.stats().provenances,
+        stream.elapsed(),
+        out.stats.provenances
+    );
 
     // The group-Steiner baseline returns exactly one least-cost tree.
     match dpbf(&g, &seeds, false) {

@@ -4,11 +4,15 @@
 //!
 //! Run with: `cargo run --example language_tour`
 
-use connection_search::eql::{parse, run_query};
+use connection_search::eql::parse;
 use connection_search::graph::figure1;
+use connection_search::Session;
 
 fn main() {
     let g = figure1();
+    // One session for the whole tour: structurally similar queries
+    // reuse cached BGP plans.
+    let session = Session::new(&g);
     let queries: &[(&str, &str)] = &[
         (
             "plain BGP — who founded what?",
@@ -63,7 +67,7 @@ fn main() {
             r#"ASK WHERE { CONNECT("Bob", "Elon" -> w) LABEL "funds" }"#,
         ),
     ] {
-        let answer = connection_search::eql::run_ask(&g, q).expect("valid ASK");
+        let answer = session.ask(q).expect("valid ASK");
         println!(
             "### {title}
 {q}
@@ -80,7 +84,7 @@ fn main() {
             ast.patterns.len(),
             ast.ctps.len()
         );
-        match run_query(&g, q) {
+        match session.run(q) {
             Ok(res) => {
                 println!("{} row(s):", res.rows());
                 print!("{}", res.render(&g));

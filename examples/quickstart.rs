@@ -1,14 +1,15 @@
-//! Quickstart: the paper's running example.
+//! Quickstart: the paper's running example, through the Session API.
 //!
-//! Builds the Figure 1 graph and runs query Q1 — "what are the
-//! connections between some American entrepreneur x, some French
-//! entrepreneur y, and some French politician z?" — then prints every
-//! answer with its connecting tree.
+//! Builds the Figure 1 graph, opens a [`Session`], and runs query Q1 —
+//! "what are the connections between some American entrepreneur x,
+//! some French entrepreneur y, and some French politician z?" — then
+//! re-runs the same prepared query ranked by specificity. The second
+//! execution reuses the plans the first one cached.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use connection_search::eql::run_query;
 use connection_search::graph::figure1;
+use connection_search::Session;
 
 fn main() {
     let g = figure1();
@@ -17,6 +18,8 @@ fn main() {
         g.node_count(),
         g.edge_count()
     );
+
+    let session = Session::new(&g);
 
     let q1 = r#"
         SELECT x, y, z, w WHERE {
@@ -28,15 +31,20 @@ fn main() {
     "#;
     println!("Q1:{q1}");
 
-    let result = run_query(&g, q1).expect("Q1 is valid EQL");
+    // Parse + validate + component-group once; execute as often as
+    // needed.
+    let prepared = session.prepare(q1).expect("Q1 is valid EQL");
+    let result = session.execute(&prepared).expect("Q1 executes");
     println!("{} answers:\n", result.rows());
     print!("{}", result.render(&g));
 
     // The same CTP, now ranked by specificity (hub-avoiding) and
     // limited to the top answer — requirement R2: any score function.
-    let ranked = run_query(
-        &g,
-        r#"
+    // Its three BGP components have the same shape as Q1's, so all
+    // three plans come from the session's cache.
+    let ranked = session
+        .run(
+            r#"
         SELECT x, y, z, w WHERE {
             (x : type = "entrepreneur", "citizenOf", "USA")
             (y : type = "entrepreneur", "citizenOf", "France")
@@ -44,8 +52,13 @@ fn main() {
             CONNECT(x, y, z -> w) SCORE specificity TOP 1
         }
     "#,
-    )
-    .expect("valid EQL");
+        )
+        .expect("valid EQL");
     println!("\nTop answer by specificity:");
     print!("{}", ranked.render(&g));
+    println!(
+        "\nplan cache: {} hit(s), {} miss(es) this query — \
+         structurally identical BGPs reuse plans across the session",
+        ranked.stats.plan_cache_hits, ranked.stats.plan_cache_misses
+    );
 }

@@ -2,29 +2,37 @@
 //!
 //! ```text
 //! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS]
-//!     [--threads N] [--stats] [--explain]
+//!     [--threads N] [--stats] [--explain] [--batch]
 //! csq --demo <query-or-@file>            # run against the Figure 1 graph
 //! csq <graph.triples> --snapshot out.csg # convert triples to binary snapshot
 //! ```
 //!
 //! `--threads N` evaluates independent CTPs in parallel (0 = available
 //! parallelism); `--explain` prints the access-path plan of each BGP
-//! before the results.
+//! (with plan-cache hits) before the results; `--batch` treats the
+//! query input as several `;`-separated queries, executed through one
+//! [`Session`] so structurally identical BGPs share cached plans and
+//! all CTP jobs go through a single parallel dispatch.
+//!
+//! The exit code is non-zero when the graph cannot be loaded, a query
+//! fails to parse, or execution errors — including any query of a
+//! batch.
 //!
 //! Graph files ending in `.csg` load as binary snapshots
 //! (`cs_graph::binfmt`); anything else parses as tab-separated triples
 //! (`cs_graph::ntriples`).
 
 use connection_search::core::Algorithm;
-use connection_search::eql::{run_query_with, ExecOptions};
+use connection_search::eql::{ExecOptions, QueryResult};
 use connection_search::graph::{binfmt, figure1, ntriples, Graph};
+use connection_search::Session;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: csq <graph-file|--demo> <query|@query-file> \
-         [--algorithm NAME] [--timeout MS] [--threads N] [--stats] [--explain]\n       \
+         [--algorithm NAME] [--timeout MS] [--threads N] [--stats] [--explain] [--batch]\n       \
          csq <graph-file> --snapshot <out.csg>"
     );
     ExitCode::from(2)
@@ -40,6 +48,74 @@ fn load_graph(path: &str) -> Result<Graph, String> {
     } else {
         let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8"))?;
         ntriples::parse_triples(&text).map_err(|e| format!("bad triples in {path}: {e}"))
+    }
+}
+
+/// Splits batch input on `;` separators outside double-quoted strings,
+/// dropping empty segments.
+fn split_queries(input: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in input.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ';' if !in_string => {
+                out.push(&input[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&input[start..]);
+    out.retain(|q| !q.trim().is_empty());
+    out
+}
+
+/// Prints one query's result (and optional plan/stats views) to
+/// stdout/stderr.
+fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool) {
+    if show_plan {
+        for (i, plan) in result.stats.plans.iter().enumerate() {
+            let cached = if plan.cached { ", cached" } else { "" };
+            eprintln!(
+                "BGP {i} plan (est {} rows scanned{cached}):",
+                plan.total_estimate()
+            );
+            eprint!("{plan}");
+        }
+        eprintln!(
+            "plan cache: {} hit(s), {} miss(es)",
+            result.stats.plan_cache_hits, result.stats.plan_cache_misses
+        );
+    }
+    print!("{}", result.render(graph));
+    eprintln!("{} row(s)", result.rows());
+    if show_stats {
+        eprintln!(
+            "total {:?} | bgp {:?} | ctp {:?} | join {:?}",
+            result.stats.total_time,
+            result.stats.bgp_time,
+            result.stats.ctp_time,
+            result.stats.join_time
+        );
+        for (var, s, d) in &result.stats.ctp_stats {
+            eprintln!(
+                "CTP {var}: {} provenances, {} grows, {} merges, {} pruned, {:?}{}",
+                s.provenances,
+                s.grows,
+                s.merges,
+                s.pruned,
+                d,
+                if s.timed_out { " (TIMED OUT)" } else { "" }
+            );
+        }
     }
 }
 
@@ -92,6 +168,7 @@ fn main() -> ExitCode {
     let mut opts = ExecOptions::default();
     let mut show_stats = false;
     let mut show_plan = false;
+    let mut batch = false;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,37 +207,53 @@ fn main() -> ExitCode {
                 show_plan = true;
                 i += 1;
             }
+            "--batch" => {
+                batch = true;
+                i += 1;
+            }
             _ => return usage(),
         }
     }
 
-    match run_query_with(&graph, &query, &opts) {
+    // One session for the whole invocation: every query (and every
+    // batch member) shares the plan cache.
+    let session = Session::with_options(&graph, opts);
+
+    if batch {
+        let queries = split_queries(&query);
+        if queries.is_empty() {
+            eprintln!("error: --batch input contains no queries");
+            return ExitCode::FAILURE;
+        }
+        let results = session.execute_batch(&queries);
+        let mut failed = false;
+        for (qi, (text, result)) in queries.iter().zip(&results).enumerate() {
+            eprintln!("-- query {} of {} --", qi + 1, results.len());
+            match result {
+                Ok(r) => report(&graph, r, show_plan, show_stats),
+                Err(e) => {
+                    eprintln!("query error: {e}\n  in: {}", text.trim());
+                    failed = true;
+                }
+            }
+        }
+        if show_stats || show_plan {
+            eprintln!(
+                "session plan cache: {} hit(s), {} miss(es), {} cached plan(s)",
+                session.plan_cache_hits(),
+                session.plan_cache_misses(),
+                session.plan_cache_len()
+            );
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match session.run(&query) {
         Ok(result) => {
-            if show_plan {
-                for (i, plan) in result.stats.plans.iter().enumerate() {
-                    eprintln!("BGP {i} plan (est {} rows scanned):", plan.total_estimate());
-                    eprint!("{plan}");
-                }
-            }
-            print!("{}", result.render(&graph));
-            eprintln!("{} row(s)", result.rows());
-            if show_stats {
-                eprintln!(
-                    "bgp {:?} | ctp {:?} | join {:?}",
-                    result.stats.bgp_time, result.stats.ctp_time, result.stats.join_time
-                );
-                for (var, s, d) in &result.stats.ctp_stats {
-                    eprintln!(
-                        "CTP {var}: {} provenances, {} grows, {} merges, {} pruned, {:?}{}",
-                        s.provenances,
-                        s.grows,
-                        s.merges,
-                        s.pruned,
-                        d,
-                        if s.timed_out { " (TIMED OUT)" } else { "" }
-                    );
-                }
-            }
+            report(&graph, &result, show_plan, show_stats);
             ExitCode::SUCCESS
         }
         Err(e) => {

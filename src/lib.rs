@@ -16,11 +16,16 @@
 //!
 //! ## Quickstart
 //!
+//! Queries run through a [`Session`], which caches BGP plans across
+//! queries (keyed by pattern shape) and supports prepared queries,
+//! cross-query batching, and streaming results:
+//!
 //! ```
 //! use connection_search::graph::figure1;
-//! use connection_search::eql::run_query;
+//! use connection_search::Session;
 //!
 //! let g = figure1();
+//! let session = Session::new(&g);
 //! let q = r#"
 //!     SELECT x, y, z, w WHERE {
 //!         (x : type = "entrepreneur", "citizenOf", "USA")
@@ -29,7 +34,8 @@
 //!         CONNECT(x, y, z -> w)
 //!     }
 //! "#;
-//! let result = run_query(&g, q).expect("valid query");
+//! let prepared = session.prepare(q).expect("valid query");
+//! let result = session.execute(&prepared).expect("executes");
 //! assert!(result.rows() > 0);
 //! ```
 
@@ -37,3 +43,5 @@ pub use cs_core as core;
 pub use cs_engine as engine;
 pub use cs_eql as eql;
 pub use cs_graph as graph;
+
+pub use cs_eql::{PreparedQuery, ResultStream, Session};

@@ -1,0 +1,89 @@
+//! Integration tests of the `csq` binary: exit codes must reflect
+//! parse/execution failures (single-query and batch), and `--batch`
+//! must execute `;`-separated queries through one session.
+
+use std::process::{Command, Output};
+
+fn csq(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_csq"))
+        .args(args)
+        .output()
+        .expect("csq runs")
+}
+
+#[test]
+fn ok_query_exits_zero() {
+    let out = csq(&["--demo", r#"SELECT x WHERE { (x, "founded", y) }"#]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Bob"), "{stdout}");
+}
+
+#[test]
+fn parse_error_exits_nonzero() {
+    let out = csq(&["--demo", "SELECT nonsense ("]);
+    assert!(!out.status.success(), "parse errors must fail the process");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query error"), "{stderr}");
+}
+
+#[test]
+fn execution_error_exits_nonzero() {
+    // Valid syntax, but the CTP seed set is empty (no such label), so
+    // execution fails with a seed error.
+    let out = csq(&[
+        "--demo",
+        r#"SELECT w WHERE { CONNECT("NoSuchNode", "Bob" -> w) }"#,
+    ]);
+    assert!(
+        !out.status.success(),
+        "execution errors must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query error"), "{stderr}");
+}
+
+#[test]
+fn batch_executes_all_queries() {
+    let out = csq(&[
+        "--demo",
+        r#"SELECT x WHERE { (x, "founded", y) } ;
+           SELECT w WHERE { CONNECT("Bob", "Carole" -> w) MAX 3 }"#,
+        "--batch",
+        "--explain",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query 1 of 2"), "{stderr}");
+    assert!(stderr.contains("query 2 of 2"), "{stderr}");
+    assert!(stderr.contains("plan cache"), "{stderr}");
+}
+
+#[test]
+fn batch_with_failing_member_exits_nonzero() {
+    let out = csq(&[
+        "--demo",
+        r#"SELECT x WHERE { (x, "founded", y) } ; SELECT broken ("#,
+        "--batch",
+    ]);
+    assert!(
+        !out.status.success(),
+        "a failing batch member must fail the process"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query error"), "{stderr}");
+}
+
+#[test]
+fn batch_separator_ignores_semicolons_in_strings() {
+    // The ";" inside the quoted label must not split the query.
+    let out = csq(&[
+        "--demo",
+        r#"SELECT w WHERE { CONNECT("no;such;node", "Bob" -> w) }"#,
+        "--batch",
+    ]);
+    // One query, which fails on the empty seed set — but as ONE query.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query 1 of 1"), "{stderr}");
+    assert!(!out.status.success());
+}

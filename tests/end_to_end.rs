@@ -2,16 +2,17 @@
 //! BGP evaluation → CTP search → joins, end to end.
 
 use connection_search::core::{evaluate_ctp, Algorithm, Filters, QueueOrder, SeedSets};
-use connection_search::eql::{run_query, run_query_with, ExecOptions};
+use connection_search::eql::ExecOptions;
 use connection_search::graph::figure1;
 use connection_search::graph::generate::{cdf, CdfParams};
+use connection_search::Session;
 
 #[test]
 fn q1_full_pipeline_on_figure1() {
     let g = figure1();
-    let r = run_query(
-        &g,
-        r#"
+    let r = Session::new(&g)
+        .run(
+            r#"
         SELECT x, y, z, w WHERE {
             (x : type = "entrepreneur", "citizenOf", "USA")
             (y : type = "entrepreneur", "citizenOf", "France")
@@ -19,8 +20,8 @@ fn q1_full_pipeline_on_figure1() {
             CONNECT(x, y, z -> w)
         }
     "#,
-    )
-    .unwrap();
+        )
+        .unwrap();
     assert!(r.rows() >= 2, "Q1 has at least t_alpha and t_beta");
     // Every returned tree references only graph edges and is rendered.
     let rendered = r.render(&g);
@@ -44,7 +45,7 @@ fn cdf_m2_query_finds_every_link() {
             CONNECT(bl, tl -> l)
         }
     "#;
-    let r = run_query(&built.graph, q).unwrap();
+    let r = Session::new(&built.graph).run(q).unwrap();
     // One answer per link (links are distinct (tl, bl, path) triples;
     // several links may share endpoints, deduplicating trees keeps
     // them distinct because the intermediate nodes differ).
@@ -69,7 +70,7 @@ fn cdf_m3_query_finds_every_y_link() {
             CONNECT(tl, bl1, bl2 -> l)
         }
     "#;
-    let r = run_query(&built.graph, q).unwrap();
+    let r = Session::new(&built.graph).run(q).unwrap();
     // Every ground-truth Y link must be recovered…
     let (ctl, cb1, cb2) = (
         r.table.col("tl").unwrap(),
@@ -105,11 +106,9 @@ fn eql_ctp_matches_direct_api() {
     // A CTP-only query must return exactly what the direct core API
     // computes on the same seed sets.
     let g = figure1();
-    let r = run_query(
-        &g,
-        r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#,
-    )
-    .unwrap();
+    let r = Session::new(&g)
+        .run(r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#)
+        .unwrap();
 
     let bob = g.node_by_label("Bob").unwrap();
     let elon = g.node_by_label("Elon").unwrap();
@@ -137,7 +136,7 @@ fn algorithms_agree_through_eql() {
         let q = format!(
             r#"SELECT w WHERE {{ CONNECT("Alice", "Carole" -> w) MAX 4 ALGORITHM {algo} }}"#
         );
-        let r = run_query(&g, &q).unwrap();
+        let r = Session::new(&g).run(&q).unwrap();
         let mut c: Vec<_> = r.trees["w"].iter().map(|t| t.edges.to_vec()).collect();
         c.sort();
         canon.push(c);
@@ -155,23 +154,18 @@ fn default_timeout_option_respected() {
     };
     // Even with a microscopic default timeout the query returns (with
     // possibly partial CTP results) rather than hanging.
-    let r = run_query_with(
-        &g,
-        r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) }"#,
-        &opts,
-    )
-    .unwrap();
+    let r = Session::with_options(&g, opts)
+        .run(r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) }"#)
+        .unwrap();
     let _ = r.rows();
 }
 
 #[test]
 fn scores_surface_in_result() {
     let g = figure1();
-    let r = run_query(
-        &g,
-        r#"SELECT w WHERE { CONNECT("Bob", "Alice" -> w) SCORE specificity TOP 3 }"#,
-    )
-    .unwrap();
+    let r = Session::new(&g)
+        .run(r#"SELECT w WHERE { CONNECT("Bob", "Alice" -> w) SCORE specificity TOP 3 }"#)
+        .unwrap();
     let scores = &r.scores["w"];
     assert!(!scores.is_empty() && scores.len() <= 3);
     assert!(scores.windows(2).all(|w| w[0] >= w[1]));
@@ -183,7 +177,7 @@ fn triple_roundtrip_preserves_query_results() {
     let g = figure1();
     let g2 = parse_triples(&write_triples(&g)).unwrap();
     let q = r#"SELECT w WHERE { CONNECT("Bob", "Carole" -> w) MAX 3 }"#;
-    let a = run_query(&g, q).unwrap();
-    let b = run_query(&g2, q).unwrap();
+    let a = Session::new(&g).run(q).unwrap();
+    let b = Session::new(&g2).run(q).unwrap();
     assert_eq!(a.rows(), b.rows());
 }
