@@ -116,16 +116,19 @@ impl PartialOrd for QEntry {
     }
 }
 
-/// Single or per-`sat`-mask balanced queues (§4.9).
-struct Queues {
+/// Single or per-`sat`-mask balanced queues (§4.9), generic over the
+/// entry type: the sequential engine queues arena-indexed [`QEntry`]s,
+/// the partitioned parallel engine ([`crate::algo::partition`]) queues
+/// self-contained (and therefore stealable) entries.
+pub(crate) struct Queues<E: Ord> {
     policy: QueuePolicy,
-    single: BinaryHeap<QEntry>,
-    per: FxHashMap<SeedMask, BinaryHeap<QEntry>>,
+    single: BinaryHeap<E>,
+    per: FxHashMap<SeedMask, BinaryHeap<E>>,
     len: usize,
 }
 
-impl Queues {
-    fn new(policy: QueuePolicy) -> Self {
+impl<E: Ord> Queues<E> {
+    pub(crate) fn new(policy: QueuePolicy) -> Self {
         Queues {
             policy,
             single: BinaryHeap::new(),
@@ -134,7 +137,12 @@ impl Queues {
         }
     }
 
-    fn push(&mut self, mask: SeedMask, e: QEntry) {
+    /// Number of queued entries across all per-mask queues.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn push(&mut self, mask: SeedMask, e: E) {
         self.len += 1;
         match self.policy {
             QueuePolicy::Single => self.single.push(e),
@@ -142,7 +150,23 @@ impl Queues {
         }
     }
 
-    fn pop(&mut self) -> Option<QEntry> {
+    /// Pops up to half the queued entries (at least one, when any are
+    /// queued) — the batch a work-stealing thief takes, so thieves
+    /// re-balance in one locked operation instead of coming back for
+    /// every task.
+    pub(crate) fn steal_half(&mut self) -> Vec<E> {
+        let take = self.len.div_ceil(2);
+        let mut out = Vec::with_capacity(take);
+        for _ in 0..take {
+            match self.pop() {
+                Some(e) => out.push(e),
+                None => break,
+            }
+        }
+        out
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<E> {
         match self.policy {
             QueuePolicy::Single => {
                 let e = self.single.pop();
@@ -182,7 +206,7 @@ pub struct GamEngine<'g> {
     label_filter: Option<FxHashSet<LabelId>>,
     order: QueueOrder,
     store: TreeStore,
-    queue: Queues,
+    queue: Queues<QEntry>,
     seq: u64,
     /// Edge set → roots for which a tree over it has been built.
     /// Implements both GAM's rooted-tree dedup and ESP's edge-set

@@ -1,0 +1,854 @@
+//! The partitioned-history parallel GAM engine (paper §6).
+//!
+//! The paper reports up to ~100× from a multi-threaded GAM that
+//! parallelises a *single* connection search. The blocker for a naive
+//! port of [`super::gam::GamEngine`] is its global mutable state: the
+//! edge-set history `Hist` (Algorithm 1), the `TreesRootedIn` merge
+//! index (Algorithm 3), and the seed signatures `ss_n` (§4.6) are all
+//! written on every processed tree. This module parallelises the
+//! search by **partitioning that state** instead of locking it behind
+//! one mutex:
+//!
+//! * **Hist** is sharded by a stable hash of the tree's edge set; the
+//!   `isNew` check plus the history insertion (Algorithm 4 / Algorithm
+//!   2 line 2) happen atomically under the owning shard's lock, so two
+//!   workers racing on the same edge set serialise exactly there and
+//!   nowhere else. Trees with different edge sets never contend.
+//! * **TreesRootedIn** is sharded by root node. Registering a tree
+//!   snapshots the partners already rooted there under the shard lock;
+//!   every unordered pair of same-rooted trees is therefore merge-tested
+//!   by whichever tree registered second (the paper's `MergeAll`,
+//!   Algorithm 5, with registration order standing in for worklist
+//!   order). Trees cross worker boundaries as cheap [`Arc`] snapshots —
+//!   [`TreeData`] is immutable once built.
+//! * **ss_n** lives in a plain array of atomics: signature updates are
+//!   a `fetch_or` (masks only ever grow), LESP's sparing rule reads the
+//!   current value.
+//! * Each worker owns a **private Grow queue** (same priority/policy
+//!   machinery as the sequential engine, §4.9) and a private backlog of
+//!   merge/Mo outputs; idle workers **steal** Grow tasks from their
+//!   siblings, so an unbalanced expansion — one seed's neighbourhood
+//!   exploding while the others are exhausted — still uses every core.
+//!
+//! Grow tasks are self-contained (`Arc` parent + edge id), which is
+//! what makes them stealable: no worker ever needs another worker's
+//! arena. Results are deduplicated in one shared [`ResultSet`]
+//! (duplicates keep the canonically smallest seed binding, so `N` seed
+//! sets report race-independently) and returned in **canonical order**
+//! ([`ResultTree::canonical_cmp`]), so a run-to-completion outcome is
+//! deterministic regardless of worker count and scheduling — see
+//! `partitioned_equivalence.rs` for the equivalence guarantees against
+//! the sequential engine. The one scheduling-dependent surface is
+//! early termination: `max_results` (`LIMIT k`) stops the search after
+//! *any* `k` results, so which `k`-subset is kept depends on the
+//! interleaving — exactly as it depends on the queue order
+//! sequentially; only the count is guaranteed.
+//!
+//! The search semantics (ESP/LESP pruning, MoESP re-rooting, the
+//! Grow/Merge pre-conditions, every §4.8 filter) are byte-for-byte the
+//! sequential rules; only the *interleaving* differs. For
+//! configurations whose result set is exploration-order-independent —
+//! GAM at any `m`, every variant at `m ≤ 2`, MoLESP at `m ≤ 3`
+//! (Properties 1, 3, 8) — the engine is result-identical to the
+//! sequential one.
+
+use crate::algo::gam::Queues;
+use crate::config::{Filters, QueueOrder, QueuePolicy};
+use crate::result::{ResultSet, ResultTree, SearchOutcome, SearchStats};
+use crate::seedmask::SeedMask;
+use crate::seeds::SeedSets;
+use crate::tree::{self, TreeData, TreeId};
+use cs_graph::fxhash::{fx_hash_one, FxHashMap, FxHashSet};
+use cs_graph::{EdgeId, Graph, LabelId, NodeId};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A stealable Grow task: the parent tree travels as an [`Arc`], so the
+/// thief needs no access to the owner's state.
+struct GrowTask {
+    key: i64,
+    seq: u64,
+    parent: Arc<TreeData>,
+    edge: EdgeId,
+}
+
+impl PartialEq for GrowTask {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.seq == other.seq
+    }
+}
+
+impl Eq for GrowTask {}
+
+impl Ord for GrowTask {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on key; FIFO (smaller seq first) on ties — the same
+        // order as the sequential engine's queue.
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for GrowTask {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A tree awaiting `processTree`, with the one bit of parent context
+/// the sequential engine reads from its arena: whether the provenance
+/// gained seed sets over its parent(s) (drives Mo injection, §4.5).
+struct Candidate {
+    td: TreeData,
+    seeds_increased: bool,
+}
+
+/// One history shard: edge set → roots for which a tree over it exists.
+type HistShard = Mutex<FxHashMap<Box<[EdgeId]>, Vec<NodeId>>>;
+/// One merge-index shard: root node → trees rooted there.
+type RootShard = Mutex<FxHashMap<NodeId, Vec<Arc<TreeData>>>>;
+
+/// The state shared by all workers of one partitioned search.
+struct Shared<'g> {
+    g: &'g Graph,
+    seeds: &'g SeedSets,
+    cfg: super::gam::GamConfig,
+    filters: Filters,
+    label_filter: Option<FxHashSet<LabelId>>,
+    order: QueueOrder,
+    /// Power-of-two shard-index mask.
+    shard_mask: usize,
+    /// The partitioned edge-set history (Hist of Algorithm 1).
+    hist: Box<[HistShard]>,
+    /// The partitioned TreesRootedIn index (Algorithm 3).
+    roots: Box<[RootShard]>,
+    /// Seed signatures ss_n (§4.6) as atomic masks.
+    ss: Box<[AtomicU64]>,
+    /// Globally deduplicated results.
+    results: Mutex<ResultSet>,
+    /// Global provenance count, for the `max_provenances` budget.
+    provenances: AtomicU64,
+    /// Outstanding work units: queued Grow tasks + backlogged
+    /// candidates + tasks currently being processed. Zero ⇔ the search
+    /// is exhausted.
+    pending: AtomicUsize,
+    stop: AtomicBool,
+    timed_out: AtomicBool,
+    budget_exhausted: AtomicBool,
+    /// Per-worker Grow queues; a worker pushes only to its own, but
+    /// idle workers pop ("steal") from any.
+    queues: Box<[Mutex<Queues<GrowTask>>]>,
+    deadline: Option<Instant>,
+}
+
+impl Shared<'_> {
+    fn hist_shard(&self, edges: &[EdgeId]) -> &HistShard {
+        &self.hist[fx_hash_one(&edges) as usize & self.shard_mask]
+    }
+
+    fn root_shard(&self, n: NodeId) -> &RootShard {
+        &self.roots[fx_hash_one(&n) as usize & self.shard_mask]
+    }
+
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Algorithm 4 `isNew` against the locked owning shard — identical
+    /// to the sequential rule, with `ss` read from the atomics.
+    fn is_new_locked(&self, shard: &FxHashMap<Box<[EdgeId]>, Vec<NodeId>>, t: &TreeData) -> bool {
+        let Some(roots) = shard.get(t.edges.as_ref()) else {
+            return true;
+        };
+        if self.cfg.esp && !t.edges.is_empty() {
+            if self.cfg.lesp {
+                let ssr = SeedMask(self.ss[t.root.index()].load(Ordering::Relaxed));
+                if ssr.count() >= 3 && self.g.degree(t.root) >= 3 {
+                    return !roots.contains(&t.root);
+                }
+            }
+            false
+        } else {
+            !roots.contains(&t.root)
+        }
+    }
+}
+
+/// Worker-private state: the merge/Mo backlog, local statistics, and
+/// the queue tie-break sequence.
+struct Worker {
+    id: usize,
+    backlog: Vec<Candidate>,
+    seq: u64,
+    tick: u32,
+    stats: SearchStats,
+}
+
+impl Worker {
+    /// Periodic wall-clock check (the sequential engine's cadence).
+    fn check_time(&mut self, shared: &Shared<'_>) {
+        self.tick = self.tick.wrapping_add(1);
+        if !self.tick.is_multiple_of(64) {
+            return;
+        }
+        if let Some(d) = shared.deadline {
+            if Instant::now() >= d {
+                shared.timed_out.store(true, Ordering::Relaxed);
+                shared.stop.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Runs a GAM-family search over `workers` intra-search workers with
+/// the edge-set history, merge index, and seed signatures partitioned
+/// as described in the [module docs](self). `workers <= 1` delegates to
+/// the sequential [`super::gam::GamEngine`] (which also preserves the
+/// sequential discovery order); `workers == 0` uses the available
+/// parallelism. Results are returned in canonical (edge-set) order, so
+/// the outcome does not depend on the worker count.
+pub fn run_partitioned(
+    g: &Graph,
+    seeds: &SeedSets,
+    cfg: super::gam::GamConfig,
+    filters: Filters,
+    order: QueueOrder,
+    policy: QueuePolicy,
+    workers: usize,
+) -> SearchOutcome {
+    let workers = crate::parallel::resolve_threads(workers);
+    if workers <= 1 {
+        return super::gam::GamEngine::new(g, seeds, cfg, filters, order, policy).run();
+    }
+
+    let start = Instant::now();
+    let label_filter = filters.resolve_labels(g);
+    let deadline = filters.timeout.map(|t| start + t);
+    let shards = (workers * 8).next_power_of_two();
+    let ss: Box<[AtomicU64]> = (0..g.node_count()).map(|_| AtomicU64::new(0)).collect();
+    for n in seeds.all_seed_nodes() {
+        ss[n.index()].store(seeds.membership(n).0, Ordering::Relaxed);
+    }
+
+    // Distribute the Init trees (Algorithm 1 lines 3–7) round-robin
+    // over the workers' backlogs; each counts as one pending unit.
+    let init = seeds.all_seed_nodes();
+    let mut backlogs: Vec<Vec<Candidate>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, n) in init.iter().enumerate() {
+        backlogs[i % workers].push(Candidate {
+            td: tree::init_tree(*n, seeds),
+            seeds_increased: false,
+        });
+    }
+
+    let shared = Shared {
+        g,
+        seeds,
+        cfg,
+        filters,
+        label_filter,
+        order,
+        shard_mask: shards - 1,
+        hist: (0..shards)
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect(),
+        roots: (0..shards)
+            .map(|_| Mutex::new(FxHashMap::default()))
+            .collect(),
+        ss,
+        results: Mutex::new(ResultSet::new()),
+        provenances: AtomicU64::new(0),
+        pending: AtomicUsize::new(init.len()),
+        stop: AtomicBool::new(false),
+        timed_out: AtomicBool::new(false),
+        budget_exhausted: AtomicBool::new(false),
+        queues: (0..workers)
+            .map(|_| Mutex::new(Queues::new(policy)))
+            .collect(),
+        deadline,
+    };
+
+    let mut parts: Vec<SearchStats> = Vec::with_capacity(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = backlogs
+            .into_iter()
+            .enumerate()
+            .map(|(id, backlog)| {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, id, backlog))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("search worker panicked"));
+        }
+    });
+
+    let mut stats = SearchStats::merge_workers(parts);
+    stats.timed_out = shared.timed_out.load(Ordering::Relaxed);
+    stats.budget_exhausted = shared.budget_exhausted.load(Ordering::Relaxed);
+
+    // Canonical result order: deterministic in the worker count and in
+    // the scheduling, unlike the nondeterministic global discovery
+    // order. (Sequential runs keep their discovery order — canonical
+    // ordering is the partitioned engine's contract.)
+    let mut results = shared.results.into_inner().expect("results lock poisoned");
+    results.sort_canonical();
+
+    SearchOutcome {
+        results,
+        stats,
+        duration: start.elapsed(),
+    }
+}
+
+/// One worker: drain the private backlog, then the private Grow queue,
+/// then steal; exit when the search stops or no work remains anywhere.
+fn worker_loop(shared: &Shared<'_>, id: usize, backlog: Vec<Candidate>) -> SearchStats {
+    let mut w = Worker {
+        id,
+        backlog,
+        seq: 0,
+        tick: 0,
+        stats: SearchStats::default(),
+    };
+    let n = shared.queues.len();
+    // Idle backoff: a worker that finds no work anywhere yields a few
+    // times, then sleeps in growing steps — a hot spinner would steal
+    // CPU from, and contend on the queue locks of, the workers that
+    // still have work (pathological on few-core hosts).
+    let mut idle_rounds = 0u32;
+    loop {
+        if shared.stopped() {
+            break;
+        }
+        if let Some(c) = w.backlog.pop() {
+            process_candidate(shared, &mut w, c);
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            idle_rounds = 0;
+            continue;
+        }
+        // Own queue first (plain lock: it is ours), then the siblings'
+        // via `try_lock` (round-robin from the next id, so thieves
+        // spread instead of converging on worker 0; a busy or
+        // contended victim is simply skipped this round).
+        let mut task = None;
+        {
+            let mut own = shared.queues[id].lock().expect("queue lock poisoned");
+            if own.len() > 0 {
+                task = own.pop();
+            }
+        }
+        if task.is_none() {
+            for k in 1..n {
+                let victim = (id + k) % n;
+                let batch = match shared.queues[victim].try_lock() {
+                    Ok(mut q) if q.len() > 0 => q.steal_half(),
+                    _ => continue,
+                };
+                if batch.is_empty() {
+                    continue;
+                }
+                // Keep the first task, requeue the rest locally: one
+                // steal re-balances a whole batch.
+                w.stats.stolen += batch.len() as u64;
+                let mut it = batch.into_iter();
+                task = it.next();
+                let mut own = shared.queues[id].lock().expect("queue lock poisoned");
+                for t in it {
+                    let mask = t.parent.sat;
+                    own.push(mask, t);
+                }
+                break;
+            }
+        }
+        match task {
+            Some(t) => {
+                handle_grow(shared, &mut w, t);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
+                idle_rounds = 0;
+            }
+            None => {
+                if shared.pending.load(Ordering::SeqCst) == 0 {
+                    break;
+                }
+                idle_rounds = idle_rounds.saturating_add(1);
+                if idle_rounds <= 8 {
+                    std::thread::yield_now();
+                } else {
+                    let us = 10u64 << (idle_rounds - 9).min(6); // 10µs … 640µs
+                    std::thread::sleep(std::time::Duration::from_micros(us));
+                }
+            }
+        }
+    }
+    w.stats
+}
+
+/// A popped Grow task (Algorithm 1 lines 8–11): build the grown tree,
+/// update the seed signature of its root, and process it.
+fn handle_grow(shared: &Shared<'_>, w: &mut Worker, t: GrowTask) {
+    w.check_time(shared);
+    if shared.stopped() {
+        return;
+    }
+    let new_root = shared.g.other_endpoint(t.edge, t.parent.root);
+    let grown = tree::grow_tree(TreeId::NONE, &t.parent, t.edge, new_root, shared.seeds);
+    w.stats.grows += 1;
+    if !grown.path_from.is_empty() {
+        shared.ss[grown.root.index()].fetch_or(grown.path_from.0, Ordering::Relaxed);
+    }
+    let seeds_increased = grown.sat != t.parent.sat;
+    process_candidate(
+        shared,
+        w,
+        Candidate {
+            td: grown,
+            seeds_increased,
+        },
+    );
+}
+
+/// Algorithm 2 `processTree` against the partitioned state: atomic
+/// history check + registration on the owning Hist shard, result
+/// reporting into the shared set, merge snapshot on the root shard, Mo
+/// injection, Grow queueing on the worker's own queue.
+fn process_candidate(shared: &Shared<'_>, w: &mut Worker, c: Candidate) {
+    if shared.stopped() {
+        return;
+    }
+    w.check_time(shared);
+    {
+        let mut h = shared
+            .hist_shard(&c.td.edges)
+            .lock()
+            .expect("hist shard poisoned");
+        if !shared.is_new_locked(&h, &c.td) {
+            w.stats.pruned += 1;
+            return;
+        }
+        h.entry(c.td.edges.clone()).or_default().push(c.td.root);
+    }
+    w.stats.provenances += 1;
+    let total = shared.provenances.fetch_add(1, Ordering::Relaxed) + 1;
+    if let Some(maxp) = shared.filters.max_provenances {
+        if total >= maxp {
+            shared.budget_exhausted.store(true, Ordering::Relaxed);
+            shared.stop.store(true, Ordering::Relaxed);
+        }
+    }
+
+    let sat_total = c.td.sat.union(shared.seeds.presatisfied());
+    let is_result = sat_total == shared.seeds.full();
+    let root = c.td.root;
+    if is_result {
+        let r = ResultTree::from_tree(c.td.edges.clone(), c.td.nodes.clone(), root, shared.seeds);
+        debug_assert!(
+            crate::result::check_result_minimal(shared.g, &r, shared.seeds).is_ok(),
+            "partitioned GAM produced a non-minimal result (Property 2 violated)"
+        );
+        let mut res = shared.results.lock().expect("results lock poisoned");
+        // Never exceed `LIMIT k`: a sibling may have filled the set
+        // between our stop-flag check and this insertion. `insert_min`
+        // keeps the canonically smallest duplicate, so with an `N` seed
+        // set the reported binding does not depend on which worker's
+        // root variant won the race.
+        if shared.filters.max_results.is_none_or(|k| res.len() < k) {
+            res.insert_min(r);
+            if let Some(k) = shared.filters.max_results {
+                if res.len() >= k {
+                    shared.stop.store(true, Ordering::Relaxed);
+                }
+            }
+        }
+        drop(res);
+        // With explicit seed sets only, a result is terminal (its `sat`
+        // overlaps every candidate partner); with an `N` seed set
+        // (§4.9) every supertree is a further result, so it stays
+        // active.
+        if shared.seeds.presatisfied().is_empty() {
+            return;
+        }
+    }
+
+    let arc = Arc::new(c.td);
+    register_and_merge(shared, w, &arc);
+
+    // MoESP injection (Algorithm 3 lines 2–5, restricted per §4.5 to
+    // provenances that gained seeds; disabled under UNI).
+    if shared.cfg.mo && c.seeds_increased && !shared.filters.uni {
+        inject_mo(shared, w, &arc);
+    }
+
+    // Queue Grow opportunities (Algorithm 2 lines 8–14); Grow is
+    // disabled on Mo trees.
+    if !arc.is_mo {
+        queue_grows(shared, w, &arc);
+    }
+}
+
+/// recordForMerging (Algorithm 3 line 1) + `MergeAll` (Algorithm 5):
+/// scan the partners already registered on `t.root`'s shard, backlog
+/// every admissible merge, then register `t` — all under one shard
+/// lock, so each unordered pair of same-rooted trees is tested by
+/// whichever tree registered second. Scanning in place (instead of
+/// snapshotting the partner list) matters: partner lists grow with the
+/// search, and per-partner `Arc` refcount traffic would make the
+/// quadratic MergeAll scan quadratically *expensive*, not just
+/// quadratically long. No other lock is taken inside the scan (merge
+/// outputs go to the worker-private backlog), so lock ordering is
+/// trivially safe.
+fn register_and_merge(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
+    let mut shard = shared
+        .root_shard(t.root)
+        .lock()
+        .expect("root shard poisoned");
+    let v = shard.entry(t.root).or_default();
+    for p in v.iter() {
+        if shared.stopped() {
+            break;
+        }
+        if let Some(maxe) = shared.filters.max_edges {
+            if t.size() + p.size() > maxe {
+                continue;
+            }
+        }
+        if let Some(m) = tree::merge_trees(TreeId::NONE, t, TreeId::NONE, p, shared.seeds) {
+            w.stats.merges += 1;
+            w.backlog.push(Candidate {
+                td: m,
+                seeds_increased: true,
+            });
+            shared.pending.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    v.push(t.clone());
+}
+
+/// Creates the MoESP copies of `orig`, re-rooted at each of its seed
+/// nodes other than its root. Mo bypasses edge-set pruning by design;
+/// the per-root duplicate check and the history registration happen
+/// atomically on the owning Hist shard. Mo trees never grow and are
+/// never results themselves — they only feed the merge index.
+fn inject_mo(shared: &Shared<'_>, w: &mut Worker, orig: &Arc<TreeData>) {
+    let mo_roots: Vec<NodeId> = orig
+        .nodes
+        .iter()
+        .copied()
+        .filter(|&n| n != orig.root && shared.seeds.is_seed(n))
+        .collect();
+    for r in mo_roots {
+        if shared.stopped() {
+            return;
+        }
+        let admitted = {
+            let mut h = shared
+                .hist_shard(&orig.edges)
+                .lock()
+                .expect("hist shard poisoned");
+            let roots = h.entry(orig.edges.clone()).or_default();
+            if roots.contains(&r) {
+                false
+            } else {
+                roots.push(r);
+                true
+            }
+        };
+        if !admitted {
+            continue;
+        }
+        let mo = Arc::new(tree::mo_tree(TreeId::NONE, orig, r));
+        w.stats.mo_copies += 1;
+        w.stats.provenances += 1;
+        shared.provenances.fetch_add(1, Ordering::Relaxed);
+        register_and_merge(shared, w, &mo);
+    }
+}
+
+/// Pushes every admissible (tree, edge) Grow pair onto the worker's own
+/// queue — the same Grow1/Grow2/UNI/LABEL/MAX admission rules as the
+/// sequential engine.
+fn queue_grows(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
+    let mut pushes: Vec<(SeedMask, GrowTask)> = Vec::new();
+    for a in shared.g.adjacent(t.root) {
+        // UNI (§4.8): grow only along edges entering the current root.
+        if shared.filters.uni && a.outgoing {
+            continue;
+        }
+        if let Some(lf) = &shared.label_filter {
+            if !lf.contains(&shared.g.edge(a.edge).label) {
+                continue;
+            }
+        }
+        // Grow1: no repeated node (also rejects self-loops).
+        if t.contains_node(a.other) {
+            continue;
+        }
+        // Grow2: the new node is no seed of an already-covered set.
+        if !shared.seeds.membership(a.other).disjoint(t.sat) {
+            continue;
+        }
+        // MAX n (§4.8).
+        if let Some(maxe) = shared.filters.max_edges {
+            if t.size() + 1 > maxe {
+                continue;
+            }
+        }
+        let key = shared.order.priority(shared.g, t, a.edge);
+        pushes.push((
+            t.sat,
+            GrowTask {
+                key,
+                seq: 0, // assigned below
+                parent: t.clone(),
+                edge: a.edge,
+            },
+        ));
+    }
+    if pushes.is_empty() {
+        return;
+    }
+    w.stats.queue_pushes += pushes.len() as u64;
+    shared.pending.fetch_add(pushes.len(), Ordering::SeqCst);
+    let mut q = shared.queues[w.id].lock().expect("queue lock poisoned");
+    for (mask, mut task) in pushes {
+        task.seq = w.seq;
+        w.seq += 1;
+        q.push(mask, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::gam::{run_gam_family, GamConfig};
+    use cs_graph::generate::{chain, line, star};
+
+    fn seq(w: &cs_graph::generate::Workload, cfg: GamConfig) -> SearchOutcome {
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        run_gam_family(
+            &w.graph,
+            &seeds,
+            cfg,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+        )
+    }
+
+    fn par(w: &cs_graph::generate::Workload, cfg: GamConfig, workers: usize) -> SearchOutcome {
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        run_partitioned(
+            &w.graph,
+            &seeds,
+            cfg,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            workers,
+        )
+    }
+
+    /// Equivalence holds wherever the configuration's result set is
+    /// exploration-order-independent, i.e. where it is complete
+    /// (Properties 1, 3, 8): GAM at any `m`, every variant at `m ≤ 2`,
+    /// MoLESP at `m ≤ 3`. (An *incomplete* configuration — e.g. MoESP
+    /// at `m = 4` — legitimately finds different subsets under
+    /// different interleavings, exactly like the sequential engine
+    /// under different queue orders; see Figures 5/6.)
+    #[test]
+    fn partitioned_matches_sequential_on_families() {
+        for w in [line(3, 2), star(4, 2), chain(6), line(2, 5)] {
+            let s = seq(&w, GamConfig::GAM);
+            let p = par(&w, GamConfig::GAM, 4);
+            assert_eq!(s.results.canonical(), p.results.canonical(), "GAM diverged");
+        }
+        for w in [line(3, 2), star(3, 2), chain(6)] {
+            let s = seq(&w, GamConfig::MOLESP);
+            let p = par(&w, GamConfig::MOLESP, 4);
+            assert_eq!(
+                s.results.canonical(),
+                p.results.canonical(),
+                "MoLESP diverged"
+            );
+        }
+        for cfg in [
+            GamConfig::ESP,
+            GamConfig::MOESP,
+            GamConfig::LESP,
+            GamConfig::MOLESP,
+        ] {
+            let w = chain(5);
+            let s = seq(&w, cfg);
+            let p = par(&w, cfg, 4);
+            assert_eq!(
+                s.results.canonical(),
+                p.results.canonical(),
+                "{cfg:?} diverged at m = 2"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_worker_count_invariant() {
+        let w = chain(7); // 128 results
+        let runs: Vec<Vec<Vec<EdgeId>>> = [2, 3, 4, 8]
+            .iter()
+            .map(|&k| {
+                par(&w, GamConfig::MOLESP, k)
+                    .results
+                    .trees()
+                    .iter()
+                    .map(|t| t.edges.to_vec())
+                    .collect()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "result order depends on worker count");
+        }
+        // And the order is sorted — the canonical contract.
+        let mut sorted = runs[0].clone();
+        sorted.sort();
+        assert_eq!(runs[0], sorted);
+    }
+
+    #[test]
+    fn worker_counters_sum_to_aggregates() {
+        let w = chain(6);
+        let out = par(&w, GamConfig::MOLESP, 4);
+        assert_eq!(out.stats.workers.len(), 4);
+        assert_eq!(
+            out.stats.workers.iter().map(|x| x.produced).sum::<u64>(),
+            out.stats.provenances
+        );
+        assert_eq!(
+            out.stats.workers.iter().map(|x| x.pruned).sum::<u64>(),
+            out.stats.pruned
+        );
+        assert_eq!(
+            out.stats.workers.iter().map(|x| x.stolen).sum::<u64>(),
+            out.stats.stolen
+        );
+    }
+
+    #[test]
+    fn single_worker_delegates_to_sequential() {
+        let w = line(3, 2);
+        let p = par(&w, GamConfig::MOLESP, 1);
+        assert!(p.stats.workers.is_empty(), "sequential path: no workers");
+        assert_eq!(
+            p.results.canonical(),
+            seq(&w, GamConfig::MOLESP).results.canonical()
+        );
+    }
+
+    #[test]
+    fn result_limit_respected() {
+        let w = chain(8); // 256 results
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_max_results(5),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            4,
+        );
+        assert_eq!(out.results.len(), 5);
+    }
+
+    #[test]
+    fn provenance_budget_stops() {
+        let w = chain(10);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::GAM,
+            Filters::none().with_max_provenances(50),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            4,
+        );
+        assert!(out.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn filters_apply_in_parallel() {
+        let w = chain(4);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_max_edges(3),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            3,
+        );
+        assert_eq!(out.results.len(), 0, "MAX 3 excludes the 4-edge results");
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none().with_labels(["a"]),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            3,
+        );
+        assert_eq!(out.results.len(), 1, "label filter leaves one result");
+    }
+
+    /// With an `N` seed set the reported binding for the `All`
+    /// position is the discovering tree's root — under GAM the same
+    /// edge set is admitted for several roots, so without the
+    /// min-seeds dedup the kept binding would be a race. The full
+    /// result tuples (edges *and* seeds) must be worker-count- and
+    /// scheduling-independent.
+    #[test]
+    fn n_seed_set_bindings_are_deterministic() {
+        use crate::seeds::SeedSpec;
+        let g = cs_graph::figure1();
+        let runs: Vec<Vec<(Vec<EdgeId>, Vec<NodeId>)>> = [2usize, 3, 4, 2, 3, 4]
+            .iter()
+            .map(|&k| {
+                let seeds =
+                    SeedSets::new(vec![SeedSpec::Set(vec![NodeId(2)]), SeedSpec::All]).unwrap();
+                run_partitioned(
+                    &g,
+                    &seeds,
+                    super::super::gam::GamConfig::GAM,
+                    Filters::none().with_max_edges(2),
+                    QueueOrder::SmallestFirst,
+                    QueuePolicy::Balanced,
+                    k,
+                )
+                .results
+                .trees()
+                .iter()
+                .map(|t| (t.edges.to_vec(), t.seeds.to_vec()))
+                .collect()
+            })
+            .collect();
+        for r in &runs[1..] {
+            assert_eq!(&runs[0], r, "N-set binding depends on scheduling");
+        }
+    }
+
+    #[test]
+    fn balanced_policy_works_partitioned() {
+        let w = line(3, 3);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::MOLESP,
+            Filters::none(),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Balanced,
+            4,
+        );
+        assert_eq!(out.results.len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests (vendored proptest): the partitioned-history
+//! parallel engine must be result-identical to the sequential engine
+//! for every `GamConfig` variant on random graphs — tested exactly
+//! where the variant's result set is exploration-order-independent,
+//! i.e. where it is complete (the same scope in which *sequential*
+//! runs are order-independent, cf. Figures 5/6):
+//!
+//! * GAM — complete for any `m` (Property 1);
+//! * ESP / LESP / MoESP — complete for `m ≤ 2` (Property 3);
+//! * MoLESP — complete for `m ≤ 3` (Property 8).
+//!
+//! Beyond set equality, the partitioned engine's canonical result
+//! *order* must be invariant in the worker count, and the per-worker
+//! statistics must sum to the aggregate counters.
+
+use cs_core::{
+    evaluate_ctp, evaluate_ctp_partitioned, Algorithm, Filters, QueueOrder, QueuePolicy, SeedSets,
+};
+use cs_graph::generate::random_connected;
+use cs_graph::NodeId;
+use proptest::prelude::*;
+
+const NODES: usize = 12;
+
+/// `m` singleton-ish seed sets over distinct nodes, deterministically
+/// derived from a generated u64.
+fn seed_sets(m: usize, pick: u64) -> SeedSets {
+    let mut nodes: Vec<u32> = (0..NODES as u32).collect();
+    // Fisher–Yates driven by the generated bits.
+    let mut state = pick | 1;
+    for i in (1..nodes.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        nodes.swap(i, j);
+    }
+    let sets: Vec<Vec<NodeId>> = (0..m)
+        .map(|i| {
+            // Alternate 1- and 2-node sets.
+            let width = 1 + (i % 2);
+            (0..width).map(|k| NodeId(nodes[2 * i + k])).collect()
+        })
+        .collect();
+    SeedSets::from_sets(sets).expect("valid seed sets")
+}
+
+fn equivalent(g: &cs_graph::Graph, seeds: &SeedSets, algo: Algorithm, workers: usize) {
+    let filters = Filters::none().with_max_edges(4);
+    let seq = evaluate_ctp(g, seeds, algo, filters.clone(), QueueOrder::SmallestFirst);
+    let par = evaluate_ctp_partitioned(
+        g,
+        seeds,
+        algo,
+        filters,
+        QueueOrder::SmallestFirst,
+        QueuePolicy::Single,
+        workers,
+    );
+    assert_eq!(
+        seq.results.canonical(),
+        par.results.canonical(),
+        "{algo} diverged with {workers} workers"
+    );
+    // Aggregate counters are the sums of the per-worker counters.
+    assert_eq!(par.stats.workers.len(), workers);
+    assert_eq!(
+        par.stats.workers.iter().map(|w| w.produced).sum::<u64>(),
+        par.stats.provenances
+    );
+    assert_eq!(
+        par.stats.workers.iter().map(|w| w.pruned).sum::<u64>(),
+        par.stats.pruned
+    );
+    assert_eq!(
+        par.stats.workers.iter().map(|w| w.stolen).sum::<u64>(),
+        par.stats.stolen
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every variant at m = 2, where all five are complete.
+    #[test]
+    fn all_variants_equivalent_m2(seed in any::<u64>(), extra in 0usize..8, pick in any::<u64>(), workers in 2usize..5) {
+        let g = random_connected(NODES, extra, seed);
+        let seeds = seed_sets(2, pick);
+        for algo in Algorithm::GAM_FAMILY {
+            equivalent(&g, &seeds, algo, workers);
+        }
+    }
+
+    /// GAM (complete for any m) and MoLESP (complete for m ≤ 3) at
+    /// m = 3.
+    #[test]
+    fn gam_and_molesp_equivalent_m3(seed in any::<u64>(), extra in 0usize..8, pick in any::<u64>(), workers in 2usize..5) {
+        let g = random_connected(NODES, extra, seed);
+        let seeds = seed_sets(3, pick);
+        equivalent(&g, &seeds, Algorithm::Gam, workers);
+        equivalent(&g, &seeds, Algorithm::MoLesp, workers);
+    }
+
+    /// The canonical result order never depends on the worker count.
+    #[test]
+    fn order_invariant_in_worker_count(seed in any::<u64>(), extra in 0usize..8, pick in any::<u64>()) {
+        let g = random_connected(NODES, extra, seed);
+        let seeds = seed_sets(2, pick);
+        let runs: Vec<Vec<Vec<cs_graph::EdgeId>>> = [2usize, 3, 4]
+            .iter()
+            .map(|&k| {
+                evaluate_ctp_partitioned(
+                    &g,
+                    &seeds,
+                    Algorithm::MoLesp,
+                    Filters::none().with_max_edges(4),
+                    QueueOrder::SmallestFirst,
+                    QueuePolicy::Single,
+                    k,
+                )
+                .results
+                .trees()
+                .iter()
+                .map(|t| t.edges.to_vec())
+                .collect()
+            })
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1]);
+        prop_assert_eq!(&runs[1], &runs[2]);
+    }
+}
+
+/// The balanced queue policy (§4.9) composes with partitioning.
+#[test]
+fn balanced_policy_equivalent() {
+    for seed in 0..8u64 {
+        let g = random_connected(NODES, 4, seed);
+        let seeds = seed_sets(2, seed.wrapping_mul(0x9e3779b97f4a7c15));
+        let filters = Filters::none().with_max_edges(4);
+        let seq = evaluate_ctp(
+            &g,
+            &seeds,
+            Algorithm::MoLesp,
+            filters.clone(),
+            QueueOrder::SmallestFirst,
+        );
+        let par = evaluate_ctp_partitioned(
+            &g,
+            &seeds,
+            Algorithm::MoLesp,
+            filters,
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Balanced,
+            3,
+        );
+        assert_eq!(seq.results.canonical(), par.results.canonical());
+    }
+}
+
+/// BFT variants have no partitioned mode: `evaluate_ctp_partitioned`
+/// must quietly run them sequentially rather than panic.
+#[test]
+fn bft_falls_back_to_sequential() {
+    let g = random_connected(NODES, 2, 99);
+    let seeds = seed_sets(2, 7);
+    let out = evaluate_ctp_partitioned(
+        &g,
+        &seeds,
+        Algorithm::Bft,
+        Filters::none().with_max_edges(3),
+        QueueOrder::SmallestFirst,
+        QueuePolicy::Single,
+        4,
+    );
+    let seq = evaluate_ctp(
+        &g,
+        &seeds,
+        Algorithm::Bft,
+        Filters::none().with_max_edges(3),
+        QueueOrder::SmallestFirst,
+    );
+    assert_eq!(out.results.canonical(), seq.results.canonical());
+    assert!(out.stats.workers.is_empty());
+}

@@ -112,6 +112,7 @@ fn rebind(plan: &BgpPlan, bgp: &Bgp) -> BgpPlan {
                 pattern: s.pattern,
                 access: s.access.clone(),
                 estimate: s.estimate,
+                join_rows: s.join_rows,
                 pushdown,
             }
         })

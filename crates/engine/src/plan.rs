@@ -64,6 +64,16 @@ pub struct PatternPlan {
     pub access: AccessPath,
     /// Upper bound on the pattern table size under `access`.
     pub estimate: usize,
+    /// Estimated rows of the accumulated join *after* this step, under
+    /// the classic independence assumption: `|prefix| × estimate /
+    /// Π V(col)` over the shared join columns, where `V` is the
+    /// distinct-value count of the column in this pattern's table —
+    /// [`cs_graph::LabelCard::distinct_src`]/[`cs_graph::LabelCard::distinct_dst`]
+    /// for label-indexed patterns. This is the quantity the planner
+    /// minimises when ordering the joins (the scan `estimate` breaks
+    /// ties); unlike `estimate` it is *not* an upper bound — the
+    /// independence assumption can err in both directions.
+    pub join_rows: usize,
     /// Variables of this pattern bound by earlier steps; the evaluator
     /// pushes them down as semi-join filters (and may expand from the
     /// bound node set instead of the static access path when smaller).
@@ -106,6 +116,7 @@ impl fmt::Display for BgpPlan {
                 let vars: Vec<&str> = s.pushdown.iter().map(|v| v.as_ref()).collect();
                 write!(f, " [pushdown: {}]", vars.join(", "))?;
             }
+            write!(f, " → ~{} rows", s.join_rows)?;
             writeln!(f)?;
         }
         Ok(())
@@ -171,11 +182,49 @@ pub fn choose_access(g: &Graph, p: &TriplePattern) -> (AccessPath, usize) {
     }
 }
 
+/// Distinct-value estimate of variable `var`'s column in the table of
+/// pattern `p` under `access` — the `V(col)` denominator of the join
+/// selectivity formula. Label-indexed patterns use the collected
+/// [`cs_graph::LabelCard::distinct_src`]/[`cs_graph::LabelCard::distinct_dst`]
+/// statistics; otherwise the count is bounded by the table size and,
+/// for node-valued columns, the node count. A variable occupying
+/// several positions of the pattern takes the tightest bound.
+fn distinct_values(
+    g: &Graph,
+    p: &TriplePattern,
+    access: &AccessPath,
+    est: usize,
+    var: &str,
+) -> usize {
+    let card = g.cardinalities();
+    let label_card = match access {
+        AccessPath::EdgeLabelIndex { label } => {
+            g.label_id(label).and_then(|l| card.edge_labels.get(&l))
+        }
+        _ => None,
+    };
+    let mut best: Option<usize> = None;
+    let mut tighten = |d: usize| best = Some(best.map_or(d, |b: usize| b.min(d)));
+    if p.src.var.as_ref() == var {
+        tighten(label_card.map_or(est.min(card.nodes), |c| c.distinct_src));
+    }
+    if p.dst.var.as_ref() == var {
+        tighten(label_card.map_or(est.min(card.nodes), |c| c.distinct_dst));
+    }
+    if p.edge.var.as_ref() == var {
+        tighten(est); // every row carries a distinct edge
+    }
+    best.unwrap_or(est).max(1)
+}
+
 /// Plans a BGP: per-pattern access paths with estimates, ordered into a
 /// cost-based left-deep sequence. The first step is the cheapest
-/// pattern; each later step is the cheapest pattern sharing a variable
-/// with the already-planned prefix (falling back to the global cheapest
-/// for disconnected inputs, which [`crate::eval_bgp`] rejects anyway).
+/// pattern; each later step is the connected pattern minimising the
+/// estimated rows of the accumulated join (`join_rows` — scan
+/// `estimate` breaks ties), so a high-fanout join is deferred behind a
+/// selective one even when their scan costs are equal. Disconnected
+/// inputs (which [`crate::eval_bgp`] rejects anyway) fall back to the
+/// global cheapest pattern.
 pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> BgpPlan {
     let n = bgp.patterns.len();
     let mut choices: Vec<(AccessPath, usize)> =
@@ -183,22 +232,48 @@ pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> BgpPlan {
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut bound: Vec<Arc<str>> = Vec::new();
     let mut steps = Vec::with_capacity(n);
+    // Estimated rows of the accumulated join so far.
+    let mut prefix_rows: Option<f64> = None;
     while !remaining.is_empty() {
         let vars_of = |i: usize| -> Vec<Arc<str>> {
             let p = &bgp.patterns[i];
             vec![p.src.var.clone(), p.edge.var.clone(), p.dst.var.clone()]
         };
         let connected = |i: usize| vars_of(i).iter().any(|v| bound.contains(v));
-        // Cheapest connected pattern, else cheapest overall (first
-        // step, or disconnected input).
+        // Estimated rows after joining pattern `i` into the prefix:
+        // |prefix| × estimate / Π V(shared column), independence
+        // assumed; a cross join (no shared column) multiplies.
+        let join_rows = |i: usize| -> usize {
+            let (access, est) = &choices[i];
+            match prefix_rows {
+                None => *est,
+                Some(r) => {
+                    let mut shared: Vec<Arc<str>> = vars_of(i)
+                        .into_iter()
+                        .filter(|v| bound.contains(v))
+                        .collect();
+                    shared.sort();
+                    shared.dedup();
+                    let mut den = 1.0f64;
+                    for v in &shared {
+                        den *= distinct_values(g, &bgp.patterns[i], access, *est, v) as f64;
+                    }
+                    ((r * *est as f64) / den.max(1.0)).ceil() as usize
+                }
+            }
+        };
+        // Most selective connected pattern, else cheapest overall
+        // (first step, or disconnected input).
         let pick = remaining
             .iter()
             .copied()
             .filter(|&i| bound.is_empty() || connected(i))
-            .min_by_key(|&i| (choices[i].1, i))
+            .min_by_key(|&i| (join_rows(i), choices[i].1, i))
             .or_else(|| remaining.iter().copied().min_by_key(|&i| (choices[i].1, i)))
             .unwrap();
         remaining.retain(|&i| i != pick);
+        let rows = join_rows(pick);
+        prefix_rows = Some(rows as f64);
         let (access, estimate) = std::mem::replace(
             &mut choices[pick],
             (AccessPath::FullScan, 0), // slot consumed
@@ -216,6 +291,7 @@ pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> BgpPlan {
             pattern: pick,
             access,
             estimate,
+            join_rows: rows,
             pushdown,
         });
     }
@@ -310,6 +386,121 @@ mod tests {
             }
             bound.extend(vars.into_iter().cloned());
         }
+    }
+
+    /// A uniform-fanout graph on which the independence assumption is
+    /// exact: 4 sources with 3 `p`-edges each (distinct_src = 4,
+    /// 12 edges), every `p`-target carrying exactly one `q`-edge
+    /// (distinct_src = 12). The `p ⋈ q` join estimate must equal the
+    /// actual joined row count.
+    fn uniform_join_graph() -> Graph {
+        let mut b = cs_graph::GraphBuilder::new();
+        for s in 0..4 {
+            let src = b.add_node(&format!("s{s}"));
+            for t in 0..3 {
+                let mid = b.add_node(&format!("m{s}_{t}"));
+                b.add_edge(src, "p", mid);
+                let sink = b.add_node(&format!("z{s}_{t}"));
+                b.add_edge(mid, "q", sink);
+            }
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn join_estimate_matches_actual_on_uniform_fanout() {
+        let g = uniform_join_graph();
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var("x"),
+            Term::pred("e1", Predicate::label("p")),
+            Term::var("y"),
+        );
+        bgp.push(
+            Term::var("y"),
+            Term::pred("e2", Predicate::label("q")),
+            Term::var("z"),
+        );
+        let plan = plan_bgp(&g, &bgp);
+        // Step 1: 12 p-rows. Step 2: 12 × 12 / distinct_src(q) = 12.
+        assert_eq!(plan.steps[0].join_rows, 12, "{plan}");
+        assert_eq!(plan.steps[1].join_rows, 12, "{plan}");
+        let actual = crate::eval_bgp(&g, &bgp).len();
+        assert_eq!(
+            actual, plan.steps[1].join_rows,
+            "estimate vs actual diverged on the uniform graph: {plan}"
+        );
+    }
+
+    /// Two equal-cost candidate joins, one through a fan-out label
+    /// (one distinct source feeding every edge), one through a 1:1
+    /// label: the selectivity-aware planner must order the 1:1 join
+    /// first even though the scan estimates tie.
+    #[test]
+    fn selective_join_ordered_before_fanout_join() {
+        let mut b = cs_graph::GraphBuilder::new();
+        let m0 = b.add_node("m0");
+        let m1 = b.add_node("m1");
+        for (i, m) in [m0, m1].iter().enumerate() {
+            let s = b.add_node(&format!("s{i}"));
+            b.add_edge(s, "a", *m);
+        }
+        // "fan": all 5 edges share the source m0 (distinct_src = 1).
+        for i in 0..5 {
+            let f = b.add_node(&format!("f{i}"));
+            b.add_edge(m0, "fan", f);
+        }
+        // "uniq": 5 edges from 5 distinct sources (m0, m1, u2, u3, u4).
+        for (i, src) in [m0, m1].into_iter().enumerate().take(2) {
+            let u = b.add_node(&format!("ut{i}"));
+            b.add_edge(src, "uniq", u);
+        }
+        for i in 2..5 {
+            let s = b.add_node(&format!("us{i}"));
+            let u = b.add_node(&format!("ut{i}"));
+            b.add_edge(s, "uniq", u);
+        }
+        let g = b.freeze();
+
+        let mut bgp = Bgp::new();
+        bgp.push(
+            Term::var("s"),
+            Term::pred("e1", Predicate::label("a")),
+            Term::var("y"),
+        );
+        bgp.push(
+            Term::var("y"),
+            Term::pred("e2", Predicate::label("fan")),
+            Term::var("z"),
+        );
+        bgp.push(
+            Term::var("y"),
+            Term::pred("e3", Predicate::label("uniq")),
+            Term::var("w"),
+        );
+        let plan = plan_bgp(&g, &bgp);
+        assert_eq!(plan.steps[0].pattern, 0, "{plan}");
+        assert_eq!(
+            plan.steps[1].pattern, 2,
+            "the uniq join (2 × 5 / 5 = 2 rows) must precede the fan \
+             join (2 × 5 / 1 = 10 rows): {plan}"
+        );
+        assert_eq!(plan.steps[1].join_rows, 2, "{plan}");
+        assert_eq!(plan.steps[2].join_rows, 10, "{plan}");
+        // Estimate-vs-actual sanity: the uniq join's estimate is exact
+        // (each `a`-target has exactly one uniq edge).
+        let mut prefix = Bgp::new();
+        prefix.push(
+            Term::var("s"),
+            Term::pred("e1", Predicate::label("a")),
+            Term::var("y"),
+        );
+        prefix.push(
+            Term::var("y"),
+            Term::pred("e3", Predicate::label("uniq")),
+            Term::var("w"),
+        );
+        assert_eq!(crate::eval_bgp(&g, &prefix).len(), 2);
     }
 
     #[test]

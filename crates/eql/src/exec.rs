@@ -10,11 +10,13 @@
 use crate::ast::{CtpAst, QueryAst, QueryForm, TermAst};
 use crate::parser::ParseError;
 use crate::session::Session;
-use cs_core::parallel::{evaluate_ctps_parallel, CtpJob};
+use cs_core::parallel::{
+    evaluate_ctps_parallel_budgeted, evaluate_job, resolve_search_threads, resolve_threads, CtpJob,
+};
 use cs_core::score::by_name;
 use cs_core::{
-    evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree,
-    SearchOutcome, SearchStats, SeedError, SeedSets, SeedSpec,
+    Algorithm, Filters, QueueOrder, QueuePolicy, ResultTree, SearchOutcome, SearchStats, SeedError,
+    SeedSets, SeedSpec,
 };
 use cs_engine::{plan_bgp, Bgp, BgpPlan, Binding, Table, Term, TriplePattern};
 use cs_graph::fxhash::FxHashMap;
@@ -69,13 +71,22 @@ pub struct ExecOptions {
     /// largest explicit seed set exceeds the smallest by this factor,
     /// or when an `N` seed set is present.
     pub balance_ratio: usize,
-    /// Worker threads for step (B): independent CTPs are collected
-    /// into [`CtpJob`]s and evaluated through
-    /// [`cs_core::parallel::evaluate_ctps_parallel`] (the paper's §6
-    /// coarse-grained parallelism). `1` (the default) evaluates
-    /// in-line on the calling thread; `0` uses the available
+    /// Worker-thread budget for step (B): independent CTPs are
+    /// collected into [`CtpJob`]s and evaluated through the §6
+    /// two-level scheduler
+    /// ([`cs_core::parallel::evaluate_ctps_parallel_budgeted`]). This
+    /// is the single global knob: the per-CTP (outer) tier and the
+    /// intra-search (inner) tier share this budget. `1` (the default)
+    /// evaluates in-line on the calling thread; `0` uses the available
     /// parallelism.
     pub threads: usize,
+    /// Intra-search workers per CTP: `> 1` runs each GAM-family search
+    /// on the partitioned-history engine
+    /// ([`cs_core::algo::partition`]), splitting a *single* connection
+    /// search over that many workers. `1` (the default) keeps every
+    /// search sequential; `0` divides the `threads` budget evenly over
+    /// the concurrently running CTP jobs.
+    pub search_threads: usize,
     /// Capacity of the per-[`Session`] BGP plan cache (plans keyed by
     /// pattern shape, the Fig. 13 per-label plan-cache idea). `0`
     /// disables caching.
@@ -89,6 +100,7 @@ impl Default for ExecOptions {
             default_timeout: None,
             balance_ratio: 64,
             threads: 1,
+            search_threads: 1,
             plan_cache_capacity: 128,
         }
     }
@@ -282,34 +294,27 @@ pub(crate) fn build_ctp_jobs(
     Ok((jobs, job_cols, deepenable))
 }
 
-/// Evaluates a slice of CTP jobs: in-line on the calling thread when a
-/// single worker is configured (`0` resolves to the available
-/// parallelism first, so single-CPU hosts don't pay for a useless
-/// worker thread) or there is at most one job, through
-/// [`evaluate_ctps_parallel`] otherwise.
-pub(crate) fn dispatch_jobs(g: &Graph, jobs: &[CtpJob], threads: usize) -> Vec<SearchOutcome> {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+/// Evaluates a slice of CTP jobs through the two-level scheduler:
+/// in-line on the calling thread when a single outer worker suffices
+/// (`threads == 0` resolves to the available parallelism first, so
+/// single-CPU hosts don't pay for a useless worker thread), through
+/// [`evaluate_ctps_parallel_budgeted`] otherwise. Each search runs on
+/// `search_threads` intra-search workers (`0` = divide the `threads`
+/// budget over the concurrent jobs, `1` = sequential engine).
+pub(crate) fn dispatch_jobs(
+    g: &Graph,
+    jobs: &[CtpJob],
+    threads: usize,
+    search_threads: usize,
+) -> Vec<SearchOutcome> {
+    let threads = resolve_threads(threads);
     if threads == 1 || jobs.len() <= 1 {
-        jobs.iter()
-            .map(|j| {
-                evaluate_ctp_with_policy(
-                    g,
-                    &j.seeds,
-                    j.algorithm,
-                    j.filters.clone(),
-                    j.order.clone(),
-                    j.policy,
-                )
-            })
-            .collect()
+        // One outer worker: the whole budget (or the explicit
+        // `search_threads`) goes intra-search.
+        let intra = resolve_search_threads(search_threads, threads, 1);
+        jobs.iter().map(|j| evaluate_job(g, j, intra)).collect()
     } else {
-        evaluate_ctps_parallel(g, jobs, threads)
+        evaluate_ctps_parallel_budgeted(g, jobs, threads, search_threads)
     }
 }
 
@@ -367,18 +372,31 @@ pub(crate) fn materialise_ctps(
 
         let mut result_trees = outcome.results.into_trees();
 
+        // Canonical materialised order (`ResultTree::canonical_cmp`):
+        // the sequential engine yields discovery order, the
+        // partitioned engine a scheduling-independent canonical order —
+        // normalising here makes materialised answers (row order, tree
+        // indices, TOP-k tie-breaks) identical across `threads` /
+        // `search_threads` settings (LIMIT-truncated searches keep a
+        // valid but possibly different subset — early termination is
+        // the one scheduling-dependent surface). Streaming execution
+        // keeps discovery order; it never passes through this function.
+        result_trees.sort_by(ResultTree::canonical_cmp);
+
         // SCORE σ [TOP k] (§4.8): score each result; optionally keep
         // only the k best. Sorted descending under `f64::total_cmp`,
         // which is a total order: a NaN-producing scorer yields a
         // deterministic TOP-k (positive NaN sorts above +∞, i.e.
-        // first), instead of an arbitrary one.
+        // first), instead of an arbitrary one. Equal scores tie-break
+        // on the canonical edge set, so TOP-k is a function of the
+        // result *set* alone — no engine or thread count can change it.
         if let Some((sigma_name, top)) = &ctp.filters.score {
             let sigma = by_name(sigma_name).expect("validated by the parser");
             let mut scored: Vec<(f64, ResultTree)> = result_trees
                 .into_iter()
                 .map(|t| (sigma.score(g, &t), t))
                 .collect();
-            scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+            scored.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.canonical_cmp(&b.1)));
             if let Some(k) = top {
                 scored.truncate(*k);
             }

@@ -48,7 +48,7 @@ use crate::exec::{
     ExecOptions, ExecStats, QueryResult,
 };
 use crate::parser::parse;
-use cs_core::parallel::CtpJob;
+use cs_core::parallel::{resolve_search_threads, resolve_threads, CtpJob};
 use cs_core::{
     evaluate_ctp_streaming, stream_ctp, Algorithm, CtpStream, QueueOrder, QueuePolicy, ResultTree,
     SearchStats, SeedSets,
@@ -231,7 +231,12 @@ impl<'g> Session<'g> {
         stats: &mut ExecStats,
     ) -> CtpMaterialisation {
         loop {
-            let outcomes = dispatch_jobs(self.graph, jobs, self.opts.threads);
+            let outcomes = dispatch_jobs(
+                self.graph,
+                jobs,
+                self.opts.threads,
+                self.opts.search_threads,
+            );
 
             stats.ctp_stats.clear();
             let truncated = ask_truncated(jobs, &outcomes, deepenable);
@@ -369,7 +374,7 @@ impl<'g> Session<'g> {
 
         // The one cross-query dispatch.
         let t1 = Instant::now();
-        let outcomes = dispatch_jobs(g, &all_jobs, self.opts.threads);
+        let outcomes = dispatch_jobs(g, &all_jobs, self.opts.threads, self.opts.search_threads);
         let dispatch_time = t1.elapsed();
 
         let mut outcome_iter = outcomes.into_iter();
@@ -444,6 +449,15 @@ impl<'g> Session<'g> {
     /// cache) to derive the CTP's seed sets, and the stream yields the
     /// CTP's trees — per-seed bindings travel on each
     /// [`ResultTree::seeds`].
+    ///
+    /// With [`ExecOptions::search_threads`] `> 1` the stream is backed
+    /// by the partitioned parallel engine: the search runs to
+    /// completion across the workers when the stream is opened, and
+    /// the iterator then yields the canonical-ordered results. That
+    /// trades per-result laziness (`take(k)` no longer bounds the
+    /// search) for multi-core latency on the full result set — use
+    /// `search_threads == 1` (the default) when pull-paced early
+    /// termination is what matters.
     pub fn execute_streaming(&self, q: &PreparedQuery) -> Result<ResultStream<'g>, EqlError> {
         let ast = &q.ast;
         if ast.form != QueryForm::Select {
@@ -483,14 +497,39 @@ impl<'g> Session<'g> {
         let mut filters = ctp_filters(ctp, &self.opts);
         filters.max_results = ctp.filters.limit;
 
-        let inner = stream_ctp(
-            self.graph,
-            seeds,
-            algorithm,
-            filters,
-            QueueOrder::SmallestFirst,
-            policy,
+        let intra = resolve_search_threads(
+            self.opts.search_threads,
+            resolve_threads(self.opts.threads),
+            1,
         );
+        let inner = if intra > 1 {
+            // Partitioned engine: evaluate across the workers now,
+            // stream the canonical-ordered outcome.
+            let start = Instant::now();
+            let outcome = cs_core::evaluate_ctp_partitioned(
+                self.graph,
+                &seeds,
+                algorithm,
+                filters,
+                QueueOrder::SmallestFirst,
+                policy,
+                intra,
+            );
+            StreamInner::Eager {
+                trees: outcome.results.into_trees().into_iter(),
+                stats: outcome.stats,
+                start,
+            }
+        } else {
+            StreamInner::Lazy(Box::new(stream_ctp(
+                self.graph,
+                seeds,
+                algorithm,
+                filters,
+                QueueOrder::SmallestFirst,
+                policy,
+            )))
+        };
         Ok(ResultStream {
             inner,
             out_var: ctp.out_var.clone(),
@@ -557,14 +596,28 @@ fn assemble(
     }
 }
 
+/// The two stream backings: the sequential engine pulled lazily, or a
+/// completed partitioned search iterated eagerly.
+enum StreamInner<'g> {
+    Lazy(Box<CtpStream<'g>>),
+    Eager {
+        trees: std::vec::IntoIter<ResultTree>,
+        stats: SearchStats,
+        start: Instant,
+    },
+}
+
 /// A pull-based stream over one query's connecting trees, created by
 /// [`Session::execute_streaming`].
 ///
-/// Dropping the stream abandons the remaining search — consuming `k`
-/// trees costs roughly what a `LIMIT k` execution would, without
-/// having to know `k` up front.
+/// With the default sequential backing, dropping the stream abandons
+/// the remaining search — consuming `k` trees costs roughly what a
+/// `LIMIT k` execution would, without having to know `k` up front.
+/// With [`ExecOptions::search_threads`] `> 1` the backing search ran
+/// to completion on the partitioned parallel engine when the stream
+/// was opened, and iteration only hands out the buffered results.
 pub struct ResultStream<'g> {
-    inner: CtpStream<'g>,
+    inner: StreamInner<'g>,
     out_var: String,
     exec_stats: ExecStats,
 }
@@ -581,15 +634,23 @@ impl ResultStream<'_> {
         &self.exec_stats
     }
 
-    /// The search statistics accumulated so far; they keep growing
-    /// while the stream is pulled.
+    /// The search statistics accumulated so far; with the sequential
+    /// backing they keep growing while the stream is pulled, with the
+    /// partitioned backing they are the completed search's totals
+    /// (including the per-worker breakdown).
     pub fn stats(&self) -> &SearchStats {
-        self.inner.stats()
+        match &self.inner {
+            StreamInner::Lazy(s) => s.stats(),
+            StreamInner::Eager { stats, .. } => stats,
+        }
     }
 
     /// Wall-clock time since the stream was opened.
     pub fn elapsed(&self) -> Duration {
-        self.inner.elapsed()
+        match &self.inner {
+            StreamInner::Lazy(s) => s.elapsed(),
+            StreamInner::Eager { start, .. } => start.elapsed(),
+        }
     }
 }
 
@@ -597,6 +658,9 @@ impl Iterator for ResultStream<'_> {
     type Item = ResultTree;
 
     fn next(&mut self) -> Option<ResultTree> {
-        self.inner.next()
+        match &mut self.inner {
+            StreamInner::Lazy(s) => s.next(),
+            StreamInner::Eager { trees, .. } => trees.next(),
+        }
     }
 }

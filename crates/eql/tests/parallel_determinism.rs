@@ -1,0 +1,167 @@
+//! Parallel result-ordering determinism: `threads` / `search_threads`
+//! must never change a query's materialised output — row order, tree
+//! indices, scores, and especially `SCORE … TOP k` — because
+//! materialised CTP results are canonically ordered and the score sort
+//! tie-breaks on the canonical edge set.
+
+use cs_eql::{ExecOptions, QueryResult, Session};
+use cs_graph::figure1;
+
+fn run(threads: usize, search_threads: usize, q: &str) -> QueryResult {
+    let g = figure1();
+    let session = Session::with_options(
+        &g,
+        ExecOptions {
+            threads,
+            search_threads,
+            ..ExecOptions::default()
+        },
+    );
+    session.run(q).expect("query executes")
+}
+
+/// The full materialised fingerprint of a result: projected rows plus
+/// every CTP's trees (as edge-id vectors) and scores.
+fn fingerprint(r: &QueryResult) -> String {
+    let mut out = String::new();
+    for row in r.table.rows() {
+        out.push_str(&format!("{row:?}\n"));
+    }
+    let mut vars: Vec<&String> = r.trees.keys().collect();
+    vars.sort();
+    for v in vars {
+        out.push_str(&format!(
+            "{v}: {:?}\n",
+            r.trees[v]
+                .iter()
+                .map(|t| t.edges.to_vec())
+                .collect::<Vec<_>>()
+        ));
+        if let Some(s) = r.scores.get(v) {
+            out.push_str(&format!("{v} scores: {s:?}\n"));
+        }
+    }
+    out
+}
+
+const TOPK: &str = r#"SELECT w WHERE {
+    CONNECT("Bob", "Alice" -> w) MAX 4 SCORE edgecount TOP 3
+}"#;
+
+const MULTI_CTP: &str = r#"SELECT x, w1, w2 WHERE {
+    (x : type = "entrepreneur", "citizenOf", "USA")
+    CONNECT(x, "France" -> w1) MAX 3
+    CONNECT(x, "Elon" -> w2) MAX 3
+}"#;
+
+#[test]
+fn topk_is_thread_invariant() {
+    let reference = fingerprint(&run(1, 1, TOPK));
+    for (t, st) in [(4, 1), (1, 4), (2, 2), (0, 0), (1, 0), (0, 3)] {
+        let got = fingerprint(&run(t, st, TOPK));
+        assert_eq!(
+            reference, got,
+            "TOP-k output changed under threads={t}, search_threads={st}"
+        );
+    }
+}
+
+#[test]
+fn multi_ctp_output_is_thread_invariant() {
+    let reference = fingerprint(&run(1, 1, MULTI_CTP));
+    for (t, st) in [(4, 1), (1, 4), (2, 2), (0, 0)] {
+        let got = fingerprint(&run(t, st, MULTI_CTP));
+        assert_eq!(
+            reference, got,
+            "materialised output changed under threads={t}, search_threads={st}"
+        );
+    }
+}
+
+#[test]
+fn batch_execution_is_thread_invariant() {
+    let g = figure1();
+    let queries = [TOPK, MULTI_CTP];
+    let reference: Vec<String> = Session::new(&g)
+        .execute_batch(&queries)
+        .into_iter()
+        .map(|r| fingerprint(&r.expect("batch member executes")))
+        .collect();
+    for (t, st) in [(4, 1), (2, 2), (0, 0)] {
+        let session = Session::with_options(
+            &g,
+            ExecOptions {
+                threads: t,
+                search_threads: st,
+                ..ExecOptions::default()
+            },
+        );
+        let got: Vec<String> = session
+            .execute_batch(&queries)
+            .into_iter()
+            .map(|r| fingerprint(&r.expect("batch member executes")))
+            .collect();
+        assert_eq!(
+            reference, got,
+            "batch output changed under threads={t}, search_threads={st}"
+        );
+    }
+}
+
+#[test]
+fn parallel_streaming_matches_materialised_set() {
+    let g = figure1();
+    let q = r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#;
+    let sequential = Session::new(&g);
+    let prepared = sequential.prepare(q).unwrap();
+    let materialised = sequential.execute(&prepared).unwrap();
+
+    let parallel = Session::with_options(
+        &g,
+        ExecOptions {
+            search_threads: 3,
+            ..ExecOptions::default()
+        },
+    );
+    let prepared_par = parallel.prepare(q).unwrap();
+    let stream = parallel.execute_streaming(&prepared_par).unwrap();
+    let streamed: Vec<Vec<cs_graph::EdgeId>> = stream.map(|t| t.edges.to_vec()).collect();
+
+    let mut a = streamed.clone();
+    a.sort();
+    let mut b: Vec<Vec<cs_graph::EdgeId>> = materialised.trees["w"]
+        .iter()
+        .map(|t| t.edges.to_vec())
+        .collect();
+    b.sort();
+    assert_eq!(a, b, "parallel stream lost or invented results");
+    // The eager parallel stream yields canonical order directly.
+    assert_eq!(a, streamed, "parallel stream is canonically ordered");
+}
+
+#[test]
+fn parallel_stream_reports_worker_stats() {
+    let g = figure1();
+    let session = Session::with_options(
+        &g,
+        ExecOptions {
+            search_threads: 2,
+            ..ExecOptions::default()
+        },
+    );
+    let prepared = session
+        .prepare(r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#)
+        .unwrap();
+    let mut stream = session.execute_streaming(&prepared).unwrap();
+    assert!(stream.next().is_some());
+    assert_eq!(stream.stats().workers.len(), 2);
+    assert_eq!(
+        stream
+            .stats()
+            .workers
+            .iter()
+            .map(|w| w.produced)
+            .sum::<u64>(),
+        stream.stats().provenances
+    );
+}

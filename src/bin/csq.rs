@@ -2,17 +2,21 @@
 //!
 //! ```text
 //! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS]
-//!     [--threads N] [--stats] [--explain] [--batch]
+//!     [--threads N] [--search-threads N] [--stats] [--explain] [--batch]
 //! csq --demo <query-or-@file>            # run against the Figure 1 graph
 //! csq <graph.triples> --snapshot out.csg # convert triples to binary snapshot
 //! ```
 //!
-//! `--threads N` evaluates independent CTPs in parallel (0 = available
-//! parallelism); `--explain` prints the access-path plan of each BGP
-//! (with plan-cache hits) before the results; `--batch` treats the
-//! query input as several `;`-separated queries, executed through one
-//! [`Session`] so structurally identical BGPs share cached plans and
-//! all CTP jobs go through a single parallel dispatch.
+//! `--threads N` sets the worker budget for evaluating independent
+//! CTPs in parallel (0 = available parallelism); `--search-threads N`
+//! additionally splits each *single* connection search over N
+//! intra-search workers on the partitioned-history engine (0 = divide
+//! the `--threads` budget over the concurrent CTPs); `--explain`
+//! prints the access-path plan of each BGP (with plan-cache hits)
+//! before the results; `--batch` treats the query input as several
+//! `;`-separated queries, executed through one [`Session`] so
+//! structurally identical BGPs share cached plans and all CTP jobs go
+//! through a single parallel dispatch.
 //!
 //! The exit code is non-zero when the graph cannot be loaded, a query
 //! fails to parse, or execution errors — including any query of a
@@ -32,10 +36,22 @@ use std::time::Duration;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: csq <graph-file|--demo> <query|@query-file> \
-         [--algorithm NAME] [--timeout MS] [--threads N] [--stats] [--explain] [--batch]\n       \
+         [--algorithm NAME] [--timeout MS] [--threads N] [--search-threads N] \
+         [--stats] [--explain] [--batch]\n       \
          csq <graph-file> --snapshot <out.csg>"
     );
     ExitCode::from(2)
+}
+
+/// Parses the numeric value of `flag` at `args[i + 1]`. Missing or
+/// non-numeric values are a clear one-line error, not a usage dump (or
+/// worse, a panic).
+fn numeric_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{flag} expects a number, but none was given"));
+    };
+    raw.parse::<T>()
+        .map_err(|_| format!("{flag} expects a number, got {raw:?}"))
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {
@@ -107,14 +123,21 @@ fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool
         );
         for (var, s, d) in &result.stats.ctp_stats {
             eprintln!(
-                "CTP {var}: {} provenances, {} grows, {} merges, {} pruned, {:?}{}",
+                "CTP {var}: {} provenances, {} grows, {} merges, {} pruned, {} stolen, {:?}{}",
                 s.provenances,
                 s.grows,
                 s.merges,
                 s.pruned,
+                s.stolen,
                 d,
                 if s.timed_out { " (TIMED OUT)" } else { "" }
             );
+            for (wi, ws) in s.workers.iter().enumerate() {
+                eprintln!(
+                    "  worker {wi}: {} produced, {} pruned, {} stolen",
+                    ws.produced, ws.pruned, ws.stolen
+                );
+            }
         }
     }
 }
@@ -186,17 +209,33 @@ fn main() -> ExitCode {
                 i += 2;
             }
             "--timeout" => {
-                let Some(ms) = args.get(i + 1).and_then(|s| s.parse::<u64>().ok()) else {
-                    return usage();
-                };
-                opts.default_timeout = Some(Duration::from_millis(ms));
+                match numeric_flag::<u64>(&args, i, "--timeout") {
+                    Ok(ms) => opts.default_timeout = Some(Duration::from_millis(ms)),
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 i += 2;
             }
             "--threads" => {
-                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
-                    return usage();
-                };
-                opts.threads = n;
+                match numeric_flag::<usize>(&args, i, "--threads") {
+                    Ok(n) => opts.threads = n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                i += 2;
+            }
+            "--search-threads" => {
+                match numeric_flag::<usize>(&args, i, "--search-threads") {
+                    Ok(n) => opts.search_threads = n,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
                 i += 2;
             }
             "--stats" => {

@@ -87,3 +87,77 @@ fn batch_separator_ignores_semicolons_in_strings() {
     assert!(stderr.contains("query 1 of 1"), "{stderr}");
     assert!(!out.status.success());
 }
+
+const DEMO_CTP: &str = r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#;
+
+#[test]
+fn numeric_flags_reject_garbage_with_one_line_error() {
+    for flag in ["--threads", "--search-threads", "--timeout"] {
+        let out = csq(&["--demo", DEMO_CTP, flag, "abc"]);
+        assert!(!out.status.success(), "{flag} abc must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains("expects a number"),
+            "{flag}: unclear error: {stderr}"
+        );
+        assert!(
+            !stderr.contains("usage:"),
+            "{flag}: a bad value is an error, not a usage dump: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn numeric_flags_reject_missing_value() {
+    for flag in ["--threads", "--search-threads", "--timeout"] {
+        let out = csq(&["--demo", DEMO_CTP, flag]);
+        assert!(!out.status.success(), "bare {flag} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(flag) && stderr.contains("none was given"),
+            "{flag}: unclear error: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn usage_lists_every_flag() {
+    // No query at all → usage. Every parsed flag must appear there, so
+    // the usage string cannot drift from the flag list.
+    let out = csq(&["--demo"]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for flag in [
+        "--algorithm",
+        "--timeout",
+        "--threads",
+        "--search-threads",
+        "--stats",
+        "--explain",
+        "--batch",
+        "--snapshot",
+    ] {
+        assert!(stderr.contains(flag), "usage misses {flag}: {stderr}");
+    }
+}
+
+#[test]
+fn search_threads_runs_partitioned_with_worker_stats() {
+    let out = csq(&["--demo", DEMO_CTP, "--search-threads", "2", "--stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("worker 0:"), "{stderr}");
+    assert!(stderr.contains("worker 1:"), "{stderr}");
+    assert!(stderr.contains("stolen"), "{stderr}");
+}
+
+#[test]
+fn search_threads_do_not_change_output() {
+    let seq = csq(&["--demo", DEMO_CTP]);
+    let par = csq(&["--demo", DEMO_CTP, "--search-threads", "4"]);
+    assert!(seq.status.success() && par.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&seq.stdout),
+        String::from_utf8_lossy(&par.stdout),
+        "materialised output must be identical under --search-threads"
+    );
+}
