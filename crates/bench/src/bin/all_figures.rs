@@ -3,7 +3,7 @@
 //!
 //! Usage: `all_figures [--full]`
 
-use cs_bench::{fig10, fig11, fig12, fig13_14, scale_from_args, table1, Family};
+use cs_bench::{fig10, fig11, fig12, fig13_14, scale_from_args, snapshot_report, table1, Family};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -16,4 +16,7 @@ fn main() {
     fig13_14(2, scale).print();
     fig13_14(3, scale).print();
     table1(scale).print();
+    // The snapshot-store ablation: what the disk-backed store saves a
+    // cold process start (generate/parse vs CSG2 load, stats warm).
+    snapshot_report(scale).print();
 }

@@ -1,0 +1,67 @@
+//! Aggregates the vendored criterion's `CS_BENCH_JSON` sink (one JSON
+//! line per measured benchmark) into the repo-level machine-readable
+//! bench report — the artifact the CI measured-bench lane records the
+//! perf trajectory with.
+//!
+//! ```text
+//! CS_BENCH_JSON=target/bench_raw.jsonl cargo bench
+//! bench_report target/bench_raw.jsonl BENCH_5.json [key=value ...]
+//! ```
+//!
+//! Extra `key=value` arguments land as metadata fields in the report
+//! (e.g. `commit=$GITHUB_SHA runner=ubuntu-latest`).
+
+use cs_bench::report::{bench_report_json, BenchRecord};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(input), Some(output)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_report <raw.jsonl> <out.json> [key=value ...]");
+        return ExitCode::from(2);
+    };
+
+    let mut meta: Vec<(&str, String)> = Vec::new();
+    for extra in &args[2..] {
+        let Some((k, v)) = extra.split_once('=') else {
+            eprintln!("error: metadata argument {extra:?} is not key=value");
+            return ExitCode::from(2);
+        };
+        meta.push((k, v.to_string()));
+    }
+
+    let raw = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {input}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in raw.lines().filter(|l| !l.trim().is_empty()) {
+        match BenchRecord::from_json_line(line) {
+            Some(r) => records.push(r),
+            None => skipped += 1,
+        }
+    }
+    if records.is_empty() {
+        eprintln!("error: {input} contains no parseable bench records");
+        return ExitCode::FAILURE;
+    }
+    if skipped > 0 {
+        eprintln!("warning: skipped {skipped} unparseable line(s) in {input}");
+    }
+
+    let doc = bench_report_json(&records, &meta);
+    if let Err(e) = std::fs::write(output, &doc) {
+        eprintln!("error: cannot write {output}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {output}: {} benchmark(s), {} metadata field(s)",
+        records.len(),
+        meta.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -6,17 +6,59 @@
 //! see DESIGN.md §2), but the *shapes* are the deliverable: who wins,
 //! by what factor, and where algorithms blow up.
 
-use crate::report::{ms, time_avg, Report};
+use crate::report::{ms, time_avg, time_it, Report};
 use cs_core::baseline::{dpbf, path_table, stitch, PathOptions};
 use cs_core::{
     evaluate_ctp, evaluate_ctp_with_policy, Algorithm, Filters, QueueOrder, QueuePolicy, SeedSets,
 };
 use cs_eql::Session;
 use cs_graph::generate::{cdf, comb, line, scale_free, star, CdfParams, ScaleFreeParams, Workload};
-use cs_graph::{Graph, NodeId};
+use cs_graph::{snapshot, Graph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::time::Duration;
+
+/// The harness's snapshot store directory: `$CS_SNAPSHOT_DIR`, or
+/// `target/snapshots` under the working directory.
+pub fn snapshot_dir() -> PathBuf {
+    std::env::var_os("CS_SNAPSHOT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/snapshots"))
+}
+
+/// Loads the graph pinned under `name` from the snapshot store,
+/// generating and saving it on first use — so every later harness run
+/// (and every figure sharing the dataset) reloads the *identical*
+/// bytes instead of regenerating, and starts with warm planner
+/// statistics. `fingerprint` must encode everything the generated
+/// graph depends on (typically `format!("{params:?}")`): it is hashed
+/// into the file name, so changing a figure's parameters invalidates
+/// the pin instead of silently reusing the old dataset. (A change to
+/// the generator *implementation* still needs a manual
+/// `target/snapshots` wipe.) Falls back to plain generation (with a
+/// warning) when the store is unwritable; a corrupt pinned file is
+/// regenerated.
+pub fn pinned_graph(name: &str, fingerprint: &str, build: impl FnOnce() -> Graph) -> Graph {
+    let path = snapshot_dir().join(format!(
+        "{name}-{:016x}.csg",
+        cs_graph::fxhash::fx_hash_one(&fingerprint)
+    ));
+    if path.exists() {
+        match snapshot::load_from(&path) {
+            Ok(g) => return g,
+            Err(e) => eprintln!("warning: regenerating pinned snapshot {name}: {e}"),
+        }
+    }
+    let g = build();
+    if let Err(e) = std::fs::create_dir_all(snapshot_dir())
+        .map_err(|e| e.to_string())
+        .and_then(|_| snapshot::save_to(&g, &path).map_err(|e| e.to_string()))
+    {
+        eprintln!("warning: cannot pin snapshot {name}: {e}");
+    }
+    g
+}
 
 /// Harness scale: `quick` finishes in seconds per figure; `full`
 /// approaches the paper's parameter ranges (minutes).
@@ -217,7 +259,9 @@ pub fn fig12(scale: Scale) -> Report {
         Scale::Quick => 5,
         Scale::Full => 20,
     };
-    let g = scale_free(&params);
+    let g = pinned_graph(&format!("fig12-{scale:?}"), &format!("{params:?}"), || {
+        scale_free(&params)
+    });
     let mut rep = Report::new(
         "Figure 12: MoLESP & GAM vs DPBF (QGSTP-class) on a scale-free graph",
         &["m", "system", "avg_time_ms", "solved", "timeouts"],
@@ -491,7 +535,9 @@ pub fn table1(scale: Scale) -> Report {
         },
         Scale::Full => YagoLikeParams::default(),
     };
-    let g = yago_like(&params);
+    let g = pinned_graph(&format!("table1-{scale:?}"), &format!("{params:?}"), || {
+        yago_like(&params)
+    });
     let timeout = scale.timeout().as_millis() as u64;
     let mut rep = Report::new(
         "Table 1: J1-J3 on the YAGO-like graph",
@@ -553,6 +599,106 @@ pub fn table1(scale: Scale) -> Report {
             )
         });
         rep.row(&[&name, &"MoLESP", &ms(d), &out.results.len()]);
+    }
+    rep
+}
+
+/// The snapshot-store ablation printed by `all_figures`: for each
+/// pinned benchmark dataset, how long a cold start pays to *generate*
+/// the graph or to *parse* it from triples text, versus reloading the
+/// CSG2 snapshot — and whether the reloaded graph's planner statistics
+/// arrive warm (they must; the snapshot carries the sidecar).
+pub fn snapshot_report(scale: Scale) -> Report {
+    use cs_graph::generate::{yago_like, YagoLikeParams};
+    type Dataset = (&'static str, Box<dyn Fn() -> Graph>);
+    let mut rep = Report::new(
+        "Snapshot store: cold generate / triples parse vs CSG2 load",
+        &[
+            "dataset",
+            "generate_ms",
+            "parse_ms",
+            "save_ms",
+            "load_ms",
+            "parse_over_load",
+            "stats_warm",
+        ],
+    );
+
+    let datasets: Vec<Dataset> = match scale {
+        Scale::Quick => vec![
+            (
+                "scale_free(2k nodes)",
+                Box::new(|| {
+                    scale_free(&ScaleFreeParams {
+                        nodes: 2_000,
+                        edges_per_node: 3,
+                        labels: 20,
+                        types: 10,
+                        seed: 7,
+                    })
+                }),
+            ),
+            (
+                "yago_like(2k persons)",
+                Box::new(|| {
+                    yago_like(&YagoLikeParams {
+                        persons: 2_000,
+                        organisations: 100,
+                        places: 30,
+                        works: 300,
+                        seed: 0x9A90,
+                    })
+                }),
+            ),
+        ],
+        Scale::Full => vec![
+            (
+                "scale_free(100k nodes)",
+                Box::new(|| {
+                    scale_free(&ScaleFreeParams {
+                        nodes: 100_000,
+                        edges_per_node: 3,
+                        labels: 50,
+                        types: 20,
+                        seed: 7,
+                    })
+                }),
+            ),
+            (
+                "yago_like(default)",
+                Box::new(|| yago_like(&YagoLikeParams::default())),
+            ),
+        ],
+    };
+
+    let dir = snapshot_dir();
+    let _ = std::fs::create_dir_all(&dir);
+    for (name, build) in datasets {
+        let (g, d_gen) = time_it(build);
+        let text = cs_graph::ntriples::write_triples(&g);
+        let (_parsed, d_parse) = time_avg(scale.runs(), || {
+            cs_graph::ntriples::parse_triples(&text).unwrap()
+        });
+        let path = dir.join(format!(
+            "ablation-{}.csg",
+            name.split('(').next().unwrap_or(name)
+        ));
+        let (_, d_save) = time_it(|| snapshot::save_to(&g, &path).unwrap());
+        let (loaded, d_load) = time_avg(scale.runs(), || snapshot::load_from(&path).unwrap());
+        let warm = loaded.cardinalities_if_computed().is_some();
+        let ratio = format!(
+            "{:.1}x",
+            d_parse.as_secs_f64() / d_load.as_secs_f64().max(1e-9)
+        );
+        rep.row(&[
+            &name,
+            &ms(d_gen),
+            &ms(d_parse),
+            &ms(d_save),
+            &ms(d_load),
+            &ratio,
+            &warm,
+        ]);
     }
     rep
 }

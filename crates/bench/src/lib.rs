@@ -9,8 +9,11 @@
 pub mod harness;
 pub mod report;
 
-pub use harness::{fig10, fig11, fig12, fig13_14, table1, Family, Scale};
-pub use report::{ms, time_avg, time_it, Report};
+pub use harness::{
+    fig10, fig11, fig12, fig13_14, pinned_graph, snapshot_dir, snapshot_report, table1, Family,
+    Scale,
+};
+pub use report::{bench_report_json, ms, time_avg, time_it, BenchRecord, Report};
 
 /// Parses the common CLI convention of the harness binaries:
 /// `--full` switches from quick to paper-like parameters.

@@ -65,10 +65,30 @@ use std::time::{Duration, Instant};
 /// design (`!Sync` — the plan cache sits behind a [`RefCell`]); CTP
 /// evaluation inside one query or batch still fans out over
 /// [`ExecOptions::threads`] workers. Use one session per thread.
+///
+/// A session either borrows its graph ([`Session::new`]) or owns it
+/// ([`Session::from_graph`], [`Session::open_snapshot`]) — the owning
+/// form is `Session<'static>`, so a file-backed dataset can be served
+/// without keeping a graph binding alive elsewhere.
 pub struct Session<'g> {
-    graph: &'g Graph,
+    graph: GraphHandle<'g>,
     opts: ExecOptions,
     cache: RefCell<PlanCache>,
+}
+
+/// The two ways a session holds its graph.
+enum GraphHandle<'g> {
+    Borrowed(&'g Graph),
+    Owned(Box<Graph>),
+}
+
+impl GraphHandle<'_> {
+    fn get(&self) -> &Graph {
+        match self {
+            GraphHandle::Borrowed(g) => g,
+            GraphHandle::Owned(g) => g,
+        }
+    }
 }
 
 /// A parsed, validated, component-grouped query, produced by
@@ -105,6 +125,44 @@ impl PreparedQuery {
     }
 }
 
+impl Session<'static> {
+    /// A session that *owns* its graph — the constructor behind every
+    /// file- or generator-backed dataset, where no caller holds the
+    /// graph binding.
+    pub fn from_graph(graph: Graph) -> Session<'static> {
+        Session::from_graph_with(graph, ExecOptions::default())
+    }
+
+    /// An owning session with explicit options.
+    pub fn from_graph_with(graph: Graph, opts: ExecOptions) -> Session<'static> {
+        let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        Session {
+            graph: GraphHandle::Owned(Box::new(graph)),
+            opts,
+            cache,
+        }
+    }
+
+    /// Opens a session over a `.csg` snapshot file
+    /// ([`cs_graph::snapshot::load_from`]): the session owns the loaded
+    /// graph, and when the snapshot carries a statistics section the
+    /// BGP planner starts warm — no first-query stats pass.
+    pub fn open_snapshot(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Session<'static>, cs_graph::snapshot::SnapshotError> {
+        Session::open_snapshot_with(path, ExecOptions::default())
+    }
+
+    /// [`Session::open_snapshot`] with explicit options.
+    pub fn open_snapshot_with(
+        path: impl AsRef<std::path::Path>,
+        opts: ExecOptions,
+    ) -> Result<Session<'static>, cs_graph::snapshot::SnapshotError> {
+        let graph = cs_graph::snapshot::load_from(path)?;
+        Ok(Session::from_graph_with(graph, opts))
+    }
+}
+
 impl<'g> Session<'g> {
     /// A session over `g` with default [`ExecOptions`].
     pub fn new(graph: &'g Graph) -> Self {
@@ -114,12 +172,16 @@ impl<'g> Session<'g> {
     /// A session over `g` with explicit options.
     pub fn with_options(graph: &'g Graph, opts: ExecOptions) -> Self {
         let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
-        Session { graph, opts, cache }
+        Session {
+            graph: GraphHandle::Borrowed(graph),
+            opts,
+            cache,
+        }
     }
 
     /// The graph this session queries.
-    pub fn graph(&self) -> &'g Graph {
-        self.graph
+    pub fn graph(&self) -> &Graph {
+        self.graph.get()
     }
 
     /// The session's execution options.
@@ -179,7 +241,7 @@ impl<'g> Session<'g> {
     /// evaluation strategy (§3), with step (A) plans served from the
     /// session's shape-keyed cache.
     pub fn execute(&self, q: &PreparedQuery) -> Result<QueryResult, EqlError> {
-        let g = self.graph;
+        let g = self.graph();
         let ast = &q.ast;
         let t_total = Instant::now();
         let mut stats = ExecStats::default();
@@ -232,7 +294,7 @@ impl<'g> Session<'g> {
     ) -> CtpMaterialisation {
         loop {
             let outcomes = dispatch_jobs(
-                self.graph,
+                self.graph(),
                 jobs,
                 self.opts.threads,
                 self.opts.search_threads,
@@ -242,7 +304,7 @@ impl<'g> Session<'g> {
             let truncated = ask_truncated(jobs, &outcomes, deepenable);
             let timed_out = outcomes.iter().any(|o| o.stats.timed_out);
 
-            let materialised = materialise_ctps(self.graph, ast, outcomes, job_cols, stats);
+            let materialised = materialise_ctps(self.graph(), ast, outcomes, job_cols, stats);
 
             // SELECT returns everything found; ASK stops as soon as
             // the join is witnessed, or no truncated search can change
@@ -303,7 +365,7 @@ impl<'g> Session<'g> {
         if !Algorithm::GAM_FAMILY.contains(&algorithm) {
             return Ok(None);
         }
-        let (specs, _) = seed_specs(self.graph, ctp, 0, &[]);
+        let (specs, _) = seed_specs(self.graph(), ctp, 0, &[]);
         let seeds = SeedSets::new(specs)?;
         // `evaluate_ctp_streaming` runs single-queue; defer to the
         // materialised path when the policy heuristic wants balancing.
@@ -311,7 +373,7 @@ impl<'g> Session<'g> {
             return Ok(None);
         }
         let outcome = evaluate_ctp_streaming(
-            self.graph,
+            self.graph(),
             &seeds,
             algorithm,
             ctp_filters(ctp, &self.opts),
@@ -347,7 +409,7 @@ impl<'g> Session<'g> {
             n_jobs: usize,
         }
 
-        let g = self.graph;
+        let g = self.graph();
         let mut staged: Vec<Result<Staged, EqlError>> = Vec::with_capacity(queries.len());
         let mut all_jobs: Vec<CtpJob> = Vec::new();
         for text in queries {
@@ -458,7 +520,7 @@ impl<'g> Session<'g> {
     /// search) for multi-core latency on the full result set — use
     /// `search_threads == 1` (the default) when pull-paced early
     /// termination is what matters.
-    pub fn execute_streaming(&self, q: &PreparedQuery) -> Result<ResultStream<'g>, EqlError> {
+    pub fn execute_streaming(&self, q: &PreparedQuery) -> Result<ResultStream<'_>, EqlError> {
         let ast = &q.ast;
         if ast.form != QueryForm::Select {
             return Err(EqlError::Validate(
@@ -491,7 +553,7 @@ impl<'g> Session<'g> {
         let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
         stats.bgp_time = t0.elapsed();
 
-        let (specs, _) = seed_specs(self.graph, ctp, 0, &bgp_tables);
+        let (specs, _) = seed_specs(self.graph(), ctp, 0, &bgp_tables);
         let seeds = SeedSets::new(specs)?;
         let policy = pick_policy(&seeds, self.opts.balance_ratio);
         let mut filters = ctp_filters(ctp, &self.opts);
@@ -507,7 +569,7 @@ impl<'g> Session<'g> {
             // stream the canonical-ordered outcome.
             let start = Instant::now();
             let outcome = cs_core::evaluate_ctp_partitioned(
-                self.graph,
+                self.graph(),
                 &seeds,
                 algorithm,
                 filters,
@@ -522,7 +584,7 @@ impl<'g> Session<'g> {
             }
         } else {
             StreamInner::Lazy(Box::new(stream_ctp(
-                self.graph,
+                self.graph(),
                 seeds,
                 algorithm,
                 filters,
@@ -546,8 +608,8 @@ impl<'g> Session<'g> {
         let tables = bgps
             .iter()
             .map(|bgp| {
-                let plan = cache.plan(self.graph, bgp);
-                let table = eval_bgp_with_plan(self.graph, bgp, &plan);
+                let plan = cache.plan(self.graph(), bgp);
+                let table = eval_bgp_with_plan(self.graph(), bgp, &plan);
                 stats.plans.push(plan);
                 table
             })

@@ -314,3 +314,112 @@ fn deprecated_shims_agree_with_session() {
             .unwrap()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Owned-graph sessions and the snapshot store.
+
+#[test]
+fn owned_session_matches_borrowed_session() {
+    let g = figure1();
+    let q = r#"SELECT x, w WHERE {
+        (x : type = "entrepreneur", "citizenOf", "USA")
+        CONNECT(x, "France" -> w) MAX 3
+    }"#;
+    let borrowed = Session::new(&g).run(q).unwrap();
+    let owned_session = Session::from_graph(figure1());
+    let owned = owned_session.run(q).unwrap();
+    assert_eq!(
+        canonical(&g, &borrowed),
+        canonical(owned_session.graph(), &owned)
+    );
+}
+
+#[test]
+fn open_snapshot_runs_identical_queries_with_warm_plans() {
+    let g = figure1();
+    let mut path = std::env::temp_dir();
+    path.push(format!("cs-eql-session-{}.csg", std::process::id()));
+    cs_graph::snapshot::save_to(&g, &path).unwrap();
+
+    let session = Session::open_snapshot(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    // The statistics arrived through the snapshot sidecar: warm before
+    // the first query, and equal to a fresh computation — the planner
+    // never pays a stats pass.
+    let warm = session
+        .graph()
+        .cardinalities_if_computed()
+        .expect("snapshot-backed session must start with warm statistics");
+    assert_eq!(warm, g.cardinalities());
+
+    let q = r#"SELECT x, w WHERE {
+        (x : type = "entrepreneur", "citizenOf", "USA")
+        CONNECT(x, "France" -> w) MAX 3
+    }"#;
+    let from_file = session.run(q).unwrap();
+    let in_memory = Session::new(&g).run(q).unwrap();
+    assert_eq!(
+        canonical(session.graph(), &from_file),
+        canonical(&g, &in_memory),
+        "file-backed session must answer exactly like the in-memory one"
+    );
+    // Same plans, too: the warm statistics must produce the access
+    // paths the in-memory planner picks.
+    let render = |r: &QueryResult| {
+        r.stats
+            .plans
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render(&from_file), render(&in_memory));
+
+    // Streaming works from an owned graph (the stream borrows the
+    // session).
+    let prepared = session.prepare(q).unwrap();
+    let streamed: Vec<_> = session.execute_streaming(&prepared).unwrap().collect();
+    assert_eq!(streamed.len(), from_file.trees["w"].len());
+}
+
+#[test]
+fn open_snapshot_missing_file_errors() {
+    match Session::open_snapshot("/no/such/dir/missing.csg") {
+        Ok(_) => panic!("opening a missing snapshot must fail"),
+        Err(e) => assert!(e.to_string().contains("missing.csg")),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ISSUE-5 round-trip property: for random generated graphs,
+    /// save → load yields identical query results under the same EQL
+    /// query, with the same plans, and with the planner statistics
+    /// warm on load (snapshot equality against a fresh computation —
+    /// no recomputation happened).
+    #[test]
+    fn snapshot_roundtrip_preserves_query_results(seed in any::<u64>(), lbl in 0usize..4, limit in 1usize..6) {
+        let g = gnp(9, 0.18, seed);
+        let mut path = std::env::temp_dir();
+        path.push(format!("cs-eql-roundtrip-{}-{seed}-{lbl}-{limit}.csg", std::process::id()));
+        cs_graph::snapshot::save_to(&g, &path).unwrap();
+        let session = Session::open_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        // Warm statistics, equal to a fresh pass over the original.
+        let warm = session.graph().cardinalities_if_computed().expect("warm stats");
+        prop_assert_eq!(warm, g.cardinalities());
+
+        let q = star_query(("x", "y", "z"), lbl, limit);
+        let from_file = session.run(&q);
+        let in_memory = Session::new(&g).run(&q);
+        assert_same_outcome(&g, &in_memory, &from_file, &q);
+        if let (Ok(a), Ok(b)) = (&in_memory, &from_file) {
+            let plans = |r: &QueryResult| {
+                r.stats.plans.iter().map(|p| p.to_string()).collect::<Vec<_>>()
+            };
+            prop_assert_eq!(plans(a), plans(b), "plans must match");
+        }
+    }
+}

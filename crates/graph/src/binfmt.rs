@@ -1,11 +1,14 @@
-//! A compact binary snapshot format for graphs, built on `bytes`.
+//! Compact binary snapshot formats for graphs, built on `bytes`.
 //!
 //! Benchmarks over generated multi-million-edge graphs re-load far
 //! faster from a binary snapshot than by re-generating or re-parsing
 //! triples; snapshots also pin workloads byte-for-byte for
-//! reproducibility (EXPERIMENTS.md).
+//! reproducibility. The file-level API (buffered save/load/inspect)
+//! lives in [`crate::snapshot`]; this module owns the wire format.
 //!
-//! Layout (all integers little-endian):
+//! Two format versions exist, distinguished by the magic:
+//!
+//! **CSG1** (legacy, read-only): one unframed stream —
 //!
 //! ```text
 //! magic "CSG1" | u32 #strings | (u32 len, bytes)*      — interner
@@ -15,18 +18,59 @@
 //!                        u16 #props (u32 key, value)*
 //! value := u8 tag (0 str, 1 int, 2 float) + payload
 //! ```
+//!
+//! **CSG2** (current, written by [`encode_graph`]): the same payload
+//! encodings, framed into self-describing sections so corruption is
+//! detected before any payload is interpreted and readers can skip
+//! sections they do not know:
+//!
+//! ```text
+//! magic "CSG2" | u32 #sections
+//! per section: u32 id | u64 payload_len | u32 crc32(payload) | payload
+//! ```
+//!
+//! Sections: interner (1), nodes (2), edges (3) — required — and the
+//! optional statistics sidecar (4) serialising the graph's
+//! [`Cardinalities`] so a loaded graph starts with a *warm* planner:
+//! [`decode_graph`] seeds [`crate::Graph::cardinalities`]'s `OnceLock`
+//! from the decoded section, skipping the first-query full-scan stats
+//! pass. Unknown section ids are checksummed and skipped, so future
+//! sections stay forward-compatible.
 
 use crate::builder::GraphBuilder;
+use crate::ids::LabelId;
 use crate::model::Graph;
+use crate::stats::{Cardinalities, LabelCard};
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-const MAGIC: &[u8; 4] = b"CSG1";
+const MAGIC_V1: &[u8; 4] = b"CSG1";
+const MAGIC_V2: &[u8; 4] = b"CSG2";
+
+/// Section id of the string interner (required).
+pub const SECTION_INTERNER: u32 = 1;
+/// Section id of the node table (required).
+pub const SECTION_NODES: u32 = 2;
+/// Section id of the edge table (required).
+pub const SECTION_EDGES: u32 = 3;
+/// Section id of the optional [`Cardinalities`] statistics sidecar.
+pub const SECTION_STATS: u32 = 4;
+
+/// Human-readable name of a section id (`"unknown"` for future ids).
+pub fn section_name(id: u32) -> &'static str {
+    match id {
+        SECTION_INTERNER => "interner",
+        SECTION_NODES => "nodes",
+        SECTION_EDGES => "edges",
+        SECTION_STATS => "stats",
+        _ => "unknown",
+    }
+}
 
 /// Errors decoding a snapshot.
 #[derive(Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The magic header did not match.
+    /// The magic header matched neither CSG1 nor CSG2.
     BadMagic,
     /// The buffer ended prematurely or a length was inconsistent.
     Truncated,
@@ -34,20 +78,74 @@ pub enum DecodeError {
     BadUtf8,
     /// An id referenced out of range.
     BadReference,
+    /// A section's payload did not match its stored checksum.
+    BadChecksum {
+        /// The corrupt section's id.
+        section: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The missing section's id.
+        section: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::BadMagic => write!(f, "not a CSG1 snapshot"),
+            DecodeError::BadMagic => write!(f, "not a CSG1/CSG2 snapshot"),
             DecodeError::Truncated => write!(f, "snapshot truncated"),
             DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in snapshot string"),
             DecodeError::BadReference => write!(f, "snapshot references unknown id"),
+            DecodeError::BadChecksum { section } => write!(
+                f,
+                "checksum mismatch in {} section (corrupt snapshot)",
+                section_name(*section)
+            ),
+            DecodeError::MissingSection { section } => {
+                write!(f, "snapshot misses {} section", section_name(*section))
+            }
         }
     }
 }
 
 impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3), table-driven; the table is built at compile time.
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE) of `bytes` — the per-section checksum of CSG2.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoders (shared between CSG1 and CSG2 — the framing differs,
+// the payload encodings do not).
 
 fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
@@ -67,18 +165,19 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-/// Encodes a graph into the snapshot format.
-pub fn encode_graph(g: &Graph) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + g.node_count() * 16 + g.edge_count() * 16);
-    buf.put_slice(MAGIC);
-
+fn encode_interner_payload(g: &Graph) -> Bytes {
     let interner = g.interner();
+    let mut buf = BytesMut::with_capacity(8 + interner.len() * 12);
     buf.put_u32_le(interner.len() as u32);
     for (_, s) in interner.iter() {
         buf.put_u32_le(s.len() as u32);
         buf.put_slice(s.as_bytes());
     }
+    buf.freeze()
+}
 
+fn encode_nodes_payload(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + g.node_count() * 12);
     buf.put_u32_le(g.node_count() as u32);
     for n in g.node_ids() {
         let nd = g.node(n);
@@ -93,7 +192,11 @@ pub fn encode_graph(g: &Graph) -> Bytes {
             put_value(&mut buf, v);
         }
     }
+    buf.freeze()
+}
 
+fn encode_edges_payload(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(8 + g.edge_count() * 16);
     buf.put_u32_le(g.edge_count() as u32);
     for e in g.edge_ids() {
         let ed = g.edge(e);
@@ -108,6 +211,114 @@ pub fn encode_graph(g: &Graph) -> Bytes {
     }
     buf.freeze()
 }
+
+/// Serialises a [`Cardinalities`] snapshot. Map entries are sorted by
+/// label id so encoding is deterministic (snapshots diff byte-for-byte).
+fn encode_stats_payload(c: &Cardinalities) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + c.edge_labels.len() * 28);
+    buf.put_u64_le(c.nodes as u64);
+    buf.put_u64_le(c.edges as u64);
+
+    let mut edge_labels: Vec<(&LabelId, &LabelCard)> = c.edge_labels.iter().collect();
+    edge_labels.sort_by_key(|(l, _)| l.0);
+    buf.put_u32_le(edge_labels.len() as u32);
+    for (l, card) in edge_labels {
+        buf.put_u32_le(l.0);
+        buf.put_u64_le(card.edges as u64);
+        buf.put_u64_le(card.distinct_src as u64);
+        buf.put_u64_le(card.distinct_dst as u64);
+    }
+
+    for map in [&c.node_labels, &c.node_types] {
+        let mut entries: Vec<(&LabelId, &usize)> = map.iter().collect();
+        entries.sort_by_key(|(l, _)| l.0);
+        buf.put_u32_le(entries.len() as u32);
+        for (l, n) in entries {
+            buf.put_u32_le(l.0);
+            buf.put_u64_le(*n as u64);
+        }
+    }
+    buf.freeze()
+}
+
+/// Options controlling [`encode_graph_with`].
+#[derive(Debug, Clone)]
+pub struct EncodeOptions {
+    /// Embed the statistics sidecar section (computing the graph's
+    /// [`Cardinalities`] if they are not cached yet) so the planner of
+    /// a loaded graph starts warm. Default `true`.
+    pub include_stats: bool,
+}
+
+impl Default for EncodeOptions {
+    fn default() -> Self {
+        EncodeOptions {
+            include_stats: true,
+        }
+    }
+}
+
+/// Encodes the CSG2 sections of `g` in file order, without framing —
+/// the building block [`crate::snapshot::save_to`] streams through a
+/// buffered writer instead of concatenating a whole-file buffer.
+pub fn encode_sections(g: &Graph, opts: &EncodeOptions) -> Vec<(u32, Bytes)> {
+    let mut sections = vec![
+        (SECTION_INTERNER, encode_interner_payload(g)),
+        (SECTION_NODES, encode_nodes_payload(g)),
+        (SECTION_EDGES, encode_edges_payload(g)),
+    ];
+    if opts.include_stats {
+        sections.push((SECTION_STATS, encode_stats_payload(g.cardinalities())));
+    }
+    sections
+}
+
+/// The 16-byte CSG2 section header (`id | payload_len | crc32`).
+pub fn section_header(id: u32, payload: &[u8]) -> [u8; 16] {
+    let mut h = [0u8; 16];
+    h[..4].copy_from_slice(&id.to_le_bytes());
+    h[4..12].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    h[12..].copy_from_slice(&crc32(payload).to_le_bytes());
+    h
+}
+
+/// Encodes a graph into the current (CSG2) snapshot format, statistics
+/// sidecar included.
+pub fn encode_graph(g: &Graph) -> Bytes {
+    encode_graph_with(g, &EncodeOptions::default())
+}
+
+/// Encodes a graph into the CSG2 format with explicit options.
+pub fn encode_graph_with(g: &Graph, opts: &EncodeOptions) -> Bytes {
+    let sections = encode_sections(g, opts);
+    let total: usize = sections.iter().map(|(_, p)| 16 + p.len()).sum();
+    let mut buf = BytesMut::with_capacity(8 + total);
+    buf.put_slice(MAGIC_V2);
+    buf.put_u32_le(sections.len() as u32);
+    for (id, payload) in &sections {
+        buf.put_slice(&section_header(*id, payload));
+        buf.put_slice(payload);
+    }
+    buf.freeze()
+}
+
+/// Encodes a graph into the legacy CSG1 format (no sections, no
+/// checksums, no statistics). Kept for forward-compatibility tests and
+/// interop with CSG1-only readers.
+pub fn encode_graph_v1(g: &Graph) -> Bytes {
+    let interner = encode_interner_payload(g);
+    let nodes = encode_nodes_payload(g);
+    let edges = encode_edges_payload(g);
+    let mut buf = BytesMut::with_capacity(4 + interner.len() + nodes.len() + edges.len());
+    buf.put_slice(MAGIC_V1);
+    buf.put_slice(&interner);
+    buf.put_slice(&nodes);
+    buf.put_slice(&edges);
+    buf.freeze()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -135,6 +346,11 @@ impl<'a> Reader<'a> {
     fn u32(&mut self) -> Result<u32, DecodeError> {
         self.need(4)?;
         Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
     }
 
     fn i64(&mut self) -> Result<i64, DecodeError> {
@@ -167,29 +383,54 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Decodes a snapshot produced by [`encode_graph`].
-pub fn decode_graph(bytes: &[u8]) -> Result<Graph, DecodeError> {
-    let mut r = Reader { buf: bytes };
-    r.need(4)?;
-    if &r.buf[..4] != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    r.buf.advance(4);
-
+fn decode_strings(r: &mut Reader<'_>) -> Result<Vec<String>, DecodeError> {
     let n_strings = r.u32()? as usize;
+    // Guard against absurd preallocation from corrupt counts: each
+    // string costs at least its 4-byte length prefix.
+    if n_strings > r.buf.remaining() / 4 + 1 {
+        return Err(DecodeError::Truncated);
+    }
     let mut strings = Vec::with_capacity(n_strings);
     for _ in 0..n_strings {
         strings.push(r.string()?);
     }
-    let resolve = |id: u32| -> Result<&str, DecodeError> {
-        strings
-            .get(id as usize)
-            .map(String::as_str)
-            .ok_or(DecodeError::BadReference)
-    };
+    Ok(strings)
+}
 
+/// Pre-interns the wire string table so the decoded graph's [`LabelId`]s
+/// equal the wire ids exactly. Everything keyed by id (the statistics
+/// sidecar, byte-for-byte re-encoding) depends on this; a table whose
+/// entries don't round-trip to their own index (duplicate strings, or a
+/// first entry that is not ε) cannot have come from our encoder and is
+/// rejected.
+fn preintern(b: &mut GraphBuilder, strings: &[String]) -> Result<(), DecodeError> {
+    for (i, s) in strings.iter().enumerate() {
+        if b.intern(s) != LabelId::new(i) {
+            return Err(DecodeError::BadReference);
+        }
+    }
+    Ok(())
+}
+
+/// Resolves a wire string id against the decoded string table.
+fn resolve(strings: &[String], id: u32) -> Result<&str, DecodeError> {
+    strings
+        .get(id as usize)
+        .map(String::as_str)
+        .ok_or(DecodeError::BadReference)
+}
+
+fn decode_nodes(
+    r: &mut Reader<'_>,
+    b: &mut GraphBuilder,
+    strings: &[String],
+) -> Result<usize, DecodeError> {
+    let resolve = |id: u32| resolve(strings, id);
     let n_nodes = r.u32()? as usize;
-    let mut b = GraphBuilder::with_capacity(n_nodes, 0);
+    if n_nodes > r.buf.remaining() / 4 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    b.reserve(n_nodes, 0);
     for _ in 0..n_nodes {
         let label = r.u32()?;
         let n = b.add_node(resolve(label)?);
@@ -206,8 +447,21 @@ pub fn decode_graph(bytes: &[u8]) -> Result<Graph, DecodeError> {
             b.set_node_prop(n, &key, v);
         }
     }
+    Ok(n_nodes)
+}
 
+fn decode_edges(
+    r: &mut Reader<'_>,
+    b: &mut GraphBuilder,
+    strings: &[String],
+    n_nodes: usize,
+) -> Result<(), DecodeError> {
+    let resolve = |id: u32| resolve(strings, id);
     let n_edges = r.u32()? as usize;
+    if n_edges > r.buf.remaining() / 12 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    b.reserve(0, n_edges);
     for _ in 0..n_edges {
         let src = r.u32()?;
         let dst = r.u32()?;
@@ -228,7 +482,173 @@ pub fn decode_graph(bytes: &[u8]) -> Result<Graph, DecodeError> {
             b.set_edge_prop(e, &key, v);
         }
     }
+    Ok(())
+}
+
+fn decode_stats(
+    r: &mut Reader<'_>,
+    n_strings: usize,
+    n_nodes: usize,
+    n_edges: usize,
+) -> Result<Cardinalities, DecodeError> {
+    let nodes = r.u64()? as usize;
+    let edges = r.u64()? as usize;
+    // Statistics describing a different graph than the one in the
+    // nodes/edges sections are corruption the checksum cannot see
+    // (e.g. a stats section spliced in from another snapshot).
+    if nodes != n_nodes || edges != n_edges {
+        return Err(DecodeError::BadReference);
+    }
+    let mut c = Cardinalities {
+        nodes,
+        edges,
+        ..Cardinalities::default()
+    };
+    let check = |l: u32| -> Result<LabelId, DecodeError> {
+        if (l as usize) < n_strings {
+            Ok(LabelId(l))
+        } else {
+            Err(DecodeError::BadReference)
+        }
+    };
+    let n_edge_labels = r.u32()? as usize;
+    if n_edge_labels > r.buf.remaining() / 28 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    for _ in 0..n_edge_labels {
+        let l = check(r.u32()?)?;
+        let card = LabelCard {
+            edges: r.u64()? as usize,
+            distinct_src: r.u64()? as usize,
+            distinct_dst: r.u64()? as usize,
+        };
+        c.edge_labels.insert(l, card);
+    }
+    for map in [&mut c.node_labels, &mut c.node_types] {
+        let n = r.u32()? as usize;
+        if n > r.buf.remaining() / 12 + 1 {
+            return Err(DecodeError::Truncated);
+        }
+        for _ in 0..n {
+            let l = check(r.u32()?)?;
+            map.insert(l, r.u64()? as usize);
+        }
+    }
+    Ok(c)
+}
+
+/// One checksum-verified CSG2 section, borrowed from the input buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct RawSection<'a> {
+    /// The section id (see the `SECTION_*` constants).
+    pub id: u32,
+    /// The section payload (checksum already verified).
+    pub payload: &'a [u8],
+}
+
+/// Walks the CSG2 section table, verifying every checksum. Errors on
+/// anything other than a well-formed CSG2 buffer; CSG1 input is
+/// [`DecodeError::BadMagic`] here (use [`decode_graph`] to accept both).
+pub fn read_sections(bytes: &[u8]) -> Result<Vec<RawSection<'_>>, DecodeError> {
+    let mut r = Reader { buf: bytes };
+    r.need(4)?;
+    if &r.buf[..4] != MAGIC_V2 {
+        return Err(DecodeError::BadMagic);
+    }
+    r.buf.advance(4);
+    let n_sections = r.u32()? as usize;
+    // Each section costs at least its 16-byte header.
+    if n_sections > r.buf.remaining() / 16 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut sections = Vec::with_capacity(n_sections);
+    for _ in 0..n_sections {
+        let id = r.u32()?;
+        let len = r.u64()?;
+        let stored_crc = r.u32()?;
+        let len = usize::try_from(len).map_err(|_| DecodeError::Truncated)?;
+        r.need(len)?;
+        let payload = &r.buf[..len];
+        if crc32(payload) != stored_crc {
+            return Err(DecodeError::BadChecksum { section: id });
+        }
+        r.buf.advance(len);
+        sections.push(RawSection { id, payload });
+    }
+    Ok(sections)
+}
+
+fn section<'a>(sections: &[RawSection<'a>], id: u32) -> Result<&'a [u8], DecodeError> {
+    sections
+        .iter()
+        .find(|s| s.id == id)
+        .map(|s| s.payload)
+        .ok_or(DecodeError::MissingSection { section: id })
+}
+
+fn decode_graph_v2(bytes: &[u8]) -> Result<Graph, DecodeError> {
+    let sections = read_sections(bytes)?;
+
+    let mut r = Reader {
+        buf: section(&sections, SECTION_INTERNER)?,
+    };
+    let strings = decode_strings(&mut r)?;
+
+    let mut b = GraphBuilder::with_capacity(0, 0);
+    preintern(&mut b, &strings)?;
+    let mut r = Reader {
+        buf: section(&sections, SECTION_NODES)?,
+    };
+    let n_nodes = decode_nodes(&mut r, &mut b, &strings)?;
+
+    let mut r = Reader {
+        buf: section(&sections, SECTION_EDGES)?,
+    };
+    decode_edges(&mut r, &mut b, &strings, n_nodes)?;
+    let n_edges = b.edge_count();
+
+    // The optional sidecar: decode *before* freezing so a corrupt
+    // stats section fails the whole load rather than silently cooling
+    // the planner.
+    let stats = match sections.iter().find(|s| s.id == SECTION_STATS) {
+        Some(s) => {
+            let mut r = Reader { buf: s.payload };
+            Some(decode_stats(&mut r, strings.len(), n_nodes, n_edges)?)
+        }
+        None => None,
+    };
+
+    let g = b.freeze();
+    if let Some(c) = stats {
+        g.warm_cardinalities(c);
+    }
+    Ok(g)
+}
+
+fn decode_graph_v1(bytes: &[u8]) -> Result<Graph, DecodeError> {
+    let mut r = Reader { buf: &bytes[4..] };
+    let strings = decode_strings(&mut r)?;
+    let mut b = GraphBuilder::with_capacity(0, 0);
+    preintern(&mut b, &strings)?;
+    let n_nodes = decode_nodes(&mut r, &mut b, &strings)?;
+    decode_edges(&mut r, &mut b, &strings, n_nodes)?;
     Ok(b.freeze())
+}
+
+/// Decodes a snapshot produced by [`encode_graph`] (CSG2) or by the
+/// legacy CSG1 encoder. A CSG2 statistics section, when present, seeds
+/// the graph's cached [`Cardinalities`] so
+/// [`Graph::cardinalities`](crate::Graph::cardinalities) returns
+/// without a stats pass.
+pub fn decode_graph(bytes: &[u8]) -> Result<Graph, DecodeError> {
+    if bytes.len() < 4 {
+        return Err(DecodeError::Truncated);
+    }
+    match &bytes[..4] {
+        m if m == MAGIC_V2 => decode_graph_v2(bytes),
+        m if m == MAGIC_V1 => decode_graph_v1(bytes),
+        _ => Err(DecodeError::BadMagic),
+    }
 }
 
 #[cfg(test)]
@@ -237,11 +657,7 @@ mod tests {
     use crate::figure1::figure1;
     use crate::generate::{scale_free, ScaleFreeParams};
 
-    #[test]
-    fn roundtrip_figure1() {
-        let g = figure1();
-        let bytes = encode_graph(&g);
-        let g2 = decode_graph(&bytes).unwrap();
+    fn assert_same_graph(g: &Graph, g2: &Graph) {
         assert_eq!(g2.node_count(), g.node_count());
         assert_eq!(g2.edge_count(), g.edge_count());
         for n in g.node_ids() {
@@ -254,6 +670,14 @@ mod tests {
         for e in g.edge_ids() {
             assert_eq!(g2.describe_edge(e), g.describe_edge(e));
         }
+    }
+
+    #[test]
+    fn roundtrip_figure1() {
+        let g = figure1();
+        let bytes = encode_graph(&g);
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_same_graph(&g, &g2);
     }
 
     #[test]
@@ -289,6 +713,42 @@ mod tests {
     }
 
     #[test]
+    fn stats_sidecar_loads_warm_and_equal() {
+        let g = figure1();
+        let computed = g.cardinalities().clone(); // force + copy
+        let g2 = decode_graph(&encode_graph(&g)).unwrap();
+        let warm = g2
+            .cardinalities_if_computed()
+            .expect("stats section must seed the OnceLock before first use");
+        assert_eq!(*warm, computed);
+    }
+
+    #[test]
+    fn stats_sidecar_is_optional() {
+        let g = figure1();
+        let bytes = encode_graph_with(
+            &g,
+            &EncodeOptions {
+                include_stats: false,
+            },
+        );
+        let g2 = decode_graph(&bytes).unwrap();
+        assert!(g2.cardinalities_if_computed().is_none());
+        // Cold path still works.
+        assert_eq!(g2.cardinalities().edges, g.edge_count());
+    }
+
+    #[test]
+    fn csg1_still_readable() {
+        let g = figure1();
+        let v1 = encode_graph_v1(&g);
+        assert_eq!(&v1[..4], b"CSG1");
+        let g2 = decode_graph(&v1).unwrap();
+        assert_same_graph(&g, &g2);
+        assert!(g2.cardinalities_if_computed().is_none());
+    }
+
+    #[test]
     fn decode_errors() {
         assert_eq!(decode_graph(b"nope").unwrap_err(), DecodeError::BadMagic);
         assert_eq!(decode_graph(b"CS").unwrap_err(), DecodeError::Truncated);
@@ -299,10 +759,90 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_is_checksum_error() {
+        let g = figure1();
+        let mut bytes = encode_graph(&g).to_vec();
+        // Flip a byte well inside the first section's payload.
+        let target = bytes.len() / 2;
+        bytes[target] ^= 0xA5;
+        let err = decode_graph(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DecodeError::BadChecksum { .. } | DecodeError::Truncated
+            ),
+            "bit flip must be caught by framing, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_required_section() {
+        let g = figure1();
+        // Re-frame with the edges section dropped.
+        let sections = encode_sections(&g, &EncodeOptions::default());
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CSG2");
+        let kept: Vec<_> = sections
+            .iter()
+            .filter(|(id, _)| *id != SECTION_EDGES)
+            .collect();
+        buf.extend_from_slice(&(kept.len() as u32).to_le_bytes());
+        for (id, payload) in kept {
+            buf.extend_from_slice(&section_header(*id, payload));
+            buf.extend_from_slice(payload);
+        }
+        assert_eq!(
+            decode_graph(&buf).unwrap_err(),
+            DecodeError::MissingSection {
+                section: SECTION_EDGES
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let g = figure1();
+        let mut sections = encode_sections(&g, &EncodeOptions::default());
+        sections.push((999, Bytes::from_vec(b"future data".to_vec())));
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"CSG2");
+        buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for (id, payload) in &sections {
+            buf.extend_from_slice(&section_header(*id, payload));
+            buf.extend_from_slice(payload);
+        }
+        let g2 = decode_graph(&buf).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+    }
+
+    #[test]
     fn empty_graph_roundtrip() {
         let g = GraphBuilder::new().freeze();
         let g2 = decode_graph(&encode_graph(&g)).unwrap();
         assert_eq!(g2.node_count(), 0);
         assert_eq!(g2.edge_count(), 0);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        // HashMap iteration must not leak into the bytes (snapshots are
+        // meant to pin workloads byte-for-byte).
+        let g = scale_free(&ScaleFreeParams {
+            nodes: 120,
+            edges_per_node: 3,
+            labels: 9,
+            types: 5,
+            seed: 11,
+        });
+        let a = encode_graph(&g);
+        let g2 = decode_graph(&a).unwrap();
+        let b = encode_graph(&g2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The IEEE CRC32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

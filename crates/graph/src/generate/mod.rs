@@ -9,6 +9,7 @@ mod comb;
 mod line;
 mod random;
 mod scale_free;
+mod spec;
 mod star;
 mod yago_like;
 
@@ -18,6 +19,7 @@ pub use comb::comb;
 pub use line::line;
 pub use random::{gnp, random_connected};
 pub use scale_free::{sample_ctp_seeds, scale_free, ScaleFreeParams};
+pub use spec::{from_spec, SpecError};
 pub use star::star;
 pub use yago_like::{yago_like, YagoLikeParams};
 

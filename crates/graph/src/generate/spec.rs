@@ -1,0 +1,298 @@
+//! Textual generator specs — `family:key=value,...` strings naming one
+//! of the synthetic workload generators, so CLIs and CI scripts can
+//! pin a dataset (`csq snapshot save scale_free:nodes=2000,seed=7
+//! data.csg`) without writing Rust.
+//!
+//! Grammar: `family` or `family:key=value,key=value,...`. Unknown
+//! families and keys are errors (a typo must not silently fall back to
+//! a default graph). Every generator is deterministic given its
+//! parameters, so a spec pins a dataset exactly.
+//!
+//! | family | keys (default) |
+//! |---|---|
+//! | `figure1` | — |
+//! | `chain` | `n` (4) |
+//! | `line` | `m` (3), `nl` (4) |
+//! | `comb` | `na` (2), `ns` (2), `sl` (4), `dba` (1) |
+//! | `star` | `m` (3), `sl` (4) |
+//! | `gnp` | `n` (100), `p_permille` (50), `seed` (1) |
+//! | `random_connected` | `n` (100), `extra` (50), `seed` (1) |
+//! | `scale_free` | `nodes` (2000), `edges_per_node` (3), `labels` (20), `types` (10), `seed` (7) |
+//! | `yago_like` | `persons` (2000), `organisations` (100), `places` (30), `works` (300), `seed` (39568) |
+//! | `cdf` | `m` (2), `nt` (32), `nl` (64), `sl` (3), `seed` (3295) |
+
+use super::{
+    cdf, chain, comb, gnp, line, random_connected, scale_free, star, yago_like, CdfParams,
+    ScaleFreeParams, YagoLikeParams,
+};
+use crate::model::Graph;
+use std::fmt;
+
+/// Errors parsing or applying a generator spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The family name is not one of the known generators.
+    UnknownFamily(String),
+    /// A key is not valid for the family.
+    UnknownKey {
+        /// The generator family.
+        family: &'static str,
+        /// The offending key.
+        key: String,
+    },
+    /// An argument was not `key=value` or the value did not parse as an
+    /// integer.
+    BadArg(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownFamily(s) => write!(
+                f,
+                "unknown generator family {s:?} (figure1|chain|line|comb|star|gnp|\
+                 random_connected|scale_free|yago_like|cdf)"
+            ),
+            SpecError::UnknownKey { family, key } => {
+                write!(f, "unknown key {key:?} for generator {family:?}")
+            }
+            SpecError::BadArg(s) => write!(f, "bad generator argument {s:?} (want key=number)"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn parse_args(args: &str) -> Result<Vec<(String, u64)>, SpecError> {
+    let mut out = Vec::new();
+    for part in args.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| SpecError::BadArg(part.into()))?;
+        let v: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| SpecError::BadArg(part.into()))?;
+        out.push((k.trim().to_ascii_lowercase(), v));
+    }
+    Ok(out)
+}
+
+/// Applies `key=value` pairs onto named `u64` slots, rejecting unknown
+/// keys.
+fn bind(
+    family: &'static str,
+    args: Vec<(String, u64)>,
+    slots: &mut [(&str, &mut u64)],
+) -> Result<(), SpecError> {
+    'args: for (k, v) in args {
+        for (name, slot) in slots.iter_mut() {
+            if *name == k {
+                **slot = v;
+                continue 'args;
+            }
+        }
+        return Err(SpecError::UnknownKey { family, key: k });
+    }
+    Ok(())
+}
+
+/// Builds the graph named by a generator spec (see the module docs for
+/// the grammar and the per-family keys). Workload-producing families
+/// (`line`, `comb`, `star`, `chain`, `cdf`) yield their data graph;
+/// seed sets are a query-time concern.
+pub fn from_spec(spec: &str) -> Result<Graph, SpecError> {
+    let spec = spec.trim();
+    let (family, args) = match spec.split_once(':') {
+        Some((f, a)) => (f.trim(), a),
+        None => (spec, ""),
+    };
+    let family = family.to_ascii_lowercase();
+    match family.as_str() {
+        "figure1" => {
+            parse_args(args).and_then(|a| bind("figure1", a, &mut []))?;
+            Ok(crate::figure1::figure1())
+        }
+        "chain" => {
+            let mut n = 4u64;
+            bind("chain", parse_args(args)?, &mut [("n", &mut n)])?;
+            Ok(chain(n as usize).graph)
+        }
+        "line" => {
+            let (mut m, mut nl) = (3u64, 4u64);
+            bind(
+                "line",
+                parse_args(args)?,
+                &mut [("m", &mut m), ("nl", &mut nl)],
+            )?;
+            Ok(line(m as usize, nl as usize).graph)
+        }
+        "comb" => {
+            let (mut na, mut ns, mut sl, mut dba) = (2u64, 2u64, 4u64, 1u64);
+            bind(
+                "comb",
+                parse_args(args)?,
+                &mut [
+                    ("na", &mut na),
+                    ("ns", &mut ns),
+                    ("sl", &mut sl),
+                    ("dba", &mut dba),
+                ],
+            )?;
+            Ok(comb(na as usize, ns as usize, sl as usize, dba as usize).graph)
+        }
+        "star" => {
+            let (mut m, mut sl) = (3u64, 4u64);
+            bind(
+                "star",
+                parse_args(args)?,
+                &mut [("m", &mut m), ("sl", &mut sl)],
+            )?;
+            Ok(star(m as usize, sl as usize).graph)
+        }
+        "gnp" => {
+            let (mut n, mut p_permille, mut seed) = (100u64, 50u64, 1u64);
+            bind(
+                "gnp",
+                parse_args(args)?,
+                &mut [
+                    ("n", &mut n),
+                    ("p_permille", &mut p_permille),
+                    ("seed", &mut seed),
+                ],
+            )?;
+            Ok(gnp(n as usize, p_permille as f64 / 1000.0, seed))
+        }
+        "random_connected" => {
+            let (mut n, mut extra, mut seed) = (100u64, 50u64, 1u64);
+            bind(
+                "random_connected",
+                parse_args(args)?,
+                &mut [("n", &mut n), ("extra", &mut extra), ("seed", &mut seed)],
+            )?;
+            Ok(random_connected(n as usize, extra as usize, seed))
+        }
+        "scale_free" => {
+            let (mut nodes, mut epn, mut labels, mut types, mut seed) =
+                (2000u64, 3u64, 20u64, 10u64, 7u64);
+            bind(
+                "scale_free",
+                parse_args(args)?,
+                &mut [
+                    ("nodes", &mut nodes),
+                    ("edges_per_node", &mut epn),
+                    ("labels", &mut labels),
+                    ("types", &mut types),
+                    ("seed", &mut seed),
+                ],
+            )?;
+            Ok(scale_free(&ScaleFreeParams {
+                nodes: nodes as usize,
+                edges_per_node: epn as usize,
+                labels: labels as usize,
+                types: types as usize,
+                seed,
+            }))
+        }
+        "yago_like" => {
+            let (mut persons, mut orgs, mut places, mut works, mut seed) =
+                (2000u64, 100u64, 30u64, 300u64, 0x9A90u64);
+            bind(
+                "yago_like",
+                parse_args(args)?,
+                &mut [
+                    ("persons", &mut persons),
+                    ("organisations", &mut orgs),
+                    ("places", &mut places),
+                    ("works", &mut works),
+                    ("seed", &mut seed),
+                ],
+            )?;
+            Ok(yago_like(&YagoLikeParams {
+                persons: persons as usize,
+                organisations: orgs as usize,
+                places: places as usize,
+                works: works as usize,
+                seed,
+            }))
+        }
+        "cdf" => {
+            let (mut m, mut nt, mut nl, mut sl, mut seed) = (2u64, 32u64, 64u64, 3u64, 0xCDFu64);
+            bind(
+                "cdf",
+                parse_args(args)?,
+                &mut [
+                    ("m", &mut m),
+                    ("nt", &mut nt),
+                    ("nl", &mut nl),
+                    ("sl", &mut sl),
+                    ("seed", &mut seed),
+                ],
+            )?;
+            Ok(cdf(&CdfParams {
+                m: m as usize,
+                n_t: nt as usize,
+                n_l: nl as usize,
+                s_l: sl as usize,
+                seed,
+            })
+            .graph)
+        }
+        _ => Err(SpecError::UnknownFamily(family)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_spec() {
+        let g = from_spec("figure1").unwrap();
+        assert_eq!(g.node_count(), 12);
+    }
+
+    #[test]
+    fn parameterised_specs() {
+        let g = from_spec("scale_free:nodes=150,edges_per_node=2,seed=5").unwrap();
+        assert_eq!(g.node_count(), 150);
+        let g = from_spec("chain:n=5").unwrap();
+        assert!(g.node_count() > 0);
+        let g = from_spec("line: m=3 , nl=2").unwrap();
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let a = from_spec("yago_like:persons=120,works=40").unwrap();
+        let b = from_spec("yago_like:persons=120,works=40").unwrap();
+        assert_eq!(
+            crate::binfmt::encode_graph(&a),
+            crate::binfmt::encode_graph(&b)
+        );
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            from_spec("nope").unwrap_err(),
+            SpecError::UnknownFamily(_)
+        ));
+        assert!(matches!(
+            from_spec("chain:banana=1").unwrap_err(),
+            SpecError::UnknownKey { .. }
+        ));
+        assert!(matches!(
+            from_spec("chain:n=banana").unwrap_err(),
+            SpecError::BadArg(_)
+        ));
+        assert!(matches!(
+            from_spec("figure1:n=1").unwrap_err(),
+            SpecError::UnknownKey { .. }
+        ));
+    }
+}

@@ -26,6 +26,7 @@ mod interner;
 mod model;
 pub mod ntriples;
 mod predicate;
+pub mod snapshot;
 pub mod stats;
 pub mod subgraph;
 mod value;

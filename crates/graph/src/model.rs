@@ -215,6 +215,20 @@ impl Graph {
         self.cardinalities.get_or_init(|| Cardinalities::of(self))
     }
 
+    /// The cached cardinality snapshot, if one has been computed (or
+    /// seeded from a snapshot's statistics section) — `None` means the
+    /// next [`Graph::cardinalities`] call will pay the full stats pass.
+    pub fn cardinalities_if_computed(&self) -> Option<&Cardinalities> {
+        self.cardinalities.get()
+    }
+
+    /// Seeds the cardinality cache from an externally decoded snapshot
+    /// (`cs_graph::binfmt`'s statistics section). A no-op if the
+    /// snapshot was already computed.
+    pub(crate) fn warm_cardinalities(&self, c: Cardinalities) {
+        let _ = self.cardinalities.set(c);
+    }
+
     /// Renders an edge as `src -label-> dst` using node labels; meant for
     /// debugging and example output.
     pub fn describe_edge(&self, e: EdgeId) -> String {

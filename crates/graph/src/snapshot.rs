@@ -1,0 +1,323 @@
+//! The disk-backed snapshot store: file-level save / load / inspect
+//! around the [`crate::binfmt`] wire format.
+//!
+//! This is the persistence layer the engine, sessions, `csq`, and the
+//! bench harness share: a graph is generated or parsed **once**, saved
+//! as a `.csg` file (CSG2: sectioned, checksummed, with an optional
+//! statistics sidecar), and re-loaded in milliseconds on every later
+//! process start — with the planner's [`crate::Cardinalities`] already
+//! warm when the sidecar is present.
+//!
+//! ```no_run
+//! use cs_graph::{figure1, snapshot};
+//!
+//! let g = figure1();
+//! let info = snapshot::save_to(&g, "figure1.csg").unwrap();
+//! assert!(info.has_stats);
+//! let g2 = snapshot::load_from("figure1.csg").unwrap();
+//! assert!(g2.cardinalities_if_computed().is_some()); // warm planner
+//! ```
+
+use crate::binfmt::{
+    self, DecodeError, EncodeOptions, SECTION_EDGES, SECTION_INTERNER, SECTION_NODES, SECTION_STATS,
+};
+use crate::model::Graph;
+use std::fmt;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Errors from the file-level snapshot API: either the filesystem
+/// failed or the bytes did not decode.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// An I/O error, tagged with the offending path.
+    Io {
+        /// The file being read or written.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file's bytes are not a valid snapshot.
+    Decode {
+        /// The file being decoded.
+        path: String,
+        /// The format-level error.
+        source: DecodeError,
+    },
+}
+
+impl SnapshotError {
+    fn io(path: &Path, source: std::io::Error) -> Self {
+        SnapshotError::Io {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+
+    fn decode(path: &Path, source: DecodeError) -> Self {
+        SnapshotError::Decode {
+            path: path.display().to_string(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => write!(f, "{path}: {source}"),
+            SnapshotError::Decode { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            SnapshotError::Decode { source, .. } => Some(source),
+        }
+    }
+}
+
+/// One section of an inspected snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// The section id (see `binfmt::SECTION_*`).
+    pub id: u32,
+    /// The section's human-readable name.
+    pub name: &'static str,
+    /// Payload length in bytes.
+    pub len: u64,
+}
+
+/// What [`inspect`] (and [`save_to`]) report about a snapshot file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Format version: 1 (legacy CSG1) or 2 (CSG2).
+    pub version: u8,
+    /// Total file size in bytes.
+    pub bytes: u64,
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Number of edges.
+    pub edges: u64,
+    /// Number of interned strings (including ε).
+    pub strings: u64,
+    /// Whether a statistics sidecar is present (the loaded graph's
+    /// planner starts warm).
+    pub has_stats: bool,
+    /// The file's sections in file order (CSG1 reports none — the
+    /// legacy format is one unframed stream).
+    pub sections: Vec<SectionInfo>,
+}
+
+impl fmt::Display for SnapshotInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "CSG{} snapshot: {} bytes, {} nodes, {} edges, {} strings, stats {}",
+            self.version,
+            self.bytes,
+            self.nodes,
+            self.edges,
+            self.strings,
+            if self.has_stats { "present" } else { "absent" }
+        )?;
+        for s in &self.sections {
+            writeln!(f, "  section {} ({}): {} bytes", s.id, s.name, s.len)?;
+        }
+        Ok(())
+    }
+}
+
+/// Saves `g` to `path` in the CSG2 format, statistics sidecar included
+/// (computing the [`crate::Cardinalities`] if not cached yet). Sections
+/// are streamed through a [`BufWriter`] — the whole file is never
+/// materialised as one buffer. Returns what was written.
+pub fn save_to(g: &Graph, path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
+    save_to_with(g, path, &EncodeOptions::default())
+}
+
+/// Saves `g` to `path` with explicit encode options.
+pub fn save_to_with(
+    g: &Graph,
+    path: impl AsRef<Path>,
+    opts: &EncodeOptions,
+) -> Result<SnapshotInfo, SnapshotError> {
+    let path = path.as_ref();
+    let sections = binfmt::encode_sections(g, opts);
+
+    let file = std::fs::File::create(path).map_err(|e| SnapshotError::io(path, e))?;
+    let mut w = BufWriter::new(file);
+    let mut write = |bytes: &[u8]| w.write_all(bytes);
+    let io = |e| SnapshotError::io(path, e);
+
+    write(b"CSG2").map_err(io)?;
+    write(&(sections.len() as u32).to_le_bytes()).map_err(io)?;
+    let mut total = 8u64;
+    let mut infos = Vec::with_capacity(sections.len());
+    for (id, payload) in &sections {
+        write(&binfmt::section_header(*id, payload)).map_err(io)?;
+        write(payload).map_err(io)?;
+        total += 16 + payload.len() as u64;
+        infos.push(SectionInfo {
+            id: *id,
+            name: binfmt::section_name(*id),
+            len: payload.len() as u64,
+        });
+    }
+    w.flush().map_err(io)?;
+    w.into_inner()
+        .map_err(|e| SnapshotError::io(path, e.into_error()))?
+        .sync_all()
+        .map_err(io)?;
+
+    Ok(SnapshotInfo {
+        version: 2,
+        bytes: total,
+        nodes: g.node_count() as u64,
+        edges: g.edge_count() as u64,
+        strings: g.interner().len() as u64,
+        has_stats: opts.include_stats,
+        sections: infos,
+    })
+}
+
+/// Loads a graph from a `.csg` snapshot file (CSG1 or CSG2). When the
+/// file carries a statistics section, the returned graph's
+/// [`crate::Graph::cardinalities`] is already populated — no
+/// first-query stats pass.
+pub fn load_from(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    binfmt::decode_graph(&bytes).map_err(|e| SnapshotError::decode(path, e))
+}
+
+/// Reads a snapshot file's structure — version, sections with byte
+/// lengths, counts, whether statistics are present — verifying every
+/// CSG2 checksum, *without* building the graph (CSG2 peeks the count
+/// prefixes of the node/edge sections; legacy CSG1 has no framing, so
+/// it is decoded fully).
+pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
+    if bytes.len() >= 4 && &bytes[..4] == b"CSG1" {
+        // Legacy: no section table to walk; decode to count.
+        let g = binfmt::decode_graph(&bytes).map_err(|e| SnapshotError::decode(path, e))?;
+        return Ok(SnapshotInfo {
+            version: 1,
+            bytes: bytes.len() as u64,
+            nodes: g.node_count() as u64,
+            edges: g.edge_count() as u64,
+            strings: g.interner().len() as u64,
+            has_stats: false,
+            sections: Vec::new(),
+        });
+    }
+
+    let sections = binfmt::read_sections(&bytes).map_err(|e| SnapshotError::decode(path, e))?;
+    let count_prefix = |id: u32| -> u64 {
+        sections
+            .iter()
+            .find(|s| s.id == id)
+            .and_then(|s| s.payload.get(..4))
+            .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64)
+            .unwrap_or(0)
+    };
+    Ok(SnapshotInfo {
+        version: 2,
+        bytes: bytes.len() as u64,
+        nodes: count_prefix(SECTION_NODES),
+        edges: count_prefix(SECTION_EDGES),
+        strings: count_prefix(SECTION_INTERNER),
+        has_stats: sections.iter().any(|s| s.id == SECTION_STATS),
+        sections: sections
+            .iter()
+            .map(|s| SectionInfo {
+                id: s.id,
+                name: binfmt::section_name(s.id),
+                len: s.payload.len() as u64,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure1::figure1;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cs-graph-snapshot-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_inspect_roundtrip() {
+        let g = figure1();
+        let path = tmp("roundtrip.csg");
+        let info = save_to(&g, &path).unwrap();
+        assert_eq!(info.version, 2);
+        assert_eq!(info.nodes, g.node_count() as u64);
+        assert!(info.has_stats);
+        assert_eq!(info.sections.len(), 4);
+
+        let inspected = inspect(&path).unwrap();
+        assert_eq!(inspected, info);
+        assert!(inspected.to_string().contains("stats present"));
+
+        let g2 = load_from(&path).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert_eq!(
+            g2.cardinalities_if_computed().unwrap(),
+            g.cardinalities(),
+            "loaded stats must equal recomputed stats"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_from("/no/such/dir/x.csg").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }));
+        assert!(err.to_string().contains("x.csg"));
+    }
+
+    #[test]
+    fn unwritable_target_is_io_error() {
+        let g = figure1();
+        let err = save_to(&g, "/no/such/dir/out.csg").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io { .. }));
+    }
+
+    #[test]
+    fn corrupt_file_is_decode_error() {
+        let path = tmp("corrupt.csg");
+        std::fs::write(&path, b"CSG2garbage").unwrap();
+        let err = load_from(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Decode { .. }), "{err}");
+        let err = inspect(&path).unwrap_err();
+        assert!(matches!(err, SnapshotError::Decode { .. }));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn inspect_without_stats() {
+        let g = figure1();
+        let path = tmp("nostats.csg");
+        save_to_with(
+            &g,
+            &path,
+            &EncodeOptions {
+                include_stats: false,
+            },
+        )
+        .unwrap();
+        let info = inspect(&path).unwrap();
+        assert!(!info.has_stats);
+        assert_eq!(info.sections.len(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

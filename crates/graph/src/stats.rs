@@ -117,8 +117,11 @@ pub struct LabelCard {
 /// per-node-label and per-node-type counts. Computed once per graph in
 /// O(|N| + |E|) and cached on the graph itself
 /// ([`Graph::cardinalities`]); the graph is immutable, so the snapshot
-/// never goes stale.
-#[derive(Debug, Clone, Default)]
+/// never goes stale. Snapshot files (`cs_graph::binfmt` CSG2) can
+/// persist the snapshot in a statistics section so a loaded graph
+/// starts with a warm planner; `PartialEq` lets round-trip tests assert
+/// the persisted statistics equal the recomputed ones.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Cardinalities {
     /// |N|.
     pub nodes: usize,

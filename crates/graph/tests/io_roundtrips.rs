@@ -53,13 +53,15 @@ proptest! {
     }
 
     #[test]
-    fn binfmt_never_panics_on_corrupt_input(mut bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+    fn binfmt_never_panics_on_corrupt_input(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
         // Arbitrary bytes must decode to Err, never panic.
         let _ = binfmt::decode_graph(&bytes);
-        // Also flip a valid header onto garbage.
-        let mut with_magic = b"CSG1".to_vec();
-        with_magic.append(&mut bytes);
-        let _ = binfmt::decode_graph(&with_magic);
+        // Also flip a valid magic (both versions) onto garbage.
+        for magic in [b"CSG1".as_slice(), b"CSG2".as_slice()] {
+            let mut with_magic = magic.to_vec();
+            with_magic.extend_from_slice(&bytes);
+            prop_assert!(binfmt::decode_graph(&with_magic).is_err());
+        }
     }
 
     #[test]

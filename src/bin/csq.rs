@@ -1,11 +1,27 @@
 //! `csq` — the connection-search query CLI.
 //!
 //! ```text
-//! csq <graph-file> <query-or-@file> [--algorithm NAME] [--timeout MS]
+//! csq <graph-source> <query-or-@file> [--algorithm NAME] [--timeout MS]
 //!     [--threads N] [--search-threads N] [--stats] [--explain] [--batch]
-//! csq --demo <query-or-@file>            # run against the Figure 1 graph
-//! csq <graph.triples> --snapshot out.csg # convert triples to binary snapshot
+//!     [--stream]
+//! csq --graph <file.csg> <query-or-@file> [...]   # same, source as a flag
+//! csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]
+//! csq snapshot inspect <file.csg>
 //! ```
+//!
+//! A *graph source* is `--demo` (the Figure 1 graph), a `.csg` binary
+//! snapshot (`cs_graph::snapshot`), a generator spec
+//! (`gen:scale_free:nodes=2000,seed=7`, see
+//! `cs_graph::generate::from_spec`), or a tab-separated triples file
+//! (`cs_graph::ntriples`). Snapshots loaded through `--graph`/a `.csg`
+//! source carry their statistics section, so the BGP planner starts
+//! warm — no first-query stats pass.
+//!
+//! The dataset workflow: `csq snapshot save` materialises a generator
+//! spec or parsed graph file as a CSG2 snapshot (statistics sidecar
+//! included unless `--no-stats`); `csq snapshot inspect` prints its
+//! sections, counts, and whether statistics are present; `--graph
+//! file.csg` then serves queries from the pinned dataset.
 //!
 //! `--threads N` sets the worker budget for evaluating independent
 //! CTPs in parallel (0 = available parallelism); `--search-threads N`
@@ -16,31 +32,41 @@
 //! before the results; `--batch` treats the query input as several
 //! `;`-separated queries, executed through one [`Session`] so
 //! structurally identical BGPs share cached plans and all CTP jobs go
-//! through a single parallel dispatch.
+//! through a single parallel dispatch; `--stream` pulls a single-CTP
+//! SELECT through [`Session::execute_streaming`], printing each
+//! connecting tree as the search produces it.
 //!
-//! The exit code is non-zero when the graph cannot be loaded, a query
-//! fails to parse, or execution errors — including any query of a
-//! batch.
-//!
-//! Graph files ending in `.csg` load as binary snapshots
-//! (`cs_graph::binfmt`); anything else parses as tab-separated triples
-//! (`cs_graph::ntriples`).
+//! The exit code is non-zero when the graph cannot be loaded, a
+//! snapshot cannot be saved or read, a query fails to parse, or
+//! execution errors — including any query of a batch. I/O and decode
+//! failures are one-line `error:` messages, never panics.
 
 use connection_search::core::Algorithm;
 use connection_search::eql::{ExecOptions, QueryResult};
-use connection_search::graph::{binfmt, figure1, ntriples, Graph};
+use connection_search::graph::generate::from_spec;
+use connection_search::graph::{binfmt, figure1, ntriples, snapshot, Graph};
 use connection_search::Session;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: csq <graph-file|--demo> <query|@query-file> \
+        "usage: csq <graph-source|--demo> <query|@query-file> \
          [--algorithm NAME] [--timeout MS] [--threads N] [--search-threads N] \
-         [--stats] [--explain] [--batch]\n       \
-         csq <graph-file> --snapshot <out.csg>"
+         [--stats] [--explain] [--batch] [--stream]\n       \
+         csq --graph <file.csg> <query|@query-file> [...]\n       \
+         csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]\n       \
+         csq snapshot inspect <file.csg>\n       \
+         csq <graph-file> --snapshot <out.csg>   (legacy alias of `snapshot save`)\n\
+         graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
     );
     ExitCode::from(2)
+}
+
+/// Prints a one-line error and returns the failure exit code.
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
 }
 
 /// Parses the numeric value of `flag` at `args[i + 1]`. Missing or
@@ -54,16 +80,81 @@ fn numeric_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> 
         .map_err(|_| format!("{flag} expects a number, got {raw:?}"))
 }
 
-fn load_graph(path: &str) -> Result<Graph, String> {
-    if path == "--demo" {
+/// Builds a graph from a source string: `--demo`, a generator spec
+/// (`gen:` prefixed, or a bare spec that names no existing file), a
+/// `.csg` snapshot, or a triples file.
+fn load_graph(source: &str) -> Result<Graph, String> {
+    if source == "--demo" {
         return Ok(figure1());
     }
-    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    if path.ends_with(".csg") {
-        binfmt::decode_graph(&raw).map_err(|e| format!("bad snapshot {path}: {e}"))
+    if let Some(spec) = source.strip_prefix("gen:") {
+        return from_spec(spec).map_err(|e| e.to_string());
+    }
+    if !std::path::Path::new(source).exists() {
+        // Convenience: a known generator family without the gen:
+        // prefix. Anything the spec parser does not recognise as a
+        // family falls through to the (clearer) file-read error; a
+        // known family with bad arguments reports the spec error.
+        match from_spec(source) {
+            Ok(g) => return Ok(g),
+            Err(connection_search::graph::generate::SpecError::UnknownFamily(_)) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if source.ends_with(".csg") {
+        return snapshot::load_from(source).map_err(|e| e.to_string());
+    }
+    let raw = std::fs::read(source).map_err(|e| format!("cannot read {source}: {e}"))?;
+    if raw.starts_with(b"CSG1") || raw.starts_with(b"CSG2") {
+        binfmt::decode_graph(&raw).map_err(|e| format!("{source}: {e}"))
     } else {
-        let text = String::from_utf8(raw).map_err(|_| format!("{path} is not UTF-8"))?;
-        ntriples::parse_triples(&text).map_err(|e| format!("bad triples in {path}: {e}"))
+        let text = String::from_utf8(raw).map_err(|_| format!("{source} is not UTF-8"))?;
+        ntriples::parse_triples(&text).map_err(|e| format!("bad triples in {source}: {e}"))
+    }
+}
+
+/// The `csq snapshot <save|inspect> ...` subcommand.
+fn snapshot_command(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("save") => {
+            let (Some(input), Some(out)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let mut opts = binfmt::EncodeOptions::default();
+            for extra in &args[3..] {
+                match extra.as_str() {
+                    "--no-stats" => opts.include_stats = false,
+                    _ => return usage(),
+                }
+            }
+            let graph = match load_graph(input) {
+                Ok(g) => g,
+                Err(e) => return fail(e),
+            };
+            match snapshot::save_to_with(&graph, out, &opts) {
+                Ok(info) => {
+                    print!("wrote {out}: {info}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        Some("inspect") => {
+            let Some(file) = args.get(1) else {
+                return usage();
+            };
+            if args.len() > 2 {
+                return usage();
+            }
+            match snapshot::inspect(file) {
+                Ok(info) => {
+                    print!("{file}: {info}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => fail(e),
+            }
+        }
+        _ => usage(),
     }
 }
 
@@ -94,22 +185,29 @@ fn split_queries(input: &str) -> Vec<&str> {
     out
 }
 
+/// Prints a query's step-(A) plans and plan-cache counters to stderr
+/// (the `--explain` view, shared by the materialised and stream
+/// paths).
+fn report_plans(stats: &connection_search::eql::ExecStats) {
+    for (i, plan) in stats.plans.iter().enumerate() {
+        let cached = if plan.cached { ", cached" } else { "" };
+        eprintln!(
+            "BGP {i} plan (est {} rows scanned{cached}):",
+            plan.total_estimate()
+        );
+        eprint!("{plan}");
+    }
+    eprintln!(
+        "plan cache: {} hit(s), {} miss(es)",
+        stats.plan_cache_hits, stats.plan_cache_misses
+    );
+}
+
 /// Prints one query's result (and optional plan/stats views) to
 /// stdout/stderr.
 fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool) {
     if show_plan {
-        for (i, plan) in result.stats.plans.iter().enumerate() {
-            let cached = if plan.cached { ", cached" } else { "" };
-            eprintln!(
-                "BGP {i} plan (est {} rows scanned{cached}):",
-                plan.total_estimate()
-            );
-            eprint!("{plan}");
-        }
-        eprintln!(
-            "plan cache: {} hit(s), {} miss(es)",
-            result.stats.plan_cache_hits, result.stats.plan_cache_misses
-        );
+        report_plans(&result.stats);
     }
     print!("{}", result.render(graph));
     eprintln!("{} row(s)", result.rows());
@@ -144,97 +242,72 @@ fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("snapshot") {
+        return snapshot_command(&args[1..]);
+    }
     if args.len() < 2 {
         return usage();
     }
 
-    let graph = match load_graph(&args[0]) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    // Snapshot conversion mode.
-    if args[1] == "--snapshot" {
-        let Some(out) = args.get(2) else {
-            return usage();
-        };
-        let bytes = binfmt::encode_graph(&graph);
-        if let Err(e) = std::fs::write(out, &bytes) {
-            eprintln!("error writing {out}: {e}");
-            return ExitCode::FAILURE;
-        }
-        println!(
-            "wrote {out}: {} nodes, {} edges, {} bytes",
-            graph.node_count(),
-            graph.edge_count(),
-            bytes.len()
-        );
-        return ExitCode::SUCCESS;
-    }
-
-    let query_arg = &args[1];
-    let query = if let Some(path) = query_arg.strip_prefix('@') {
-        match std::fs::read_to_string(path) {
-            Ok(q) => q,
-            Err(e) => {
-                eprintln!("error: cannot read query file {path}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
-    } else {
-        query_arg.clone()
-    };
-
+    // Separate the graph source, the query, and the flags. The source
+    // is the first positional argument or the value of `--graph`.
+    let mut source: Option<&str> = None;
+    let mut query_arg: Option<&str> = None;
     let mut opts = ExecOptions::default();
     let mut show_stats = false;
     let mut show_plan = false;
     let mut batch = false;
-    let mut i = 2;
+    let mut stream = false;
+    let mut legacy_snapshot_out: Option<&str> = None;
+    let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--graph" => {
+                let Some(path) = args.get(i + 1) else {
+                    return fail("--graph expects a file path, but none was given");
+                };
+                if source.is_some() {
+                    return fail("graph source given twice (positional and --graph)");
+                }
+                source = Some(path);
+                i += 2;
+            }
+            "--snapshot" => {
+                // Legacy conversion mode: `csq <graph> --snapshot <out>`.
+                let Some(out) = args.get(i + 1) else {
+                    return usage();
+                };
+                legacy_snapshot_out = Some(out);
+                i += 2;
+            }
             "--algorithm" => {
                 let Some(name) = args.get(i + 1) else {
                     return usage();
                 };
                 match name.parse::<Algorithm>() {
                     Ok(a) => opts.default_algorithm = a,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
                 i += 2;
             }
             "--timeout" => {
                 match numeric_flag::<u64>(&args, i, "--timeout") {
                     Ok(ms) => opts.default_timeout = Some(Duration::from_millis(ms)),
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
                 i += 2;
             }
             "--threads" => {
                 match numeric_flag::<usize>(&args, i, "--threads") {
                     Ok(n) => opts.threads = n,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
                 i += 2;
             }
             "--search-threads" => {
                 match numeric_flag::<usize>(&args, i, "--search-threads") {
                     Ok(n) => opts.search_threads = n,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
+                    Err(e) => return fail(e),
                 }
                 i += 2;
             }
@@ -250,26 +323,89 @@ fn main() -> ExitCode {
                 batch = true;
                 i += 1;
             }
-            _ => return usage(),
+            "--stream" => {
+                stream = true;
+                i += 1;
+            }
+            other => {
+                if other.starts_with("--") && other != "--demo" {
+                    return usage();
+                }
+                if source.is_none() && query_arg.is_none() && legacy_snapshot_out.is_none() {
+                    source = Some(other);
+                } else if query_arg.is_none() {
+                    query_arg = Some(other);
+                } else {
+                    return usage();
+                }
+                i += 1;
+            }
         }
     }
 
+    if batch && stream {
+        return fail("--stream streams a single query and cannot be combined with --batch");
+    }
+
+    let Some(source) = source else {
+        return usage();
+    };
+
+    // Legacy `--snapshot` conversion mode.
+    if let Some(out) = legacy_snapshot_out {
+        let graph = match load_graph(source) {
+            Ok(g) => g,
+            Err(e) => return fail(e),
+        };
+        return match snapshot::save_to(&graph, out) {
+            Ok(info) => {
+                print!("wrote {out}: {info}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        };
+    }
+
+    let Some(query_arg) = query_arg else {
+        return usage();
+    };
+    let query = if let Some(path) = query_arg.strip_prefix('@') {
+        match std::fs::read_to_string(path) {
+            Ok(q) => q,
+            Err(e) => return fail(format!("cannot read query file {path}: {e}")),
+        }
+    } else {
+        query_arg.to_string()
+    };
+
     // One session for the whole invocation: every query (and every
-    // batch member) shares the plan cache.
-    let session = Session::with_options(&graph, opts);
+    // batch member) shares the plan cache. `.csg` sources go through
+    // `Session::open_snapshot`, so a statistics sidecar lands directly
+    // in the planner.
+    let session = if source != "--demo" && source.ends_with(".csg") {
+        match Session::open_snapshot_with(source, opts) {
+            Ok(s) => s,
+            Err(e) => return fail(e),
+        }
+    } else {
+        match load_graph(source) {
+            Ok(g) => Session::from_graph_with(g, opts),
+            Err(e) => return fail(e),
+        }
+    };
+    let graph = session.graph();
 
     if batch {
         let queries = split_queries(&query);
         if queries.is_empty() {
-            eprintln!("error: --batch input contains no queries");
-            return ExitCode::FAILURE;
+            return fail("--batch input contains no queries");
         }
         let results = session.execute_batch(&queries);
         let mut failed = false;
         for (qi, (text, result)) in queries.iter().zip(&results).enumerate() {
             eprintln!("-- query {} of {} --", qi + 1, results.len());
             match result {
-                Ok(r) => report(&graph, r, show_plan, show_stats),
+                Ok(r) => report(graph, r, show_plan, show_stats),
                 Err(e) => {
                     eprintln!("query error: {e}\n  in: {}", text.trim());
                     failed = true;
@@ -290,9 +426,48 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if stream {
+        let prepared = match session.prepare(&query) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("query error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut result_stream = match session.execute_streaming(&prepared) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("query error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if show_plan {
+            report_plans(result_stream.exec_stats());
+        }
+        println!("{}", result_stream.out_var());
+        let mut n = 0usize;
+        for tree in result_stream.by_ref() {
+            println!("[{}]", tree.describe(graph));
+            n += 1;
+        }
+        eprintln!("{n} tree(s) streamed");
+        if show_stats {
+            let s = result_stream.stats();
+            eprintln!(
+                "stream {:?} | {} provenances, {} grows, {} merges, {} pruned",
+                result_stream.elapsed(),
+                s.provenances,
+                s.grows,
+                s.merges,
+                s.pruned
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     match session.run(&query) {
         Ok(result) => {
-            report(&graph, &result, show_plan, show_stats);
+            report(graph, &result, show_plan, show_stats);
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -1,6 +1,9 @@
 //! Integration tests of the `csq` binary: exit codes must reflect
-//! parse/execution failures (single-query and batch), and `--batch`
-//! must execute `;`-separated queries through one session.
+//! parse/execution failures (single-query and batch), `--batch` must
+//! execute `;`-separated queries through one session, and the dataset
+//! workflow (`snapshot save` / `snapshot inspect` / `--graph`) must
+//! round-trip — with one-line errors (never panics) on missing,
+//! corrupt, or unwritable paths.
 
 use std::process::{Command, Output};
 
@@ -9,6 +12,27 @@ fn csq(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("csq runs")
+}
+
+/// A per-test temp path that is cleaned up on drop.
+struct TmpFile(std::path::PathBuf);
+
+impl TmpFile {
+    fn new(name: &str) -> Self {
+        let mut p = std::env::temp_dir();
+        p.push(format!("csq-cli-test-{}-{name}", std::process::id()));
+        TmpFile(p)
+    }
+
+    fn as_str(&self) -> &str {
+        self.0.to_str().unwrap()
+    }
+}
+
+impl Drop for TmpFile {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.0).ok();
+    }
 }
 
 #[test]
@@ -134,10 +158,178 @@ fn usage_lists_every_flag() {
         "--stats",
         "--explain",
         "--batch",
+        "--stream",
+        "--graph",
         "--snapshot",
+        "snapshot save",
+        "snapshot inspect",
     ] {
         assert!(stderr.contains(flag), "usage misses {flag}: {stderr}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// The dataset workflow: snapshot save / inspect / --graph / --stream.
+
+const BGP_CTP: &str = r#"SELECT x, w WHERE { (x : type = "entrepreneur", "citizenOf", "USA") CONNECT(x, "France" -> w) MAX 3 }"#;
+
+#[test]
+fn snapshot_save_inspect_query_roundtrip() {
+    let file = TmpFile::new("roundtrip.csg");
+
+    let out = csq(&["snapshot", "save", "gen:figure1", file.as_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("12 nodes"), "{stdout}");
+    assert!(stdout.contains("stats present"), "{stdout}");
+
+    let out = csq(&["snapshot", "inspect", file.as_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CSG2 snapshot"), "{stdout}");
+    assert!(stdout.contains("section 4 (stats)"), "{stdout}");
+
+    // The file-backed query must print exactly what the in-memory demo
+    // graph prints.
+    let from_file = csq(&["--graph", file.as_str(), BGP_CTP]);
+    let in_memory = csq(&["--demo", BGP_CTP]);
+    assert!(from_file.status.success(), "{from_file:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&from_file.stdout),
+        String::from_utf8_lossy(&in_memory.stdout),
+        "snapshot-backed output must equal in-memory output"
+    );
+}
+
+#[test]
+fn snapshot_save_without_stats() {
+    let file = TmpFile::new("nostats.csg");
+    let out = csq(&["snapshot", "save", "figure1", file.as_str(), "--no-stats"]);
+    assert!(out.status.success(), "{out:?}");
+    let out = csq(&["snapshot", "inspect", file.as_str()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stats absent"), "{stdout}");
+}
+
+#[test]
+fn snapshot_save_from_triples_file() {
+    let triples = TmpFile::new("in.triples");
+    std::fs::write(&triples.0, "A\tknows\tB\nB\tknows\tC\nA\ta\tperson\n").unwrap();
+    let file = TmpFile::new("fromtriples.csg");
+    let out = csq(&["snapshot", "save", triples.as_str(), file.as_str()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3 nodes"), "{stdout}");
+
+    let out = csq(&[
+        "--graph",
+        file.as_str(),
+        r#"SELECT x WHERE { (x, "knows", y) }"#,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains('A'));
+}
+
+#[test]
+fn stream_mode_prints_trees() {
+    let out = csq(&[
+        "--demo",
+        r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#,
+        "--stream",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("w\n"), "{stdout}");
+    assert!(stdout.contains("Bob"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("tree(s) streamed"), "{stderr}");
+}
+
+#[test]
+fn stream_and_batch_conflict_is_one_line_error() {
+    let out = csq(&["--demo", DEMO_CTP, "--stream", "--batch"]);
+    assert_one_line_error(&out, "--stream with --batch");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--batch"), "{stderr}");
+}
+
+#[test]
+fn stream_mode_rejects_multi_ctp_with_query_error() {
+    let out = csq(&[
+        "--demo",
+        r#"SELECT v, w WHERE { CONNECT("Bob", "Elon" -> w) CONNECT("Alice", "Doug" -> v) }"#,
+        "--stream",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("query error"), "{stderr}");
+}
+
+// ---------------------------------------------------------------------------
+// I/O failure modes: one-line error, non-zero exit, no panic/Debug dump.
+
+fn assert_one_line_error(out: &Output, what: &str) {
+    assert!(!out.status.success(), "{what}: must exit non-zero");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{what}: {stderr}");
+    assert_eq!(
+        stderr.trim_end().lines().count(),
+        1,
+        "{what}: want one line, got: {stderr}"
+    );
+    for marker in ["panicked", "RUST_BACKTRACE", "Err("] {
+        assert!(!stderr.contains(marker), "{what}: {stderr}");
+    }
+}
+
+#[test]
+fn missing_snapshot_is_one_line_error() {
+    let out = csq(&["--graph", "/no/such/dir/missing.csg", BGP_CTP]);
+    assert_one_line_error(&out, "missing --graph file");
+    let out = csq(&["/no/such/dir/missing.csg", BGP_CTP]);
+    assert_one_line_error(&out, "missing positional graph file");
+    let out = csq(&["snapshot", "inspect", "/no/such/dir/missing.csg"]);
+    assert_one_line_error(&out, "inspect of missing file");
+}
+
+#[test]
+fn corrupt_snapshot_is_one_line_error() {
+    let file = TmpFile::new("corrupt.csg");
+    // A valid header with a flipped payload byte: framing parses, the
+    // checksum must reject it.
+    let good = TmpFile::new("good.csg");
+    assert!(csq(&["snapshot", "save", "figure1", good.as_str()])
+        .status
+        .success());
+    let mut bytes = std::fs::read(&good.0).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&file.0, &bytes).unwrap();
+
+    let out = csq(&["--graph", file.as_str(), BGP_CTP]);
+    assert_one_line_error(&out, "corrupt snapshot query");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("checksum") || stderr.contains("truncated") || stderr.contains("snapshot"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn unwritable_save_target_is_one_line_error() {
+    let out = csq(&["snapshot", "save", "figure1", "/no/such/dir/out.csg"]);
+    assert_one_line_error(&out, "unwritable save target");
+    // Legacy conversion mode shares the error path.
+    let out = csq(&["--demo", "--snapshot", "/no/such/dir/out.csg"]);
+    assert_one_line_error(&out, "legacy --snapshot unwritable target");
+}
+
+#[test]
+fn bad_gen_spec_is_one_line_error() {
+    let out = csq(&["gen:nope:n=1", BGP_CTP]);
+    assert_one_line_error(&out, "unknown generator family");
+    let out = csq(&["snapshot", "save", "gen:chain:banana=1", "/tmp/x.csg"]);
+    assert_one_line_error(&out, "unknown generator key");
 }
 
 #[test]

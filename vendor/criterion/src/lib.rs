@@ -8,8 +8,19 @@
 //! timed for a fixed wall-clock budget and reported as mean
 //! time/iteration on stdout. Vendored because the build environment
 //! has no crates.io access.
+//!
+//! Two environment variables feed the CI measured-bench lane:
+//!
+//! * `CS_BENCH_JSON=<path>` — append one JSON line per measured
+//!   benchmark (`{"name":...,"mean_ns":...,"iters":...}`) to `<path>`;
+//!   `cs-bench`'s `bench_report` binary aggregates the sink into the
+//!   repo-level `BENCH_5.json` report.
+//! * `CS_BENCH_BUDGET_MS=<n>` — override the 200 ms measurement budget
+//!   per benchmark (CI uses a smaller budget; the calibration phase
+//!   scales along with it).
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`].
@@ -54,15 +65,17 @@ pub struct Bencher {
 impl Bencher {
     /// Times `f`, running it repeatedly for the measurement budget.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up + rough calibration: run until ~20ms has passed.
+        let budget = budget_ms();
+        // Warm-up + rough calibration: run until ~10% of the budget
+        // has passed.
+        let calib_budget = (budget / 10).max(Duration::from_millis(1));
         let calib_start = Instant::now();
         let mut calib_iters: u64 = 0;
-        while calib_start.elapsed() < Duration::from_millis(20) {
+        while calib_start.elapsed() < calib_budget {
             black_box(f());
             calib_iters += 1;
         }
-        // Measurement: roughly `BUDGET` of wall clock in one batch.
-        let budget = Duration::from_millis(200);
+        // Measurement: roughly `budget` of wall clock in one batch.
         let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
         let n = if per_iter.is_zero() {
             1000
@@ -75,6 +88,43 @@ impl Bencher {
         }
         self.total = start.elapsed();
         self.iters = n;
+    }
+}
+
+/// The per-benchmark measurement budget: 200 ms, or
+/// `CS_BENCH_BUDGET_MS` when set.
+fn budget_ms() -> Duration {
+    std::env::var("CS_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(200))
+}
+
+/// Appends one JSON record to the `CS_BENCH_JSON` sink, if configured.
+/// Sink errors are reported once per call, never panics — a broken
+/// sink must not fail a bench run.
+fn record_json(name: &str, per_iter: Duration, iters: u64) {
+    let Ok(path) = std::env::var("CS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // Bench names are code-controlled identifiers; escape the two JSON
+    // metacharacters anyway so the sink is always well-formed.
+    let escaped = name.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{},\"iters\":{iters}}}\n",
+        per_iter.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("warning: cannot append to CS_BENCH_JSON sink {path}: {e}");
     }
 }
 
@@ -100,6 +150,7 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     if b.iters > 0 {
         let per = b.total / b.iters as u32;
         println!("{name:<40} time: [{}] ({} iters)", fmt_time(per), b.iters);
+        record_json(name, per, b.iters);
     } else {
         println!("{name:<40} (no measurement)");
     }
