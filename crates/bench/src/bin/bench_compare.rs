@@ -1,0 +1,210 @@
+//! Regression gate between two machine-readable bench reports
+//! (`BENCH_N.json`, schema `cs-bench/1`).
+//!
+//! ```text
+//! bench_compare <new.json> <baseline.json>
+//! ```
+//!
+//! Only the *stable* microbenches are gated — pure CPU kernels whose
+//! runtime does not depend on machine load, planner state, or thread
+//! scheduling (`sorted_union/*`, `history_insert_lookup/*`). A stable
+//! bench regressing more than 30% against the committed baseline fails
+//! the gate. End-to-end benches are reported for the trajectory but
+//! never gated: their variance on shared CI runners would make the
+//! lane flaky.
+//!
+//! The parallel-speedup assertion (`chain8_molesp/par2` must not trail
+//! `seq` by more than 25%) only runs when the host has 2+ cores — on a
+//! single core the partitioned engine pays its coordination overhead
+//! with no parallelism to show for it, and ~1.5× slower than
+//! sequential is the expected, uninteresting outcome.
+
+use cs_bench::report::BenchRecord;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Prefixes of benches stable enough to gate hard.
+const STABLE_PREFIXES: &[&str] = &["sorted_union/", "history_insert_lookup/"];
+
+/// Maximum tolerated mean-time ratio (new / baseline) for stable
+/// benches.
+const TOLERANCE: f64 = 1.30;
+
+/// Maximum tolerated `par2 / seq` ratio on multicore hosts.
+const PAR_TOLERANCE: f64 = 1.25;
+
+fn parse_report(text: &str) -> HashMap<String, u64> {
+    text.lines()
+        .filter_map(BenchRecord::from_json_line)
+        .map(|r| (r.name, r.mean_ns))
+        .collect()
+}
+
+/// Compares the stable microbenches of `new` against `baseline`.
+/// Returns human-readable failure descriptions (empty = gate green).
+fn gate_stable(new: &HashMap<String, u64>, baseline: &HashMap<String, u64>) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for (name, &base_ns) in baseline {
+        if !STABLE_PREFIXES.iter().any(|p| name.starts_with(p)) {
+            continue;
+        }
+        gated += 1;
+        match new.get(name) {
+            None => failures.push(format!(
+                "{name}: present in baseline but missing from new report"
+            )),
+            Some(&new_ns) => {
+                let ratio = new_ns as f64 / (base_ns as f64).max(1.0);
+                let verdict = if ratio > TOLERANCE { "FAIL" } else { "ok" };
+                println!("  {name}: {base_ns} ns -> {new_ns} ns ({ratio:.2}x) {verdict}");
+                if ratio > TOLERANCE {
+                    failures.push(format!(
+                        "{name}: {new_ns} ns vs baseline {base_ns} ns ({ratio:.2}x > {TOLERANCE:.2}x)"
+                    ));
+                }
+            }
+        }
+    }
+    if gated == 0 {
+        failures.push("baseline contains no stable microbenches to gate".to_string());
+    }
+    failures
+}
+
+/// Checks the parallel-speedup assertion on `new`, or explains why it
+/// was skipped. `cores` is the host's available parallelism.
+fn gate_parallel(new: &HashMap<String, u64>, cores: usize) -> Vec<String> {
+    if cores < 2 {
+        println!("  parallel-speedup assertions skipped: {cores} core(s) available");
+        return Vec::new();
+    }
+    let (Some(&seq), Some(&par2)) = (new.get("chain8_molesp/seq"), new.get("chain8_molesp/par2"))
+    else {
+        return vec!["chain8_molesp/{seq,par2} missing from new report on a multicore host".into()];
+    };
+    let ratio = par2 as f64 / (seq as f64).max(1.0);
+    println!("  chain8_molesp par2/seq: {ratio:.2}x (limit {PAR_TOLERANCE:.2}x, {cores} cores)");
+    if ratio > PAR_TOLERANCE {
+        vec![format!(
+            "chain8_molesp/par2 trails seq by {ratio:.2}x on a {cores}-core host (limit {PAR_TOLERANCE:.2}x)"
+        )]
+    } else {
+        Vec::new()
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(new_path), Some(base_path)) = (args.first(), args.get(1)) else {
+        eprintln!("usage: bench_compare <new.json> <baseline.json>");
+        return ExitCode::from(2);
+    };
+
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => {
+            let report = parse_report(&s);
+            if report.is_empty() {
+                eprintln!("error: {path} contains no parseable bench records");
+                None
+            } else {
+                Some(report)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(new), Some(baseline)) = (read(new_path), read(base_path)) else {
+        return ExitCode::FAILURE;
+    };
+
+    println!("bench gate: {new_path} vs baseline {base_path}");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut failures = gate_stable(&new, &baseline);
+    failures.extend(gate_parallel(&new, cores));
+
+    if failures.is_empty() {
+        println!("bench gate green ({} benches in new report)", new.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("regression: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, u64)]) -> HashMap<String, u64> {
+        entries.iter().map(|(n, v)| (n.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn within_tolerance_passes() {
+        let base = report(&[("sorted_union/8", 100), ("history_insert_lookup/8", 200)]);
+        let new = report(&[("sorted_union/8", 125), ("history_insert_lookup/8", 190)]);
+        assert!(gate_stable(&new, &base).is_empty());
+    }
+
+    #[test]
+    fn regression_fails() {
+        let base = report(&[("sorted_union/64", 100)]);
+        let new = report(&[("sorted_union/64", 140)]);
+        let failures = gate_stable(&new, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("sorted_union/64"));
+    }
+
+    #[test]
+    fn unstable_benches_are_not_gated() {
+        let base = report(&[("sorted_union/8", 100), ("eql_cdf_m2_full_pipeline", 100)]);
+        let new = report(&[("sorted_union/8", 100), ("eql_cdf_m2_full_pipeline", 900)]);
+        assert!(gate_stable(&new, &base).is_empty());
+    }
+
+    #[test]
+    fn missing_stable_bench_fails() {
+        let base = report(&[("sorted_union/8", 100)]);
+        let new = report(&[("history_insert_lookup/8", 90)]);
+        assert_eq!(gate_stable(&new, &base).len(), 1);
+    }
+
+    #[test]
+    fn empty_gate_set_fails() {
+        let base = report(&[("something_else", 1)]);
+        assert!(!gate_stable(&base.clone(), &base).is_empty());
+    }
+
+    #[test]
+    fn parallel_gate_skips_on_one_core() {
+        let new = report(&[("chain8_molesp/seq", 100), ("chain8_molesp/par2", 1000)]);
+        assert!(gate_parallel(&new, 1).is_empty());
+    }
+
+    #[test]
+    fn parallel_gate_enforces_on_multicore() {
+        let new = report(&[("chain8_molesp/seq", 100), ("chain8_molesp/par2", 150)]);
+        assert_eq!(gate_parallel(&new, 4).len(), 1);
+        let ok = report(&[("chain8_molesp/seq", 100), ("chain8_molesp/par2", 110)]);
+        assert!(gate_parallel(&ok, 4).is_empty());
+    }
+
+    #[test]
+    fn parses_committed_report_format() {
+        let doc = r#"{
+  "schema": "cs-bench/1",
+  "benchmarks": [
+    {"name":"sorted_union/8","mean_ns":66,"iters":600000},
+    {"name":"history_insert_lookup/8","mean_ns":92,"iters":487804}
+  ]
+}"#;
+        let parsed = parse_report(doc);
+        assert_eq!(parsed.get("sorted_union/8"), Some(&66));
+        assert_eq!(parsed.len(), 2);
+    }
+}

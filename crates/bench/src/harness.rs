@@ -619,6 +619,7 @@ pub fn snapshot_report(scale: Scale) -> Report {
             "parse_ms",
             "save_ms",
             "load_ms",
+            "load_mmap_ms",
             "parse_over_load",
             "stats_warm",
         ],
@@ -684,11 +685,25 @@ pub fn snapshot_report(scale: Scale) -> Report {
             name.split('(').next().unwrap_or(name)
         ));
         let (_, d_save) = time_it(|| snapshot::save_to(&g, &path).unwrap());
-        let (loaded, d_load) = time_avg(scale.runs(), || snapshot::load_from(&path).unwrap());
-        let warm = loaded.cardinalities_if_computed().is_some();
+        let (loaded, d_load) = time_avg(scale.runs(), || snapshot::load_from_owned(&path).unwrap());
+        // The zero-copy arm: mmap-or-error, so the column can never
+        // silently report an owned fallback as a mapped load.
+        let (mmap_loaded, d_mmap) = match snapshot::load_from_mmap(&path) {
+            Ok(first) => {
+                let (more, d) = time_avg(scale.runs(), || snapshot::load_from_mmap(&path).unwrap());
+                drop(more);
+                (Some(first), Some(d))
+            }
+            Err(_) => (None, None),
+        };
+        let warm = loaded.cardinalities_if_computed().is_some()
+            && mmap_loaded
+                .as_ref()
+                .is_none_or(|m| m.cardinalities_if_computed().is_some());
+        let d_mmap_str = d_mmap.map_or_else(|| "n/a".to_string(), ms);
         let ratio = format!(
             "{:.1}x",
-            d_parse.as_secs_f64() / d_load.as_secs_f64().max(1e-9)
+            d_parse.as_secs_f64() / d_mmap.unwrap_or(d_load).as_secs_f64().max(1e-9)
         );
         rep.row(&[
             &name,
@@ -696,6 +711,7 @@ pub fn snapshot_report(scale: Scale) -> Report {
             &ms(d_parse),
             &ms(d_save),
             &ms(d_load),
+            &d_mmap_str,
             &ratio,
             &warm,
         ]);

@@ -136,21 +136,21 @@ impl<'g> BftEngine<'g> {
                 // enforced incrementally; BFT is used as the
                 // bidirectional reference algorithm only.
                 if let Some(lf) = &self.label_filter {
-                    if !lf.contains(&self.g.edge(a.edge).label) {
+                    if !lf.contains(&self.g.edge(a.edge()).label) {
                         continue;
                     }
                 }
-                if t.nodes.binary_search(&a.other).is_ok() {
+                if t.nodes.binary_search(&a.other()).is_ok() {
                     continue; // Grow1
                 }
-                if !self.seeds.membership(a.other).disjoint(t.sat) {
+                if !self.seeds.membership(a.other()).disjoint(t.sat) {
                     continue; // Grow2
                 }
                 self.stats.grows += 1;
                 let nt = UTree {
-                    edges: sorted_insert(&t.edges, a.edge),
-                    nodes: sorted_insert(&t.nodes, a.other),
-                    sat: t.sat.union(self.seeds.membership(a.other)),
+                    edges: sorted_insert(&t.edges, a.edge()),
+                    nodes: sorted_insert(&t.nodes, a.other()),
+                    sat: t.sat.union(self.seeds.membership(a.other())),
                 };
                 if let Some(id) = self.register(nt) {
                     new_ids.push(id);

@@ -564,20 +564,20 @@ impl<'g> GamEngine<'g> {
             // UNI (§4.8): to keep "root reaches all seeds via directed
             // paths" invariant, grow only along edges *entering* the
             // current root (the new root points at the old one).
-            if self.filters.uni && a.outgoing {
+            if self.filters.uni && a.outgoing() {
                 continue;
             }
             if let Some(lf) = &self.label_filter {
-                if !lf.contains(&self.g.edge(a.edge).label) {
+                if !lf.contains(&self.g.edge(a.edge()).label) {
                     continue;
                 }
             }
             // Grow1: no repeated node (also rejects self-loops).
-            if td.contains_node(a.other) {
+            if td.contains_node(a.other()) {
                 continue;
             }
             // Grow2: the new node is no seed of an already-covered set.
-            if !self.seeds.get().membership(a.other).disjoint(td.sat) {
+            if !self.seeds.get().membership(a.other()).disjoint(td.sat) {
                 continue;
             }
             // MAX n (§4.8).
@@ -586,14 +586,14 @@ impl<'g> GamEngine<'g> {
                     continue;
                 }
             }
-            let key = self.order.priority(self.g, td, a.edge);
+            let key = self.order.priority(self.g, td, a.edge());
             pushes.push((
                 td.sat,
                 QEntry {
                     key,
                     seq: 0, // assigned below
                     tree: id,
-                    edge: a.edge,
+                    edge: a.edge(),
                 },
             ));
         }

@@ -573,20 +573,20 @@ fn queue_grows(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
     let mut pushes: Vec<(SeedMask, GrowTask)> = Vec::new();
     for a in shared.g.adjacent(t.root) {
         // UNI (§4.8): grow only along edges entering the current root.
-        if shared.filters.uni && a.outgoing {
+        if shared.filters.uni && a.outgoing() {
             continue;
         }
         if let Some(lf) = &shared.label_filter {
-            if !lf.contains(&shared.g.edge(a.edge).label) {
+            if !lf.contains(&shared.g.edge(a.edge()).label) {
                 continue;
             }
         }
         // Grow1: no repeated node (also rejects self-loops).
-        if t.contains_node(a.other) {
+        if t.contains_node(a.other()) {
             continue;
         }
         // Grow2: the new node is no seed of an already-covered set.
-        if !shared.seeds.membership(a.other).disjoint(t.sat) {
+        if !shared.seeds.membership(a.other()).disjoint(t.sat) {
             continue;
         }
         // MAX n (§4.8).
@@ -595,14 +595,14 @@ fn queue_grows(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
                 continue;
             }
         }
-        let key = shared.order.priority(shared.g, t, a.edge);
+        let key = shared.order.priority(shared.g, t, a.edge());
         pushes.push((
             t.sat,
             GrowTask {
                 key,
                 seq: 0, // assigned below
                 parent: t.clone(),
-                edge: a.edge,
+                edge: a.edge(),
             },
         ));
     }

@@ -72,13 +72,13 @@ pub fn greedy_gstp(g: &Graph, seeds: &SeedSets, directed: bool) -> Option<Approx
                 }
             }
             for a in g.adjacent(n) {
-                if directed && !a.outgoing {
+                if directed && !a.outgoing() {
                     continue;
                 }
-                if dist[a.other.index()] == u32::MAX {
-                    dist[a.other.index()] = dist[n.index()] + 1;
-                    parent_edge[a.other.index()] = Some(a.edge);
-                    queue.push_back(a.other);
+                if dist[a.other().index()] == u32::MAX {
+                    dist[a.other().index()] = dist[n.index()] + 1;
+                    parent_edge[a.other().index()] = Some(a.edge());
+                    queue.push_back(a.other());
                 }
             }
         }

@@ -99,19 +99,19 @@ pub fn dpbf(g: &Graph, seeds: &SeedSets, directed: bool) -> Option<SteinerTree> 
         // root must have a directed edge *to* the current root, so the
         // root keeps dominating all seeds.
         for a in g.adjacent(node) {
-            if directed && a.outgoing {
+            if directed && a.outgoing() {
                 continue;
             }
-            if a.other == node {
+            if a.other() == node {
                 continue; // self-loop is never useful
             }
             let ncost = cost + 1.0;
-            let key = (a.other, mask);
+            let key = (a.other(), mask);
             if best.get(&key).is_none_or(|(c, _)| ncost < *c) {
-                best.insert(key, (ncost, Back::Grow(a.edge, node, mask)));
+                best.insert(key, (ncost, Back::Grow(a.edge(), node, mask)));
                 heap.push(State {
                     cost: ncost,
-                    node: a.other,
+                    node: a.other(),
                     mask,
                 });
             }

@@ -73,20 +73,20 @@ pub fn check_reachable(g: &Graph, from: NodeId, to: NodeId, opts: &PathOptions) 
             continue;
         }
         for a in g.adjacent(n) {
-            if opts.directed && !a.outgoing {
+            if opts.directed && !a.outgoing() {
                 continue;
             }
             if let Some(ls) = &labels {
-                if !ls.contains(&g.edge(a.edge).label) {
+                if !ls.contains(&g.edge(a.edge()).label) {
                     continue;
                 }
             }
-            if a.other == to {
+            if a.other() == to {
                 return true;
             }
-            if !seen[a.other.index()] {
-                seen[a.other.index()] = true;
-                queue.push_back((a.other, d + 1));
+            if !seen[a.other().index()] {
+                seen[a.other().index()] = true;
+                queue.push_back((a.other(), d + 1));
             }
         }
     }
@@ -113,20 +113,20 @@ pub fn reachable_targets(
             continue;
         }
         for a in g.adjacent(n) {
-            if opts.directed && !a.outgoing {
+            if opts.directed && !a.outgoing() {
                 continue;
             }
             if let Some(ls) = &labels {
-                if !ls.contains(&g.edge(a.edge).label) {
+                if !ls.contains(&g.edge(a.edge()).label) {
                     continue;
                 }
             }
-            if !seen[a.other.index()] {
-                seen[a.other.index()] = true;
-                if targets.contains(&a.other) {
+            if !seen[a.other().index()] {
+                seen[a.other().index()] = true;
+                if targets.contains(&a.other()) {
                     hit += 1;
                 }
-                queue.push_back((a.other, d + 1));
+                queue.push_back((a.other(), d + 1));
             }
         }
     }
@@ -182,22 +182,22 @@ fn dfs(
         return;
     }
     for a in g.adjacent(cur) {
-        if opts.directed && !a.outgoing {
+        if opts.directed && !a.outgoing() {
             continue;
         }
-        if on_path[a.other.index()] {
+        if on_path[a.other().index()] {
             continue;
         }
         if let Some(ls) = labels {
-            if !ls.contains(&g.edge(a.edge).label) {
+            if !ls.contains(&g.edge(a.edge()).label) {
                 continue;
             }
         }
-        on_path[a.other.index()] = true;
-        path.push(a.edge);
-        dfs(g, a.other, to, opts, labels, on_path, path, out);
+        on_path[a.other().index()] = true;
+        path.push(a.edge());
+        dfs(g, a.other(), to, opts, labels, on_path, path, out);
         path.pop();
-        on_path[a.other.index()] = false;
+        on_path[a.other().index()] = false;
     }
 }
 
@@ -235,29 +235,29 @@ pub fn path_table(
         let mut next = Vec::new();
         for (s, e, nodes, edges) in &delta {
             for a in g.adjacent(*e) {
-                if opts.directed && !a.outgoing {
+                if opts.directed && !a.outgoing() {
                     continue;
                 }
                 if let Some(ls) = &labels {
-                    if !ls.contains(&g.edge(a.edge).label) {
+                    if !ls.contains(&g.edge(a.edge()).label) {
                         continue;
                     }
                 }
-                if nodes.contains(&a.other) {
+                if nodes.contains(&a.other()) {
                     continue; // simple paths only
                 }
                 let mut nn = nodes.clone();
-                nn.insert(a.other);
+                nn.insert(a.other());
                 let mut ne = edges.clone();
-                ne.push(a.edge);
-                if target_set.contains(&a.other) {
-                    result.paths.push((*s, a.other, ne.clone()));
+                ne.push(a.edge());
+                if target_set.contains(&a.other()) {
+                    result.paths.push((*s, a.other(), ne.clone()));
                     if opts.max_paths != 0 && result.paths.len() >= opts.max_paths {
                         result.rounds = round + 1;
                         return result;
                     }
                 }
-                next.push((*s, a.other, nn, ne));
+                next.push((*s, a.other(), nn, ne));
             }
         }
         result.rounds = round + 1;

@@ -307,11 +307,11 @@ fn scan_candidates(
         for n in nodes {
             if outgoing {
                 for a in g.outgoing(n) {
-                    emit(a.edge);
+                    emit(a.edge());
                 }
             } else {
                 for a in g.incoming(n) {
-                    emit(a.edge);
+                    emit(a.edge());
                 }
             }
         }
@@ -333,16 +333,35 @@ fn scan_candidates(
         // The label index lists exactly the matching edges; expand from
         // a bound endpoint instead only when strictly cheaper (e.g. a
         // handful of bound nodes against a huge label index).
-        let index: &[cs_graph::EdgeId] = g.label_id(label).map_or(&[], |l| g.edges_with_label(l));
+        let Some(l) = g.label_id(label) else {
+            return; // absent label => empty table
+        };
+        let index: &[cs_graph::EdgeId] = g.edges_with_label(l);
         match sources.into_iter().min_by_key(|(c, _, _)| *c) {
-            Some((c, nodes, outgoing)) if c < index.len() => expand(nodes, outgoing),
+            Some((c, nodes, outgoing)) if c < index.len() => {
+                // The label is pinned, so walk each bound node's
+                // labelled run — a binary search into the per-label
+                // endpoint-sorted CSR column — instead of its whole
+                // adjacency. Candidate order (ascending edge id per
+                // node) matches the unfiltered expansion's survivors.
+                for n in nodes {
+                    let run = if outgoing {
+                        g.out_edges_labelled(n, l)
+                    } else {
+                        g.in_edges_labelled(n, l)
+                    };
+                    for &e in run {
+                        emit(e);
+                    }
+                }
+            }
             _ => {
                 for &e in index {
                     emit(e);
                 }
             }
         }
-        return; // absent label => empty table
+        return;
     }
 
     // NodeIndexScan / FullScan: add the pinned endpoint indexes, then

@@ -29,20 +29,36 @@
 //! per section: u32 id | u64 payload_len | u32 crc32(payload) | payload
 //! ```
 //!
-//! Sections: interner (1), nodes (2), edges (3) — required — and the
-//! optional statistics sidecar (4) serialising the graph's
-//! [`Cardinalities`] so a loaded graph starts with a *warm* planner:
-//! [`decode_graph`] seeds [`crate::Graph::cardinalities`]'s `OnceLock`
-//! from the decoded section, skipping the first-query full-scan stats
-//! pass. Unknown section ids are checksummed and skipped, so future
-//! sections stay forward-compatible.
+//! Sections: the CSR columns (5) and the interner (1) for the current
+//! layout, or interner (1) / nodes (2) / edges (3) for the legacy
+//! record layout ([`EncodeOptions::legacy_layout`]); both may carry
+//! the sparse property side tables (6) and the optional statistics
+//! sidecar (4) serialising the graph's [`Cardinalities`] so a loaded
+//! graph starts with a *warm* planner: [`decode_graph`] seeds
+//! [`crate::Graph::cardinalities`]'s `OnceLock` from the decoded
+//! section, skipping the first-query full-scan stats pass. Unknown
+//! section ids are checksummed and skipped, so future sections stay
+//! forward-compatible.
+//!
+//! The CSR section (id 5) is written **first** so its payload starts
+//! at file offset 24 — 8-byte aligned — and is the aligned
+//! little-endian serialisation of exactly the in-memory columns of
+//! [`crate::Graph`] (see `model`'s module docs): a 32-byte header of
+//! eight `u32` words (`layout version, n, m, t, l, 0, 0, 0`) followed
+//! by the fourteen arrays back to back. Every array starts at a
+//! 4-byte-aligned offset, which is what lets
+//! [`crate::snapshot::load_from`] back the columns directly by a
+//! memory-mapped file without copying.
 
 use crate::builder::GraphBuilder;
 use crate::ids::LabelId;
-use crate::model::Graph;
+use crate::interner::Interner;
+use crate::model::{Graph, GraphParts, PropTable};
 use crate::stats::{Cardinalities, LabelCard};
+use crate::storage::{MmapFile, Storage};
 use crate::value::Value;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 const MAGIC_V1: &[u8; 4] = b"CSG1";
 const MAGIC_V2: &[u8; 4] = b"CSG2";
@@ -55,6 +71,13 @@ pub const SECTION_NODES: u32 = 2;
 pub const SECTION_EDGES: u32 = 3;
 /// Section id of the optional [`Cardinalities`] statistics sidecar.
 pub const SECTION_STATS: u32 = 4;
+/// Section id of the label-partitioned CSR columns (current layout).
+pub const SECTION_CSR_GRAPH: u32 = 5;
+/// Section id of the sparse node/edge property side tables.
+pub const SECTION_PROPS: u32 = 6;
+
+/// The CSR section's layout version this reader writes and accepts.
+pub const CSR_LAYOUT_VERSION: u32 = 1;
 
 /// Human-readable name of a section id (`"unknown"` for future ids).
 pub fn section_name(id: u32) -> &'static str {
@@ -63,6 +86,8 @@ pub fn section_name(id: u32) -> &'static str {
         SECTION_NODES => "nodes",
         SECTION_EDGES => "edges",
         SECTION_STATS => "stats",
+        SECTION_CSR_GRAPH => "csr",
+        SECTION_PROPS => "props",
         _ => "unknown",
     }
 }
@@ -88,6 +113,12 @@ pub enum DecodeError {
         /// The missing section's id.
         section: u32,
     },
+    /// The CSR section declares a layout version this reader does not
+    /// understand.
+    UnsupportedLayout {
+        /// The declared layout version.
+        version: u32,
+    },
 }
 
 impl std::fmt::Display for DecodeError {
@@ -104,6 +135,9 @@ impl std::fmt::Display for DecodeError {
             ),
             DecodeError::MissingSection { section } => {
                 write!(f, "snapshot misses {} section", section_name(*section))
+            }
+            DecodeError::UnsupportedLayout { version } => {
+                write!(f, "unsupported CSR layout version {version}")
             }
         }
     }
@@ -200,15 +234,70 @@ fn encode_edges_payload(g: &Graph) -> Bytes {
     buf.put_u32_le(g.edge_count() as u32);
     for e in g.edge_ids() {
         let ed = g.edge(e);
+        let props = g.edge_props(e);
         buf.put_u32_le(ed.src.0);
         buf.put_u32_le(ed.dst.0);
         buf.put_u32_le(ed.label.0);
-        buf.put_u16_le(ed.props.len() as u16);
-        for (k, v) in ed.props.iter() {
+        buf.put_u16_le(props.len() as u16);
+        for (k, v) in props.iter() {
             buf.put_u32_le(k.0);
             put_value(&mut buf, v);
         }
     }
+    buf.freeze()
+}
+
+/// Appends a `u32` column as little-endian words (a straight copy on
+/// little-endian hosts).
+fn put_u32_slice_le(buf: &mut BytesMut, words: &[u32]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: u32 has no padding; reinterpreting the words as
+        // bytes is exactly their little-endian encoding on this host.
+        let bytes =
+            unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 4) };
+        buf.put_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &w in words {
+        buf.put_u32_le(w);
+    }
+}
+
+/// Serialises the CSR columns: a 32-byte header (`layout version, n,
+/// m, t, l, 0, 0, 0`) followed by the fourteen arrays back to back.
+fn encode_csr_payload(g: &Graph) -> Bytes {
+    let cols = g.csr_columns();
+    let words: usize = cols.arrays.iter().map(|a| a.len()).sum();
+    let mut buf = BytesMut::with_capacity(32 + words * 4);
+    put_u32_slice_le(
+        &mut buf,
+        &[CSR_LAYOUT_VERSION, cols.n, cols.m, cols.t, cols.l, 0, 0, 0],
+    );
+    for a in cols.arrays {
+        put_u32_slice_le(&mut buf, a);
+    }
+    buf.freeze()
+}
+
+fn put_prop_table(buf: &mut BytesMut, table: &PropTable) {
+    buf.put_u32_le(table.len() as u32);
+    for (id, props) in table.iter() {
+        buf.put_u32_le(*id);
+        buf.put_u32_le(props.len() as u32);
+        for (k, v) in props.iter() {
+            buf.put_u32_le(k.0);
+            put_value(buf, v);
+        }
+    }
+}
+
+/// Serialises the sparse node/edge property side tables (entries in
+/// ascending entity-id order, keys sorted within an entry).
+fn encode_props_payload(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    put_prop_table(&mut buf, g.node_prop_table());
+    put_prop_table(&mut buf, g.edge_prop_table());
     buf.freeze()
 }
 
@@ -248,12 +337,17 @@ pub struct EncodeOptions {
     /// [`Cardinalities`] if they are not cached yet) so the planner of
     /// a loaded graph starts warm. Default `true`.
     pub include_stats: bool,
+    /// Write the legacy record layout (interner/nodes/edges sections)
+    /// instead of the CSR columns. Legacy files decode everywhere but
+    /// cannot be loaded zero-copy. Default `false`.
+    pub legacy_layout: bool,
 }
 
 impl Default for EncodeOptions {
     fn default() -> Self {
         EncodeOptions {
             include_stats: true,
+            legacy_layout: false,
         }
     }
 }
@@ -261,12 +355,27 @@ impl Default for EncodeOptions {
 /// Encodes the CSG2 sections of `g` in file order, without framing —
 /// the building block [`crate::snapshot::save_to`] streams through a
 /// buffered writer instead of concatenating a whole-file buffer.
+///
+/// In the default CSR layout the CSR section comes first, so its
+/// payload lands at the 8-aligned file offset 24 and mapped loads
+/// need no re-alignment.
 pub fn encode_sections(g: &Graph, opts: &EncodeOptions) -> Vec<(u32, Bytes)> {
-    let mut sections = vec![
-        (SECTION_INTERNER, encode_interner_payload(g)),
-        (SECTION_NODES, encode_nodes_payload(g)),
-        (SECTION_EDGES, encode_edges_payload(g)),
-    ];
+    let mut sections = if opts.legacy_layout {
+        vec![
+            (SECTION_INTERNER, encode_interner_payload(g)),
+            (SECTION_NODES, encode_nodes_payload(g)),
+            (SECTION_EDGES, encode_edges_payload(g)),
+        ]
+    } else {
+        let mut s = vec![
+            (SECTION_CSR_GRAPH, encode_csr_payload(g)),
+            (SECTION_INTERNER, encode_interner_payload(g)),
+        ];
+        if !g.node_prop_table().is_empty() || !g.edge_prop_table().is_empty() {
+            s.push((SECTION_PROPS, encode_props_payload(g)));
+        }
+        s
+    };
     if opts.include_stats {
         sections.push((SECTION_STATS, encode_stats_payload(g.cardinalities())));
     }
@@ -586,8 +695,306 @@ fn section<'a>(sections: &[RawSection<'a>], id: u32) -> Result<&'a [u8], DecodeE
         .ok_or(DecodeError::MissingSection { section: id })
 }
 
+// ---------------------------------------------------------------------------
+// CSR section decoding (owned and zero-copy mapped).
+
+/// The header counts of a CSR section payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsrHeader {
+    /// Declared layout version (see [`CSR_LAYOUT_VERSION`]).
+    pub version: u32,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Number of edges.
+    pub edges: u32,
+    /// Total node-type entries across all nodes.
+    pub type_entries: u32,
+    /// Size of the label universe (= interned strings).
+    pub labels: u32,
+}
+
+/// Reads a CSR section's 32-byte header without touching the arrays.
+/// Errors on truncation or an unknown layout version.
+pub fn peek_csr_header(payload: &[u8]) -> Result<CsrHeader, DecodeError> {
+    if payload.len() < 32 {
+        return Err(DecodeError::Truncated);
+    }
+    let word = |i: usize| u32::from_le_bytes(payload[4 * i..4 * i + 4].try_into().unwrap());
+    let h = CsrHeader {
+        version: word(0),
+        nodes: word(1),
+        edges: word(2),
+        type_entries: word(3),
+        labels: word(4),
+    };
+    if h.version != CSR_LAYOUT_VERSION {
+        return Err(DecodeError::UnsupportedLayout { version: h.version });
+    }
+    Ok(h)
+}
+
+/// The byte ranges (relative to the CSR payload) of the fourteen
+/// arrays, in serialisation order. Fails unless the payload length is
+/// exactly what the header counts demand.
+fn csr_array_ranges(
+    payload: &[u8],
+    h: &CsrHeader,
+) -> Result<[std::ops::Range<usize>; 14], DecodeError> {
+    let (n, m, t, l) = (
+        h.nodes as u64,
+        h.edges as u64,
+        h.type_entries as u64,
+        h.labels as u64,
+    );
+    let lens: [u64; 14] = [
+        n,     // node_label
+        n + 1, // type_offsets
+        t,     // type_ids
+        3 * m, // edge_ndl
+        n + 1, // adj_offsets
+        4 * m, // adj_pairs
+        l + 1, // elab_offsets
+        m,     // elab_edges
+        m,     // fwd_edges
+        m,     // rev_edges
+        l + 1, // nlab_offsets
+        n,     // nlab_nodes
+        l + 1, // ntype_offsets
+        t,     // ntype_nodes
+    ];
+    let mut ranges = std::array::from_fn(|_| 0..0);
+    let mut at = 32u64;
+    for (i, len) in lens.iter().enumerate() {
+        let end = at
+            .checked_add(len.checked_mul(4).ok_or(DecodeError::Truncated)?)
+            .ok_or(DecodeError::Truncated)?;
+        let (s, e) = (
+            usize::try_from(at).map_err(|_| DecodeError::Truncated)?,
+            usize::try_from(end).map_err(|_| DecodeError::Truncated)?,
+        );
+        ranges[i] = s..e;
+        at = end;
+    }
+    if at != payload.len() as u64 {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(ranges)
+}
+
+/// Rebuilds an [`Interner`] whose ids equal the wire string ids —
+/// same round-trip requirement as [`preintern`].
+fn build_interner(strings: &[String]) -> Result<Interner, DecodeError> {
+    let mut interner = Interner::new();
+    for (i, s) in strings.iter().enumerate() {
+        if interner.intern(s) != LabelId::new(i) {
+            return Err(DecodeError::BadReference);
+        }
+    }
+    Ok(interner)
+}
+
+fn decode_prop_table(
+    r: &mut Reader<'_>,
+    max_id: u32,
+    n_strings: usize,
+) -> Result<PropTable, DecodeError> {
+    let n_entries = r.u32()? as usize;
+    if n_entries > r.buf.remaining() / 8 + 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut table = Vec::with_capacity(n_entries);
+    let mut last_id: Option<u32> = None;
+    for _ in 0..n_entries {
+        let id = r.u32()?;
+        // Ids must ascend strictly (the lookup binary-searches) and
+        // stay in range.
+        if id >= max_id || last_id.is_some_and(|p| p >= id) {
+            return Err(DecodeError::BadReference);
+        }
+        last_id = Some(id);
+        let n_props = r.u32()? as usize;
+        if n_props == 0 || n_props > r.buf.remaining() / 5 + 1 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut props = Vec::with_capacity(n_props);
+        let mut last_key: Option<u32> = None;
+        for _ in 0..n_props {
+            let k = r.u32()?;
+            if k as usize >= n_strings || last_key.is_some_and(|p| p >= k) {
+                return Err(DecodeError::BadReference);
+            }
+            last_key = Some(k);
+            props.push((LabelId(k), r.value()?));
+        }
+        table.push((id, props.into_boxed_slice()));
+    }
+    Ok(table.into_boxed_slice())
+}
+
+/// Bounds- and monotonicity-checks every CSR column so graph accessors
+/// can index without panicking on any decodable file — the checksum
+/// guards against corruption, not against crafted input.
+fn validate_csr_parts(p: &GraphParts, h: &CsrHeader) -> Result<(), DecodeError> {
+    let (n, m, t, l) = (h.nodes, h.edges, h.type_entries, h.labels);
+    if p.interner.len() != l as usize || m >= 1 << 31 {
+        return Err(DecodeError::BadReference);
+    }
+    let offsets_ok = |s: &Storage, last: u32| {
+        let s = s.as_slice();
+        s.first() == Some(&0) && s.windows(2).all(|w| w[0] <= w[1]) && s.last() == Some(&last)
+    };
+    let within = |s: &Storage, bound: u32| s.as_slice().iter().all(|&v| v < bound);
+    let ok = offsets_ok(&p.type_offsets, t)
+        && offsets_ok(&p.adj_offsets, 2 * m)
+        && offsets_ok(&p.elab_offsets, m)
+        && offsets_ok(&p.nlab_offsets, n)
+        && offsets_ok(&p.ntype_offsets, t)
+        && within(&p.node_label, l.max(1))
+        && (t == 0 || within(&p.type_ids, l))
+        && p.edge_ndl
+            .as_slice()
+            .chunks_exact(3)
+            .all(|e| e[0] < n && e[1] < n && e[2] < l)
+        && p.adj_pairs
+            .as_slice()
+            .chunks_exact(2)
+            .all(|a| a[0] & 0x7FFF_FFFF < m && a[1] < n)
+        && within(&p.elab_edges, m.max(1))
+        && within(&p.fwd_edges, m.max(1))
+        && within(&p.rev_edges, m.max(1))
+        && within(&p.nlab_nodes, n.max(1))
+        && within(&p.ntype_nodes, n.max(1));
+    if ok {
+        Ok(())
+    } else {
+        Err(DecodeError::BadReference)
+    }
+}
+
+/// Assembles a graph from CSR-layout sections. `storage_for` maps an
+/// array's byte range within the CSR payload to its backing storage —
+/// an owned copy for byte-slice decoding, a mapped window for
+/// zero-copy loads.
+fn decode_csr_graph(
+    sections: &[RawSection<'_>],
+    mut storage_for: impl FnMut(std::ops::Range<usize>) -> Storage,
+) -> Result<Graph, DecodeError> {
+    let payload = section(sections, SECTION_CSR_GRAPH)?;
+    let header = peek_csr_header(payload)?;
+    let ranges = csr_array_ranges(payload, &header)?;
+
+    let mut r = Reader {
+        buf: section(sections, SECTION_INTERNER)?,
+    };
+    let strings = decode_strings(&mut r)?;
+    let interner = build_interner(&strings)?;
+
+    let (node_props, edge_props) = match sections.iter().find(|s| s.id == SECTION_PROPS) {
+        Some(s) => {
+            let mut r = Reader { buf: s.payload };
+            let nodes = decode_prop_table(&mut r, header.nodes, strings.len())?;
+            let edges = decode_prop_table(&mut r, header.edges, strings.len())?;
+            if r.buf.remaining() > 0 {
+                return Err(DecodeError::Truncated);
+            }
+            (nodes, edges)
+        }
+        None => (Box::from([]), Box::from([])),
+    };
+
+    let mut next = ranges.into_iter().map(&mut storage_for);
+    let mut take = || next.next().expect("fourteen CSR arrays");
+    let parts = GraphParts {
+        interner,
+        n: header.nodes as usize,
+        m: header.edges as usize,
+        node_label: take(),
+        type_offsets: take(),
+        type_ids: take(),
+        edge_ndl: take(),
+        adj_offsets: take(),
+        adj_pairs: take(),
+        elab_offsets: take(),
+        elab_edges: take(),
+        fwd_edges: take(),
+        rev_edges: take(),
+        nlab_offsets: take(),
+        nlab_nodes: take(),
+        ntype_offsets: take(),
+        ntype_nodes: take(),
+        node_props,
+        edge_props,
+    };
+    validate_csr_parts(&parts, &header)?;
+
+    let stats = match sections.iter().find(|s| s.id == SECTION_STATS) {
+        Some(s) => {
+            let mut r = Reader { buf: s.payload };
+            Some(decode_stats(
+                &mut r,
+                strings.len(),
+                header.nodes as usize,
+                header.edges as usize,
+            )?)
+        }
+        None => None,
+    };
+
+    let g = parts.into_graph();
+    if let Some(c) = stats {
+        g.warm_cardinalities(c);
+    }
+    Ok(g)
+}
+
+/// Copies a little-endian byte range into an owned `u32` column.
+fn owned_column(payload: &[u8], range: std::ops::Range<usize>) -> Storage {
+    let bytes = &payload[range];
+    Storage::from_vec(
+        bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    )
+}
+
+/// Decodes a CSG2 buffer that is backed by a live memory mapping,
+/// backing the CSR columns by the mapping itself (zero-copy). Returns
+/// `Ok(None)` if the buffer is not CSG2 or has no CSR section, so the
+/// caller can fall back to the owned path. Only little-endian hosts
+/// can reinterpret the file bytes in place.
+#[cfg(target_endian = "little")]
+pub(crate) fn decode_graph_mapped(map: &Arc<MmapFile>) -> Result<Option<Graph>, DecodeError> {
+    let bytes = map.bytes();
+    if bytes.len() < 4 || &bytes[..4] != MAGIC_V2 {
+        return Ok(None);
+    }
+    let sections = read_sections(bytes)?;
+    let Some(csr) = sections.iter().find(|s| s.id == SECTION_CSR_GRAPH) else {
+        return Ok(None);
+    };
+    let base = bytes.as_ptr() as usize;
+    let payload_offset = csr.payload.as_ptr() as usize - base;
+    let payload = csr.payload;
+    let g = decode_csr_graph(&sections, |range| {
+        Storage::from_mapping(map, payload_offset + range.start, range.len() / 4)
+            .unwrap_or_else(|| owned_column(payload, range))
+    })?;
+    Ok(Some(g))
+}
+
+#[cfg(not(target_endian = "little"))]
+pub(crate) fn decode_graph_mapped(_map: &Arc<MmapFile>) -> Result<Option<Graph>, DecodeError> {
+    Ok(None)
+}
+
 fn decode_graph_v2(bytes: &[u8]) -> Result<Graph, DecodeError> {
     let sections = read_sections(bytes)?;
+
+    if let Some(csr) = sections.iter().find(|s| s.id == SECTION_CSR_GRAPH) {
+        let payload = csr.payload;
+        return decode_csr_graph(&sections, |range| owned_column(payload, range));
+    }
 
     let mut r = Reader {
         buf: section(&sections, SECTION_INTERNER)?,
@@ -633,6 +1040,80 @@ fn decode_graph_v1(bytes: &[u8]) -> Result<Graph, DecodeError> {
     let n_nodes = decode_nodes(&mut r, &mut b, &strings)?;
     decode_edges(&mut r, &mut b, &strings, n_nodes)?;
     Ok(b.freeze())
+}
+
+/// The record counts of a legacy CSG1 snapshot, obtained by walking the
+/// record stream without building a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountsV1 {
+    /// Interned strings.
+    pub strings: usize,
+    /// Node records.
+    pub nodes: usize,
+    /// Edge records.
+    pub edges: usize,
+}
+
+/// Skips over one serialised [`Value`] without materialising it.
+fn skip_value(r: &mut Reader<'_>) -> Result<(), DecodeError> {
+    match r.u8()? {
+        0 => {
+            let len = r.u32()? as usize;
+            r.need(len)?;
+            r.buf.advance(len);
+            Ok(())
+        }
+        1 | 2 => {
+            r.need(8)?;
+            r.buf.advance(8);
+            Ok(())
+        }
+        _ => Err(DecodeError::Truncated),
+    }
+}
+
+/// Reads a CSG1 file's string/node/edge counts by skipping over the
+/// records (no graph build, no per-record allocation). `bytes` must
+/// start with the CSG1 magic.
+pub fn peek_counts_v1(bytes: &[u8]) -> Result<CountsV1, DecodeError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC_V1 {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut r = Reader { buf: &bytes[4..] };
+    let strings = r.u32()? as usize;
+    for _ in 0..strings {
+        let len = r.u32()? as usize;
+        r.need(len)?;
+        r.buf.advance(len);
+    }
+    let nodes = r.u32()? as usize;
+    for _ in 0..nodes {
+        r.u32()?; // label
+        let n_types = r.u16()?;
+        let skip = 4 * n_types as usize;
+        r.need(skip)?;
+        r.buf.advance(skip);
+        let n_props = r.u16()?;
+        for _ in 0..n_props {
+            r.u32()?; // key
+            skip_value(&mut r)?;
+        }
+    }
+    let edges = r.u32()? as usize;
+    for _ in 0..edges {
+        r.need(12)?;
+        r.buf.advance(12); // src, dst, label
+        let n_props = r.u16()?;
+        for _ in 0..n_props {
+            r.u32()?;
+            skip_value(&mut r)?;
+        }
+    }
+    Ok(CountsV1 {
+        strings,
+        nodes,
+        edges,
+    })
 }
 
 /// Decodes a snapshot produced by [`encode_graph`] (CSG2) or by the
@@ -730,6 +1211,7 @@ mod tests {
             &g,
             &EncodeOptions {
                 include_stats: false,
+                ..EncodeOptions::default()
             },
         );
         let g2 = decode_graph(&bytes).unwrap();
@@ -775,28 +1257,91 @@ mod tests {
         );
     }
 
-    #[test]
-    fn missing_required_section() {
-        let g = figure1();
-        // Re-frame with the edges section dropped.
-        let sections = encode_sections(&g, &EncodeOptions::default());
+    fn reframe<'a>(sections: impl IntoIterator<Item = &'a (u32, Bytes)>) -> Vec<u8> {
+        let sections: Vec<_> = sections.into_iter().collect();
         let mut buf = Vec::new();
         buf.extend_from_slice(b"CSG2");
-        let kept: Vec<_> = sections
-            .iter()
-            .filter(|(id, _)| *id != SECTION_EDGES)
-            .collect();
-        buf.extend_from_slice(&(kept.len() as u32).to_le_bytes());
-        for (id, payload) in kept {
+        buf.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for (id, payload) in sections {
             buf.extend_from_slice(&section_header(*id, payload));
             buf.extend_from_slice(payload);
         }
+        buf
+    }
+
+    #[test]
+    fn missing_required_section() {
+        let g = figure1();
+        // Re-frame a record-layout file with the edges section dropped.
+        let sections = encode_sections(
+            &g,
+            &EncodeOptions {
+                legacy_layout: true,
+                ..EncodeOptions::default()
+            },
+        );
+        let buf = reframe(sections.iter().filter(|(id, _)| *id != SECTION_EDGES));
         assert_eq!(
             decode_graph(&buf).unwrap_err(),
             DecodeError::MissingSection {
                 section: SECTION_EDGES
             }
         );
+    }
+
+    #[test]
+    fn csr_file_without_interner_is_rejected() {
+        let g = figure1();
+        let sections = encode_sections(&g, &EncodeOptions::default());
+        let buf = reframe(sections.iter().filter(|(id, _)| *id != SECTION_INTERNER));
+        assert_eq!(
+            decode_graph(&buf).unwrap_err(),
+            DecodeError::MissingSection {
+                section: SECTION_INTERNER
+            }
+        );
+    }
+
+    #[test]
+    fn legacy_record_layout_still_roundtrips() {
+        let g = figure1();
+        let bytes = encode_graph_with(
+            &g,
+            &EncodeOptions {
+                legacy_layout: true,
+                ..EncodeOptions::default()
+            },
+        );
+        let g2 = decode_graph(&bytes).unwrap();
+        assert_same_graph(&g, &g2);
+        // The sidecar still warms the planner on the legacy path.
+        assert!(g2.cardinalities_if_computed().is_some());
+    }
+
+    #[test]
+    fn unknown_csr_layout_version_is_rejected() {
+        let g = figure1();
+        let mut sections = encode_sections(&g, &EncodeOptions::default());
+        let mut payload = sections[0].1.to_vec();
+        assert_eq!(sections[0].0, SECTION_CSR_GRAPH);
+        payload[0..4].copy_from_slice(&99u32.to_le_bytes());
+        sections[0].1 = Bytes::from_vec(payload);
+        let buf = reframe(sections.iter());
+        assert_eq!(
+            decode_graph(&buf).unwrap_err(),
+            DecodeError::UnsupportedLayout { version: 99 }
+        );
+    }
+
+    #[test]
+    fn csr_payload_length_must_match_header() {
+        let g = figure1();
+        let mut sections = encode_sections(&g, &EncodeOptions::default());
+        let mut payload = sections[0].1.to_vec();
+        payload.extend_from_slice(&[0u8; 4]); // one stray trailing word
+        sections[0].1 = Bytes::from_vec(payload);
+        let buf = reframe(sections.iter());
+        assert_eq!(decode_graph(&buf).unwrap_err(), DecodeError::Truncated);
     }
 
     #[test]

@@ -100,7 +100,7 @@ mod tests {
             .into_iter()
             .filter(|&n| {
                 g.outgoing(n)
-                    .any(|a| a.other == c && g.edge_label(a.edge) == "citizenOf")
+                    .any(|a| a.other() == c && g.edge_label(a.edge()) == "citizenOf")
             })
             .collect()
     }

@@ -238,7 +238,7 @@ mod tests {
             let is_c_target = g
                 .graph
                 .incoming(tl)
-                .any(|a| g.graph.edge(a.edge).label == c);
+                .any(|a| g.graph.edge(a.edge()).label == c);
             assert!(is_c_target);
         }
     }

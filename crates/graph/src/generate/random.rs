@@ -87,9 +87,9 @@ mod tests {
         seen[0] = true;
         while let Some(n) = stack.pop() {
             for a in g.adjacent(n) {
-                if !seen[a.other.index()] {
-                    seen[a.other.index()] = true;
-                    stack.push(a.other);
+                if !seen[a.other().index()] {
+                    seen[a.other().index()] = true;
+                    stack.push(a.other());
                 }
             }
         }

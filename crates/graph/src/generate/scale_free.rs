@@ -124,10 +124,10 @@ pub fn sample_ctp_seeds(g: &Graph, m: usize, radius: usize, rng: &mut StdRng) ->
         let mut next = Vec::new();
         for &n in &frontier {
             for a in g.adjacent(n) {
-                if !seen[a.other.index()] {
-                    seen[a.other.index()] = true;
-                    next.push(a.other);
-                    ball.push(a.other);
+                if !seen[a.other().index()] {
+                    seen[a.other().index()] = true;
+                    next.push(a.other());
+                    ball.push(a.other());
                 }
             }
         }

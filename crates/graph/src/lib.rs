@@ -28,6 +28,7 @@ pub mod ntriples;
 mod predicate;
 pub mod snapshot;
 pub mod stats;
+mod storage;
 pub mod subgraph;
 mod value;
 
@@ -35,7 +36,7 @@ pub use builder::GraphBuilder;
 pub use figure1::figure1;
 pub use ids::{EdgeId, LabelId, NodeId};
 pub use interner::Interner;
-pub use model::{Adj, EdgeData, Graph, NodeData};
+pub use model::{Adj, EdgeData, Graph, NodeRef};
 pub use predicate::{glob_match, matching_nodes, CmpOp, Condition, Predicate, PropRef};
 pub use stats::{Cardinalities, LabelCard};
 pub use subgraph::extract_subgraph;

@@ -19,12 +19,16 @@
 //! ```
 
 use crate::binfmt::{
-    self, DecodeError, EncodeOptions, SECTION_EDGES, SECTION_INTERNER, SECTION_NODES, SECTION_STATS,
+    self, DecodeError, EncodeOptions, CSR_LAYOUT_VERSION, SECTION_CSR_GRAPH, SECTION_EDGES,
+    SECTION_INTERNER, SECTION_NODES, SECTION_STATS,
 };
 use crate::model::Graph;
 use std::fmt;
 use std::io::{BufWriter, Write};
 use std::path::Path;
+
+#[cfg(all(unix, target_endian = "little"))]
+use crate::storage::MmapFile;
 
 /// Errors from the file-level snapshot API: either the filesystem
 /// failed or the bytes did not decode.
@@ -89,6 +93,18 @@ pub struct SectionInfo {
     pub name: &'static str,
     /// Payload length in bytes.
     pub len: u64,
+    /// Byte offset of the payload within the file.
+    pub offset: u64,
+}
+
+impl SectionInfo {
+    /// The strongest power-of-two alignment (up to 8) of the payload's
+    /// file offset — the CSR section needs at least 4 for zero-copy.
+    pub fn alignment(&self) -> u64 {
+        let a = 1 << self.offset.trailing_zeros().min(3);
+        debug_assert!(a <= 8);
+        a
+    }
 }
 
 /// What [`inspect`] (and [`save_to`]) report about a snapshot file.
@@ -107,6 +123,10 @@ pub struct SnapshotInfo {
     /// Whether a statistics sidecar is present (the loaded graph's
     /// planner starts warm).
     pub has_stats: bool,
+    /// The CSR layout version when the snapshot carries a `csr`
+    /// section (`None` for legacy record-layout CSG2 and for CSG1).
+    /// Such files are eligible for the zero-copy mmap load path.
+    pub csr_layout: Option<u32>,
     /// The file's sections in file order (CSG1 reports none — the
     /// legacy format is one unframed stream).
     pub sections: Vec<SectionInfo>,
@@ -116,16 +136,28 @@ impl fmt::Display for SnapshotInfo {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "CSG{} snapshot: {} bytes, {} nodes, {} edges, {} strings, stats {}",
+            "CSG{} snapshot: {} bytes, {} nodes, {} edges, {} strings, stats {}, layout {}",
             self.version,
             self.bytes,
             self.nodes,
             self.edges,
             self.strings,
-            if self.has_stats { "present" } else { "absent" }
+            if self.has_stats { "present" } else { "absent" },
+            match self.csr_layout {
+                Some(v) => format!("csr-v{v} (zero-copy capable)"),
+                None => "records (decode-only)".to_string(),
+            }
         )?;
         for s in &self.sections {
-            writeln!(f, "  section {} ({}): {} bytes", s.id, s.name, s.len)?;
+            writeln!(
+                f,
+                "  section {} ({}): {} bytes at offset {} ({}-byte aligned)",
+                s.id,
+                s.name,
+                s.len,
+                s.offset,
+                s.alignment()
+            )?;
         }
         Ok(())
     }
@@ -160,12 +192,13 @@ pub fn save_to_with(
     for (id, payload) in &sections {
         write(&binfmt::section_header(*id, payload)).map_err(io)?;
         write(payload).map_err(io)?;
-        total += 16 + payload.len() as u64;
         infos.push(SectionInfo {
             id: *id,
             name: binfmt::section_name(*id),
             len: payload.len() as u64,
+            offset: total + 16,
         });
+        total += 16 + payload.len() as u64;
     }
     w.flush().map_err(io)?;
     w.into_inner()
@@ -180,6 +213,7 @@ pub fn save_to_with(
         edges: g.edge_count() as u64,
         strings: g.interner().len() as u64,
         has_stats: opts.include_stats,
+        csr_layout: (!opts.legacy_layout).then_some(CSR_LAYOUT_VERSION),
         sections: infos,
     })
 }
@@ -188,30 +222,95 @@ pub fn save_to_with(
 /// file carries a statistics section, the returned graph's
 /// [`crate::Graph::cardinalities`] is already populated — no
 /// first-query stats pass.
+///
+/// CSR-layout CSG2 snapshots on little-endian unix hosts load
+/// **zero-copy**: the file is memory-mapped, section checksums and CSR
+/// bounds are verified, and the graph's columns alias the mapping
+/// directly — no per-edge work at all. Everything else (legacy CSG2,
+/// CSG1, other hosts) falls back to [`load_from_owned`].
 pub fn load_from(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
+    let path = path.as_ref();
+    #[cfg(all(unix, target_endian = "little"))]
+    if let Some(g) = try_load_mapped(path)? {
+        return Ok(g);
+    }
+    load_from_owned(path)
+}
+
+/// Loads a snapshot into freshly allocated memory, never mapping the
+/// file — the portable path, and the parse-vs-load ablation's
+/// "load (owned)" arm.
+pub fn load_from_owned(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
     binfmt::decode_graph(&bytes).map_err(|e| SnapshotError::decode(path, e))
 }
 
+/// Loads a snapshot strictly zero-copy, erroring instead of falling
+/// back when the file (or host) does not support mapped loads. The
+/// ablation harness uses this to keep the `load_mmap` column honest.
+pub fn load_from_mmap(path: impl AsRef<Path>) -> Result<Graph, SnapshotError> {
+    let path = path.as_ref();
+    let unsupported = |reason: &str| {
+        SnapshotError::io(
+            path,
+            std::io::Error::new(std::io::ErrorKind::Unsupported, reason.to_string()),
+        )
+    };
+    #[cfg(all(unix, target_endian = "little"))]
+    {
+        match try_load_mapped(path)? {
+            Some(g) => Ok(g),
+            None => Err(unsupported(
+                "not a CSR-layout CSG2 snapshot (or empty file); only those load zero-copy",
+            )),
+        }
+    }
+    #[cfg(not(all(unix, target_endian = "little")))]
+    {
+        Err(unsupported(
+            "memory-mapped loads need a little-endian unix host",
+        ))
+    }
+}
+
+/// Maps the file and decodes it in place. `Ok(None)` means the file is
+/// fine but not eligible for zero-copy (legacy layout, CSG1, empty);
+/// actual corruption is an error.
+#[cfg(all(unix, target_endian = "little"))]
+fn try_load_mapped(path: &Path) -> Result<Option<Graph>, SnapshotError> {
+    let file = std::fs::File::open(path).map_err(|e| SnapshotError::io(path, e))?;
+    let Some(map) = MmapFile::map(&file).map_err(|e| SnapshotError::io(path, e))? else {
+        return Ok(None);
+    };
+    match binfmt::decode_graph_mapped(&map) {
+        Ok(found) => Ok(found),
+        // A file that *claims* the CSR layout but fails validation is
+        // corrupt for the owned path too — report, don't re-decode.
+        Err(e) => Err(SnapshotError::decode(path, e)),
+    }
+}
+
 /// Reads a snapshot file's structure — version, sections with byte
-/// lengths, counts, whether statistics are present — verifying every
-/// CSG2 checksum, *without* building the graph (CSG2 peeks the count
-/// prefixes of the node/edge sections; legacy CSG1 has no framing, so
-/// it is decoded fully).
+/// lengths, offsets and alignment, counts, whether statistics are
+/// present — verifying every CSG2 checksum, *without* building the
+/// graph. CSG2 peeks the CSR header (or the count prefixes of the
+/// legacy node/edge sections); CSG1 walks its record stream counting
+/// records but materialising none of them.
 pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
     let path = path.as_ref();
     let bytes = std::fs::read(path).map_err(|e| SnapshotError::io(path, e))?;
     if bytes.len() >= 4 && &bytes[..4] == b"CSG1" {
-        // Legacy: no section table to walk; decode to count.
-        let g = binfmt::decode_graph(&bytes).map_err(|e| SnapshotError::decode(path, e))?;
+        // Legacy: no section table to walk; skip-scan the records.
+        let counts = binfmt::peek_counts_v1(&bytes).map_err(|e| SnapshotError::decode(path, e))?;
         return Ok(SnapshotInfo {
             version: 1,
             bytes: bytes.len() as u64,
-            nodes: g.node_count() as u64,
-            edges: g.edge_count() as u64,
-            strings: g.interner().len() as u64,
+            nodes: counts.nodes as u64,
+            edges: counts.edges as u64,
+            strings: counts.strings as u64,
             has_stats: false,
+            csr_layout: None,
             sections: Vec::new(),
         });
     }
@@ -225,19 +324,28 @@ pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo, SnapshotError> {
             .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as u64)
             .unwrap_or(0)
     };
+    let csr = match sections.iter().find(|s| s.id == SECTION_CSR_GRAPH) {
+        Some(s) => {
+            Some(binfmt::peek_csr_header(s.payload).map_err(|e| SnapshotError::decode(path, e))?)
+        }
+        None => None,
+    };
+    let base = bytes.as_ptr() as u64;
     Ok(SnapshotInfo {
         version: 2,
         bytes: bytes.len() as u64,
-        nodes: count_prefix(SECTION_NODES),
-        edges: count_prefix(SECTION_EDGES),
+        nodes: csr.map_or_else(|| count_prefix(SECTION_NODES), |h| h.nodes as u64),
+        edges: csr.map_or_else(|| count_prefix(SECTION_EDGES), |h| h.edges as u64),
         strings: count_prefix(SECTION_INTERNER),
         has_stats: sections.iter().any(|s| s.id == SECTION_STATS),
+        csr_layout: csr.map(|h| h.version),
         sections: sections
             .iter()
             .map(|s| SectionInfo {
                 id: s.id,
                 name: binfmt::section_name(s.id),
                 len: s.payload.len() as u64,
+                offset: s.payload.as_ptr() as u64 - base,
             })
             .collect(),
     })
@@ -262,11 +370,18 @@ mod tests {
         assert_eq!(info.version, 2);
         assert_eq!(info.nodes, g.node_count() as u64);
         assert!(info.has_stats);
-        assert_eq!(info.sections.len(), 4);
+        assert_eq!(info.csr_layout, Some(CSR_LAYOUT_VERSION));
+        // figure1 carries no properties: csr + interner + stats.
+        assert_eq!(info.sections.len(), 3);
+        // The CSR section comes first so its payload lands 8-aligned.
+        assert_eq!(info.sections[0].id, SECTION_CSR_GRAPH);
+        assert_eq!(info.sections[0].offset, 24);
+        assert_eq!(info.sections[0].alignment(), 8);
 
         let inspected = inspect(&path).unwrap();
         assert_eq!(inspected, info);
         assert!(inspected.to_string().contains("stats present"));
+        assert!(inspected.to_string().contains("layout csr-v1"));
 
         let g2 = load_from(&path).unwrap();
         assert_eq!(g2.edge_count(), g.edge_count());
@@ -275,6 +390,57 @@ mod tests {
             g.cardinalities(),
             "loaded stats must equal recomputed stats"
         );
+        #[cfg(all(unix, target_endian = "little"))]
+        assert!(g2.is_memory_mapped(), "CSR snapshot should load zero-copy");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_layout_roundtrip_and_strict_mmap_refusal() {
+        let g = figure1();
+        let path = tmp("legacy-layout.csg");
+        let info = save_to_with(
+            &g,
+            &path,
+            &EncodeOptions {
+                legacy_layout: true,
+                ..EncodeOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(info.csr_layout, None);
+        assert_eq!(info.sections.len(), 4); // interner, nodes, edges, stats
+        assert_eq!(inspect(&path).unwrap(), info);
+
+        let g2 = load_from(&path).unwrap();
+        assert_eq!(g2.edge_count(), g.edge_count());
+        assert!(!g2.is_memory_mapped());
+        assert!(g2.cardinalities_if_computed().is_some());
+
+        // The strict zero-copy loader refuses record-layout files.
+        let err = load_from_mmap(&path).unwrap_err();
+        assert!(err.to_string().contains("zero-copy"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(all(unix, target_endian = "little"))]
+    #[test]
+    fn mmap_and_owned_loads_agree() {
+        let g = figure1();
+        let path = tmp("mmap-owned.csg");
+        save_to(&g, &path).unwrap();
+        let mapped = load_from_mmap(&path).unwrap();
+        let owned = load_from_owned(&path).unwrap();
+        assert!(mapped.is_memory_mapped());
+        assert!(!owned.is_memory_mapped());
+        assert_eq!(mapped.node_count(), owned.node_count());
+        assert_eq!(mapped.edge_count(), owned.edge_count());
+        for n in g.node_ids() {
+            assert_eq!(mapped.node_label(n), owned.node_label(n));
+        }
+        for e in g.edge_ids() {
+            assert_eq!(mapped.describe_edge(e), owned.describe_edge(e));
+        }
         std::fs::remove_file(&path).ok();
     }
 
@@ -312,12 +478,28 @@ mod tests {
             &path,
             &EncodeOptions {
                 include_stats: false,
+                ..EncodeOptions::default()
             },
         )
         .unwrap();
         let info = inspect(&path).unwrap();
         assert!(!info.has_stats);
-        assert_eq!(info.sections.len(), 3);
+        assert_eq!(info.sections.len(), 2); // csr + interner
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csg1_inspect_peeks_counts() {
+        let g = figure1();
+        let path = tmp("v1-peek.csg");
+        std::fs::write(&path, binfmt::encode_graph_v1(&g)).unwrap();
+        let info = inspect(&path).unwrap();
+        assert_eq!(info.version, 1);
+        assert_eq!(info.nodes, g.node_count() as u64);
+        assert_eq!(info.edges, g.edge_count() as u64);
+        assert_eq!(info.strings, g.interner().len() as u64);
+        assert_eq!(info.csr_layout, None);
+        assert!(info.sections.is_empty());
         std::fs::remove_file(&path).ok();
     }
 }

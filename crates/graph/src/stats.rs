@@ -62,15 +62,13 @@ pub fn stats(g: &Graph) -> GraphStats {
         }
     }
 
-    let edge_labels = g
-        .edges_by_label
-        .iter()
-        .filter(|(_, v)| !v.is_empty())
+    let labels = 0..g.interner().len();
+    let edge_labels = labels
+        .clone()
+        .filter(|&l| !g.edges_with_label(LabelId::new(l)).is_empty())
         .count();
-    let node_types = g
-        .nodes_by_type
-        .iter()
-        .filter(|(_, v)| !v.is_empty())
+    let node_types = labels
+        .filter(|&l| !g.nodes_with_type(LabelId::new(l)).is_empty())
         .count();
 
     GraphStats {

@@ -29,7 +29,7 @@ pub fn extract_subgraph(
         }
         let types: Vec<&str> = g.node_types(n).collect();
         let nn = b.add_typed_node(g.node_label(n), &types);
-        for (k, v) in g.node(n).props.iter() {
+        for (k, v) in g.node_props(n).iter() {
             // Resolve the key through the source interner.
             b.set_node_prop(nn, g.resolve(*k), v.clone());
         }
@@ -47,7 +47,7 @@ pub fn extract_subgraph(
         let src = import_node(&mut b, &mut map, ed.src);
         let dst = import_node(&mut b, &mut map, ed.dst);
         let ne = b.add_edge(src, g.resolve(ed.label), dst);
-        for (k, v) in ed.props.iter() {
+        for (k, v) in g.edge_props(e).iter() {
             b.set_edge_prop(ne, g.resolve(*k), v.clone());
         }
     }

@@ -1,0 +1,78 @@
+//! The zero-copy load path's headline property: loading a CSR snapshot
+//! via mmap performs **no per-edge allocation**. The CSR columns alias
+//! the mapping; only O(strings + prop entries) owned decoding remains
+//! (interner, property side tables). A counting global allocator pins
+//! this — the test graph has ~40× more edges than strings, so any
+//! per-edge (or per-adjacency-entry) allocation blows the budget
+//! immediately.
+//!
+//! Lives in its own integration-test binary because the counting
+//! allocator is process-global.
+
+#![cfg(all(unix, target_endian = "little"))]
+
+use cs_graph::{snapshot, GraphBuilder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn mmap_load_allocates_nothing_per_edge() {
+    // Few nodes and labels (small interner), many edges: allocation
+    // proportional to the edge count cannot hide in the noise.
+    const NODES: usize = 100;
+    const EDGES: usize = 40_000;
+    let mut b = GraphBuilder::with_capacity(NODES, EDGES);
+    let nodes: Vec<_> = (0..NODES).map(|i| b.add_node(&format!("n{i}"))).collect();
+    let labels = ["r0", "r1", "r2", "r3"];
+    for i in 0..EDGES {
+        let s = nodes[(i * 7) % NODES];
+        let d = nodes[(i * 13 + 1) % NODES];
+        b.add_edge(s, labels[i % labels.len()], d);
+    }
+    let g = b.freeze();
+    assert_eq!(g.edge_count(), EDGES);
+
+    let mut path = std::env::temp_dir();
+    path.push(format!("cs-zero-alloc-{}.csg", std::process::id()));
+    snapshot::save_to(&g, &path).unwrap();
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let loaded = snapshot::load_from_mmap(&path).unwrap();
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert!(loaded.is_memory_mapped());
+    assert_eq!(loaded.edge_count(), EDGES);
+
+    // Owned work left on the load path: the interner (~2 allocations
+    // per string: the String and the map entry), section bookkeeping,
+    // and the stats sidecar. All O(strings), none O(edges). The bound
+    // is generous against allocator-internal variance while still ~25×
+    // below the edge count.
+    let strings = loaded.interner().len();
+    let budget = 12 * strings + 256;
+    assert!(
+        during < budget,
+        "mmap load allocated {during} times for {EDGES} edges / {strings} strings \
+         (budget {budget}): the zero-copy path is doing per-edge work"
+    );
+
+    drop(loaded);
+    std::fs::remove_file(&path).ok();
+}

@@ -27,7 +27,7 @@ fn assert_identical(a: &Graph, b: &Graph) {
     }
     for e in a.edge_ids() {
         assert_eq!(a.describe_edge(e), b.describe_edge(e));
-        assert_eq!(a.edge(e).props, b.edge(e).props);
+        assert_eq!(a.edge_props(e), b.edge_props(e));
     }
 }
 
