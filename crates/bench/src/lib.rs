@@ -4,6 +4,7 @@
 //! shared harness ([`harness`]) and reporting toolkit ([`report`]).
 //! Criterion micro-benchmarks live in `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

@@ -153,6 +153,8 @@ impl Shared<'_> {
     }
 
     fn stopped(&self) -> bool {
+        // ORDERING: advisory cooperative-stop flag; a stale read only
+        // delays shutdown by one check interval.
         self.stop.load(Ordering::Relaxed)
     }
 
@@ -164,6 +166,9 @@ impl Shared<'_> {
         };
         if self.cfg.esp && !t.edges.is_empty() {
             if self.cfg.lesp {
+                // ORDERING: ss is a monotone fetch_or accumulator; a
+                // stale read only weakens LESP pruning, never admits a
+                // wrong answer (the locked shard check is authoritative).
                 let ssr = SeedMask(self.ss[t.root.index()].load(Ordering::Relaxed));
                 if ssr.count() >= 3 && self.g.degree(t.root) >= 3 {
                     return !roots.contains(&t.root);
@@ -195,8 +200,10 @@ impl Worker {
         }
         if let Some(d) = shared.deadline {
             if Instant::now() >= d {
-                shared.timed_out.store(true, Ordering::Relaxed);
-                shared.stop.store(true, Ordering::Relaxed);
+                // ORDERING: both are advisory flags re-read every loop
+                // iteration; no other data is published through them.
+                shared.timed_out.store(true, Ordering::Relaxed); // ORDERING: see above
+                shared.stop.store(true, Ordering::Relaxed); // ORDERING: see above
             }
         }
     }
@@ -229,6 +236,8 @@ pub fn run_partitioned(
     let shards = (workers * 8).next_power_of_two();
     let ss: Box<[AtomicU64]> = (0..g.node_count()).map(|_| AtomicU64::new(0)).collect();
     for n in seeds.all_seed_nodes() {
+        // ORDERING: single-threaded init; thread::scope's spawn edge
+        // publishes these stores to every worker.
         ss[n.index()].store(seeds.membership(n).0, Ordering::Relaxed);
     }
 
@@ -281,18 +290,24 @@ pub fn run_partitioned(
             })
             .collect();
         for h in handles {
+            // cs-lint: allow(L002): a panicking worker is a bug, not a
+            // recoverable condition; re-raising it here is the contract.
             parts.push(h.join().expect("search worker panicked"));
         }
     });
 
     let mut stats = SearchStats::merge_workers(parts);
-    stats.timed_out = shared.timed_out.load(Ordering::Relaxed);
-    stats.budget_exhausted = shared.budget_exhausted.load(Ordering::Relaxed);
+    // ORDERING: read after scope join; the join edge already ordered
+    // every worker's stores before these loads.
+    stats.timed_out = shared.timed_out.load(Ordering::Relaxed); // ORDERING: see above
+    stats.budget_exhausted = shared.budget_exhausted.load(Ordering::Relaxed); // ORDERING: see above
 
     // Canonical result order: deterministic in the worker count and in
     // the scheduling, unlike the nondeterministic global discovery
     // order. (Sequential runs keep their discovery order — canonical
     // ordering is the partitioned engine's contract.)
+    // cs-lint: allow(L002): a worker panic has already propagated via
+    // join() above, so the results lock cannot be poisoned here.
     let mut results = shared.results.into_inner().expect("results lock poisoned");
     results.sort_canonical();
 
@@ -325,6 +340,10 @@ fn worker_loop(shared: &Shared<'_>, id: usize, backlog: Vec<Candidate>) -> Searc
         }
         if let Some(c) = w.backlog.pop() {
             process_candidate(shared, &mut w, c);
+            // ORDERING: `pending` is the distributed-termination
+            // counter; SeqCst puts every increment/decrement and the
+            // idle workers' zero check in one total order, so no
+            // worker can exit while unobserved work is still pending.
             shared.pending.fetch_sub(1, Ordering::SeqCst);
             idle_rounds = 0;
             continue;
@@ -335,6 +354,8 @@ fn worker_loop(shared: &Shared<'_>, id: usize, backlog: Vec<Candidate>) -> Searc
         // contended victim is simply skipped this round).
         let mut task = None;
         {
+            // cs-lint: allow(L002): queue critical sections cannot
+            // panic; if one somehow does, aborting the search is right.
             let mut own = shared.queues[id].lock().expect("queue lock poisoned");
             if own.len() > 0 {
                 task = own.pop();
@@ -355,6 +376,8 @@ fn worker_loop(shared: &Shared<'_>, id: usize, backlog: Vec<Candidate>) -> Searc
                 w.stats.stolen += batch.len() as u64;
                 let mut it = batch.into_iter();
                 task = it.next();
+                // cs-lint: allow(L002): queue critical sections cannot
+                // panic; aborting the search on poison is right.
                 let mut own = shared.queues[id].lock().expect("queue lock poisoned");
                 for t in it {
                     let mask = t.parent.sat;
@@ -366,10 +389,13 @@ fn worker_loop(shared: &Shared<'_>, id: usize, backlog: Vec<Candidate>) -> Searc
         match task {
             Some(t) => {
                 handle_grow(shared, &mut w, t);
+                // ORDERING: termination counter, see the backlog arm.
                 shared.pending.fetch_sub(1, Ordering::SeqCst);
                 idle_rounds = 0;
             }
             None => {
+                // ORDERING: the termination check; SeqCst keeps it in
+                // the same total order as the counter updates above.
                 if shared.pending.load(Ordering::SeqCst) == 0 {
                     break;
                 }
@@ -397,6 +423,8 @@ fn handle_grow(shared: &Shared<'_>, w: &mut Worker, t: GrowTask) {
     let grown = tree::grow_tree(TreeId::NONE, &t.parent, t.edge, new_root, shared.seeds);
     w.stats.grows += 1;
     if !grown.path_from.is_empty() {
+        // ORDERING: monotone accumulator read only by the advisory
+        // LESP heuristic; lagging readers just prune less.
         shared.ss[grown.root.index()].fetch_or(grown.path_from.0, Ordering::Relaxed);
     }
     let seeds_increased = grown.sat != t.parent.sat;
@@ -423,6 +451,8 @@ fn process_candidate(shared: &Shared<'_>, w: &mut Worker, c: Candidate) {
         let mut h = shared
             .hist_shard(&c.td.edges)
             .lock()
+            // cs-lint: allow(L002): shard critical sections cannot
+            // panic; aborting the search on poison is right.
             .expect("hist shard poisoned");
         if !shared.is_new_locked(&h, &c.td) {
             w.stats.pruned += 1;
@@ -431,11 +461,14 @@ fn process_candidate(shared: &Shared<'_>, w: &mut Worker, c: Candidate) {
         h.entry(c.td.edges.clone()).or_default().push(c.td.root);
     }
     w.stats.provenances += 1;
+    // ORDERING: pure event counter; the RMW itself is atomic, and the
+    // budget check only needs each increment observed exactly once.
     let total = shared.provenances.fetch_add(1, Ordering::Relaxed) + 1;
     if let Some(maxp) = shared.filters.max_provenances {
         if total >= maxp {
-            shared.budget_exhausted.store(true, Ordering::Relaxed);
-            shared.stop.store(true, Ordering::Relaxed);
+            // ORDERING: advisory flags re-read every loop iteration.
+            shared.budget_exhausted.store(true, Ordering::Relaxed); // ORDERING: see above
+            shared.stop.store(true, Ordering::Relaxed); // ORDERING: see above
         }
     }
 
@@ -448,6 +481,8 @@ fn process_candidate(shared: &Shared<'_>, w: &mut Worker, c: Candidate) {
             crate::result::check_result_minimal(shared.g, &r, shared.seeds).is_ok(),
             "partitioned GAM produced a non-minimal result (Property 2 violated)"
         );
+        // cs-lint: allow(L002): result-set critical sections cannot
+        // panic; aborting the search on poison is right.
         let mut res = shared.results.lock().expect("results lock poisoned");
         // Never exceed `LIMIT k`: a sibling may have filled the set
         // between our stop-flag check and this insertion. `insert_min`
@@ -458,6 +493,8 @@ fn process_candidate(shared: &Shared<'_>, w: &mut Worker, c: Candidate) {
             res.insert_min(r);
             if let Some(k) = shared.filters.max_results {
                 if res.len() >= k {
+                    // ORDERING: advisory stop flag; the results lock
+                    // above already serialized the k-th insertion.
                     shared.stop.store(true, Ordering::Relaxed);
                 }
             }
@@ -503,6 +540,8 @@ fn register_and_merge(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
     let mut shard = shared
         .root_shard(t.root)
         .lock()
+        // cs-lint: allow(L002): shard critical sections cannot panic;
+        // aborting the search on poison is right.
         .expect("root shard poisoned");
     let v = shard.entry(t.root).or_default();
     for p in v.iter() {
@@ -520,6 +559,7 @@ fn register_and_merge(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
                 td: m,
                 seeds_increased: true,
             });
+            // ORDERING: termination counter, see worker_loop.
             shared.pending.fetch_add(1, Ordering::SeqCst);
         }
     }
@@ -546,6 +586,8 @@ fn inject_mo(shared: &Shared<'_>, w: &mut Worker, orig: &Arc<TreeData>) {
             let mut h = shared
                 .hist_shard(&orig.edges)
                 .lock()
+                // cs-lint: allow(L002): shard critical sections cannot
+                // panic; aborting the search on poison is right.
                 .expect("hist shard poisoned");
             let roots = h.entry(orig.edges.clone()).or_default();
             if roots.contains(&r) {
@@ -561,6 +603,7 @@ fn inject_mo(shared: &Shared<'_>, w: &mut Worker, orig: &Arc<TreeData>) {
         let mo = Arc::new(tree::mo_tree(TreeId::NONE, orig, r));
         w.stats.mo_copies += 1;
         w.stats.provenances += 1;
+        // ORDERING: pure event counter, see process_candidate.
         shared.provenances.fetch_add(1, Ordering::Relaxed);
         register_and_merge(shared, w, &mo);
     }
@@ -610,7 +653,11 @@ fn queue_grows(shared: &Shared<'_>, w: &mut Worker, t: &Arc<TreeData>) {
         return;
     }
     w.stats.queue_pushes += pushes.len() as u64;
+    // ORDERING: termination counter, see worker_loop; incremented
+    // before the tasks become stealable so the count never under-reads.
     shared.pending.fetch_add(pushes.len(), Ordering::SeqCst);
+    // cs-lint: allow(L002): queue critical sections cannot panic;
+    // aborting the search on poison is right.
     let mut q = shared.queues[w.id].lock().expect("queue lock poisoned");
     for (mask, mut task) in pushes {
         task.seq = w.seq;

@@ -19,6 +19,7 @@
 //! assert_eq!(out.results.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod algo;

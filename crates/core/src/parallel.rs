@@ -137,10 +137,15 @@ pub fn evaluate_ctps_parallel_budgeted(
     std::thread::scope(|scope| {
         for _ in 0..outer {
             scope.spawn(|| loop {
+                // ORDERING: ticket dispenser; the atomic RMW alone
+                // guarantees each job index is claimed exactly once,
+                // and slot writes are published by the scope join.
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
                     break;
                 }
+                // cs-lint: allow(L002): one writer per slot, so the
+                // lock is never poisoned; a panic here aborts the run.
                 *slots[i].lock().unwrap() = Some(evaluate_job(g, &jobs[i], intra));
             });
         }
@@ -148,6 +153,8 @@ pub fn evaluate_ctps_parallel_budgeted(
 
     slots
         .into_iter()
+        // cs-lint: allow(L002): a worker panic already propagated via
+        // the scope join, so every slot is unpoisoned and filled here.
         .map(|m| m.into_inner().unwrap().expect("job completed"))
         .collect()
 }

@@ -350,7 +350,9 @@ pub fn is_tree(g: &Graph, edges: &[EdgeId]) -> bool {
     if nodes.len() != edges.len() + 1 {
         return false;
     }
-    let start = *nodes.iter().next().unwrap();
+    let Some(&start) = nodes.iter().next() else {
+        return false; // unreachable: |N| = |E| + 1 > 0 was just checked
+    };
     let mut seen: FxHashSet<NodeId> = FxHashSet::default();
     let mut stack = vec![start];
     seen.insert(start);

@@ -470,6 +470,8 @@ pub fn eval_bgp_greedy(g: &Graph, bgp: &Bgp) -> Table {
         .enumerate()
         .min_by_key(|(_, t)| t.len())
         .map(|(i, _)| i)
+        // cs-lint: allow(L002): `tables` is non-empty — the empty-BGP
+        // case returned above — so the minimum exists.
         .unwrap();
     let mut acc = tables.swap_remove(start);
 
@@ -488,6 +490,8 @@ pub fn eval_bgp_greedy(g: &Graph, bgp: &Bgp) -> Table {
                     .min_by_key(|(_, t)| t.len())
                     .map(|(i, _)| i)
             })
+            // cs-lint: allow(L002): the while-guard keeps `tables`
+            // non-empty, so the unfiltered fallback always finds one.
             .unwrap();
         let next = tables.swap_remove(pos);
         acc = acc.natural_join(&next);

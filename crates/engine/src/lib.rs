@@ -25,6 +25,7 @@
 //! assert_eq!(table.len(), 2); // Alice, Doug
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bgp;

@@ -103,6 +103,9 @@ impl Table {
             .iter()
             .map(|v| {
                 self.col(v)
+                    // cs-lint: allow(L002): documented `# Panics`
+                    // contract — projecting an absent variable is a
+                    // caller bug, not a runtime condition.
                     .unwrap_or_else(|| panic!("unknown variable {v}"))
             })
             .collect();

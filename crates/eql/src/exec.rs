@@ -391,6 +391,8 @@ pub(crate) fn materialise_ctps(
         // on the canonical edge set, so TOP-k is a function of the
         // result *set* alone — no engine or thread count can change it.
         if let Some((sigma_name, top)) = &ctp.filters.score {
+            // cs-lint: allow(L002): the parser already rejected
+            // queries naming an unknown scorer, so lookup succeeds.
             let sigma = by_name(sigma_name).expect("validated by the parser");
             let mut scored: Vec<(f64, ResultTree)> = result_trees
                 .into_iter()
@@ -581,6 +583,8 @@ pub(crate) fn join_all(mut tables: Vec<Table>) -> Table {
         .enumerate()
         .min_by_key(|(_, t)| t.len())
         .map(|(i, _)| i)
+        // cs-lint: allow(L002): the empty case returned above, so the
+        // minimum exists.
         .unwrap();
     let mut acc = tables.swap_remove(start);
     while !tables.is_empty() {
@@ -597,6 +601,8 @@ pub(crate) fn join_all(mut tables: Vec<Table>) -> Table {
                     .min_by_key(|(_, t)| t.len())
                     .map(|(i, _)| i)
             })
+            // cs-lint: allow(L002): the while-guard keeps `tables`
+            // non-empty, so the unfiltered fallback always finds one.
             .unwrap();
         let next = tables.swap_remove(pos);
         acc = acc.natural_join(&next);

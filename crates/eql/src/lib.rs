@@ -31,6 +31,7 @@
 //! parallel dispatch), and [`Session::execute_streaming`] (a pull
 //! iterator of connecting trees with TOP-k-style early termination).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -72,7 +72,7 @@ impl Parser {
         })
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+    fn expect_tok(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
         if &self.peek().kind == kind {
             self.next();
             Ok(())
@@ -125,7 +125,7 @@ impl Parser {
         if !self.keyword("WHERE") {
             return self.err("expected WHERE after the query head");
         }
-        self.expect(&TokenKind::LBrace)?;
+        self.expect_tok(&TokenKind::LBrace)?;
 
         let mut patterns = Vec::new();
         let mut ctps = Vec::new();
@@ -144,7 +144,7 @@ impl Parser {
                 }
             }
         }
-        self.expect(&TokenKind::Eof)?;
+        self.expect_tok(&TokenKind::Eof)?;
         let q = QueryAst {
             form,
             head,
@@ -156,19 +156,19 @@ impl Parser {
     }
 
     fn edge_pattern(&mut self) -> Result<EdgePatternAst, ParseError> {
-        self.expect(&TokenKind::LParen)?;
+        self.expect_tok(&TokenKind::LParen)?;
         let src = self.term()?;
-        self.expect(&TokenKind::Comma)?;
+        self.expect_tok(&TokenKind::Comma)?;
         let edge = self.term()?;
-        self.expect(&TokenKind::Comma)?;
+        self.expect_tok(&TokenKind::Comma)?;
         let dst = self.term()?;
-        self.expect(&TokenKind::RParen)?;
+        self.expect_tok(&TokenKind::RParen)?;
         Ok(EdgePatternAst { src, edge, dst })
     }
 
     fn ctp(&mut self) -> Result<CtpAst, ParseError> {
         assert!(self.keyword("CONNECT"));
-        self.expect(&TokenKind::LParen)?;
+        self.expect_tok(&TokenKind::LParen)?;
         let mut terms = vec![self.term()?];
         loop {
             match &self.peek().kind {
@@ -180,9 +180,9 @@ impl Parser {
                 other => return self.err(format!("expected `,` or `->`, found {other}")),
             }
         }
-        self.expect(&TokenKind::Arrow)?;
+        self.expect_tok(&TokenKind::Arrow)?;
         let out_var = self.ident()?;
-        self.expect(&TokenKind::RParen)?;
+        self.expect_tok(&TokenKind::RParen)?;
         if terms.len() < 2 {
             return self.err("a CTP connects at least 2 node groups");
         }

@@ -14,6 +14,7 @@
 //! assert_eq!(pols.len(), 2); // Elon, Falcon
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod binfmt;

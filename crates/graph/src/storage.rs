@@ -29,8 +29,10 @@ pub(crate) struct MmapFile {
 }
 
 // SAFETY: the mapping is immutable (PROT_READ) for its whole lifetime,
-// so shared access from any thread is sound.
+// so moving ownership to another thread is sound.
 unsafe impl Send for MmapFile {}
+// SAFETY: same invariant — a PROT_READ mapping never changes, so
+// concurrent shared reads from any thread are sound.
 unsafe impl Sync for MmapFile {}
 
 impl fmt::Debug for MmapFile {
@@ -140,8 +142,11 @@ enum Backing {
 
 // SAFETY: the referenced words are immutable for the lifetime of the
 // backing (owned Vec never mutated after construction; mapping is
-// PROT_READ), so Storage is as thread-safe as &[u32].
+// PROT_READ), and the backing moves together with the pointer, so
+// sending Storage to another thread is sound.
 unsafe impl Send for Storage {}
+// SAFETY: same invariant — the words never change after construction,
+// so Storage shared across threads is as safe as a `&[u32]`.
 unsafe impl Sync for Storage {}
 
 impl Storage {
@@ -239,6 +244,8 @@ mod tests {
     }
 
     #[cfg(unix)]
+    // Miri cannot call the mmap FFI.
+    #[cfg(not(miri))]
     #[test]
     fn mapping_windows_and_bounds() {
         let mut path = std::env::temp_dir();

@@ -1,0 +1,478 @@
+//! A minimal Rust lexer, sufficient for cs-lint's rules.
+//!
+//! The rules in [`crate::rules`] pattern-match identifier and
+//! punctuation tokens, so the one job of this lexer is to be **exact
+//! about boundaries**: an `unsafe` inside a string literal, a `//`
+//! inside a string, a `Relaxed` inside a comment must never produce an
+//! identifier token. It therefore handles, precisely:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * plain strings with escapes, byte strings, and raw (byte) strings
+//!   at any `#` depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char and byte-char literals (`'a'`, `'\''`, `b'\n'`) versus
+//!   lifetimes (`'a`, `'static`, `'_`),
+//! * raw identifiers (`r#type` is an identifier token `r#type`, not a
+//!   raw-string opener — and never equal to the keyword `type`).
+//!
+//! Numeric literals are tokenised loosely (one token per literal, exact
+//! shape unchecked) — no rule inspects them. The lexer never fails: any
+//! unterminated literal or comment simply ends at end of input, which
+//! is the right behaviour for a linter that must not panic on the code
+//! it reads.
+
+/// The kind of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including raw identifiers, kept with
+    /// their `r#` prefix so they never equal a keyword).
+    Ident,
+    /// `// …` comment, text up to (not including) the newline.
+    LineComment,
+    /// `/* … */` comment, nesting-aware.
+    BlockComment,
+    /// String or byte-string literal, delimiters included.
+    Str,
+    /// Raw string or raw byte-string literal, delimiters included.
+    RawStr,
+    /// Char or byte-char literal, delimiters included.
+    Char,
+    /// Lifetime (`'a`, `'static`, `'_`), quote included.
+    Lifetime,
+    /// Numeric literal (loosely tokenised).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token: kind, verbatim text, and the 1-based source line
+/// its first character sits on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What the token is.
+    pub kind: Kind,
+    /// The token's verbatim source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+
+    /// True if this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True if this is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Tokenises `src`. Whitespace is skipped; everything else, comments
+/// included, becomes a token.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        out: Vec::new(),
+    };
+    lx.run();
+    lx.out
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl Lexer {
+    fn peek(&self, k: usize) -> Option<char> {
+        self.chars.get(self.i + k).copied()
+    }
+
+    /// Consumes one char, tracking the line counter.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied();
+        if let Some(c) = c {
+            self.i += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            let start = self.i;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(start, line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(start, line),
+                '"' => {
+                    self.string(start, line);
+                }
+                'b' | 'r' if self.literal_prefix(start, line) => {}
+                _ if is_ident_start(c) => self.ident(start, line),
+                '\'' => self.quote(start, line),
+                _ if c.is_ascii_digit() => self.number(start, line),
+                _ => {
+                    self.bump();
+                    self.push(Kind::Punct, start, line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Kind::LineComment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: end at EOF
+            }
+        }
+        self.push(Kind::BlockComment, start, line);
+    }
+
+    /// Handles the `b`/`r` literal prefixes: `b"…"`, `b'…'`, `r"…"`,
+    /// `r#"…"#`, `br##"…"##`, and the raw-identifier prefix `r#ident`.
+    /// Returns false if the lookahead is a plain identifier starting
+    /// with `b`/`r` (the caller then lexes it as an identifier).
+    fn literal_prefix(&mut self, start: usize, line: u32) -> bool {
+        let c = self.peek(0);
+        let next = self.peek(1);
+        match (c, next) {
+            (Some('b'), Some('"')) => {
+                self.bump();
+                self.string(start, line);
+                true
+            }
+            (Some('b'), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.char_body();
+                self.push(Kind::Char, start, line);
+                true
+            }
+            (Some('b'), Some('r')) => self.raw_string_from(2, start, line),
+            (Some('r'), Some('"')) | (Some('r'), Some('#')) => {
+                // Distinguish r"…" / r#"…"# from the raw identifier
+                // r#ident: after the hashes a raw string needs a quote.
+                let mut k = 1;
+                while self.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if self.peek(k) == Some('"') {
+                    self.raw_string_from(1, start, line)
+                } else if k == 2 && self.peek(2).is_some_and(is_ident_start) {
+                    // r#ident — one hash then an identifier.
+                    self.bump();
+                    self.bump();
+                    while self.peek(0).is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    self.push(Kind::Ident, start, line);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Lexes a raw (byte) string whose `r` sits `prefix_len - 1` chars
+    /// after `start` (1 for `r…`, 2 for `br…`). Returns false if the
+    /// lookahead is not actually a raw string.
+    fn raw_string_from(&mut self, prefix_len: usize, start: usize, line: u32) -> bool {
+        let mut k = prefix_len;
+        let mut hashes = 0usize;
+        while self.peek(k) == Some('#') {
+            k += 1;
+            hashes += 1;
+        }
+        if self.peek(k) != Some('"') {
+            return false;
+        }
+        for _ in 0..=k {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        // Scan for `"` followed by `hashes` hashes.
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for h in 0..hashes {
+                    if self.peek(h) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Kind::RawStr, start, line);
+        true
+    }
+
+    /// Lexes a (byte) string body; the cursor is on the opening quote.
+    fn string(&mut self, start: usize, line: u32) {
+        self.bump(); // opening '"'
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // the escaped char ('"', '\\', 'n', …)
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Str, start, line);
+    }
+
+    /// The body of a char literal after the opening quote was consumed.
+    fn char_body(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A `'`: lifetime or char literal. `'x'` (any single possibly
+    /// escaped char, closing quote) is a char; `'ident` without a
+    /// closing quote right after one ident char is a lifetime.
+    fn quote(&mut self, start: usize, line: u32) {
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let lifetime = match c1 {
+            Some(c) if is_ident_start(c) => c2 != Some('\''),
+            _ => false,
+        };
+        if lifetime {
+            self.bump(); // '\''
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            self.push(Kind::Lifetime, start, line);
+        } else {
+            self.bump(); // '\''
+            self.char_body();
+            self.push(Kind::Char, start, line);
+        }
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        self.push(Kind::Ident, start, line);
+    }
+
+    /// Loose numeric literal: digits, alphanumerics, `_`, and `.` when
+    /// followed by a digit (so `0..n` stays three tokens).
+    fn number(&mut self, start: usize, line: u32) {
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            let dot = c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit());
+            if !is_ident_continue(c) && !dot {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Kind::Num, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    fn kinds(src: &str) -> Vec<Kind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn unsafe_in_string_is_not_an_ident() {
+        assert_eq!(idents(r#"let s = "unsafe { }";"#), vec!["let", "s"]);
+    }
+
+    #[test]
+    fn line_comment_marker_inside_string() {
+        // The `//` sits inside a string literal: everything after it is
+        // still code.
+        let toks = lex(r#"let url = "https://x"; panic!()"#);
+        assert!(toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!toks.iter().any(|t| t.is_comment()));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_keywords() {
+        let src = r##"let s = r#"she said "unsafe" // not a comment"#; done"##;
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+        let raw: Vec<_> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::RawStr)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].text.contains("not a comment"));
+    }
+
+    #[test]
+    fn raw_string_no_hash_and_deep_hash() {
+        assert_eq!(idents(r#"r"unsafe" x"#), vec!["x"]);
+        let src = "r##\"quote \"# still inside\"## y";
+        assert_eq!(idents(src), vec!["y"]);
+        let src = "br#\"bytes \"unsafe\" here\"# z";
+        assert_eq!(idents(src), vec!["z"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_the_keyword() {
+        let toks = lex("let r#unsafe = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("r#unsafe")));
+        assert!(!toks.iter().any(|t| t.is_ident("unsafe")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ code";
+        assert_eq!(idents(src), vec!["code"]);
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, Kind::BlockComment);
+        assert!(toks[0].text.contains("inner unsafe"));
+    }
+
+    #[test]
+    fn unterminated_block_comment_ends_at_eof() {
+        let toks = lex("code /* dangling unsafe");
+        assert_eq!(idents("code /* dangling unsafe"), vec!["code"]);
+        assert_eq!(toks.last().map(|t| t.kind), Some(Kind::BlockComment));
+    }
+
+    #[test]
+    fn char_literals_versus_lifetimes() {
+        // 'a' is a char; 'a in a generic position is a lifetime.
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {} let q = '\\''; let n = '\\n';");
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Char).collect();
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(chars.len(), 3, "{chars:?}");
+        assert_eq!(lifetimes.len(), 2, "{lifetimes:?}");
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn quote_heavy_char_literals() {
+        // A char literal holding a quote, and a byte char.
+        let toks = lex(r"let a = '\''; let b = b'x'; let c = '_';");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 3);
+    }
+
+    #[test]
+    fn static_lifetime_and_underscore() {
+        let toks = lex("&'static str; &'_ i32");
+        let lt: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lt, vec!["'static", "'_"]);
+    }
+
+    #[test]
+    fn line_numbers_track_every_literal_shape() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\nr#\"x\ny\"# f";
+        let find = |name: &str| {
+            lex(src)
+                .iter()
+                .find(|t| t.is_ident(name))
+                .map(|t| t.line)
+                .unwrap_or(0)
+        };
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("e"), 5);
+        assert_eq!(find("f"), 7);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let k = kinds("0..10");
+        assert_eq!(
+            k,
+            vec![Kind::Num, Kind::Punct, Kind::Punct, Kind::Num],
+            "range bounds stay separate"
+        );
+        assert_eq!(idents("1.5f64.to_bits()"), vec!["to_bits"]);
+        assert_eq!(kinds("0xFF_u32"), vec![Kind::Num]);
+    }
+
+    #[test]
+    fn byte_string_and_b_identifiers() {
+        assert_eq!(
+            idents(r#"b"unsafe" banana br br2"#),
+            vec!["banana", "br", "br2"]
+        );
+    }
+}

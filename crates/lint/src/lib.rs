@@ -1,0 +1,90 @@
+#![forbid(unsafe_code)]
+//! `cs-lint` — workspace-native static analysis for this repository.
+//!
+//! The build environment is offline (no crates.io), so the linter is
+//! self-contained: a hand-rolled, comment/string/raw-string-aware Rust
+//! [`lexer`] and a set of token-pattern [`rules`] that encode the
+//! project's correctness conventions — SAFETY-commented `unsafe`,
+//! panic-free library crates, justified atomic orderings, confined
+//! thread spawning and FFI, and checked narrowing in the snapshot
+//! codec. See the rules table in [`rules`] and the "Correctness
+//! tooling" section of the repository README.
+//!
+//! The linter deliberately lints **this workspace**, not arbitrary
+//! Rust: it trades generality (no macro expansion, no type inference)
+//! for zero dependencies and exact, reviewable rules. Anything it
+//! cannot prove is reported and must be fixed or suppressed with a
+//! reasoned `// cs-lint: allow(RULE): why` marker.
+//!
+//! Run it with `cargo run -p cs-lint` from the workspace root; it exits
+//! nonzero if any rule fires. The library entry points are
+//! [`rules::lint_source`] (one file) and [`lint_workspace`] (every
+//! `crates/*/src` and root `src` file).
+
+pub mod lexer;
+pub mod rules;
+
+use rules::Diagnostic;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lints every `.rs` file under `crates/*/src` and the facade's `src/`
+/// below `root`. Returns the number of files checked and all
+/// diagnostics, in deterministic (path, line) order.
+///
+/// `vendor/` is deliberately not walked: it holds API-subset copies of
+/// third-party crates that do not follow this project's conventions.
+pub fn lint_workspace(root: &Path) -> io::Result<(usize, Vec<Diagnostic>)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            collect_rs(&member.join("src"), &mut files)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+
+    let mut diags = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        diags.extend(rules::lint_source(&rel, &src));
+    }
+    Ok((files.len(), diags))
+}
+
+/// Collects `.rs` files under `dir` recursively (no-op if absent).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, with forward slashes.
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    parts.join("/")
+}

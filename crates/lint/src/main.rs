@@ -1,0 +1,77 @@
+//! The `cs-lint` binary: lints the workspace and exits nonzero on any
+//! violation. See the crate docs of `cs_lint` for the rules.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cs-lint [--root DIR] [--quiet] [--rules]
+  --root DIR   workspace root to lint (default: current directory)
+  --quiet      print violations only, no summary line
+  --rules      print the rule table and exit";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("cs-lint: --root needs a directory\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--rules" => {
+                for (id, summary) in cs_lint::rules::RULES {
+                    println!("{id}  {summary}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("cs-lint: unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if !root.join("Cargo.toml").is_file() {
+        eprintln!(
+            "cs-lint: {} does not look like the workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    match cs_lint::lint_workspace(&root) {
+        Ok((files, diags)) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if !quiet {
+                println!(
+                    "cs-lint: {} file{} checked, {} violation{}",
+                    files,
+                    if files == 1 { "" } else { "s" },
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" },
+                );
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("cs-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The cs-lint self-test: every known-bad fixture must trip exactly
+//! its own rule (correct rule id, expected count, no cross-talk from
+//! other rules), the clean fixture must trip nothing, and the real
+//! workspace must be violation-free.
+
+use cs_lint::rules::{lint_source, Diagnostic};
+use std::path::Path;
+
+/// Runs a fixture under the given workspace-relative identity (the
+/// path decides rule scopes: L006 only fires in the codec files, L002
+/// only in library code).
+fn run(as_path: &str, fixture: &str) -> Vec<Diagnostic> {
+    lint_source(as_path, fixture)
+}
+
+/// Asserts that `fixture`, linted as `as_path`, yields exactly `count`
+/// violations, all of rule `rule`.
+fn assert_trips(as_path: &str, fixture: &str, rule: &str, count: usize) {
+    let diags = run(as_path, fixture);
+    assert_eq!(
+        diags.len(),
+        count,
+        "expected {count}×{rule}, got: {diags:#?}"
+    );
+    for d in &diags {
+        assert_eq!(d.rule, rule, "unexpected rule in {diags:#?}");
+    }
+}
+
+#[test]
+fn l001_unsafe_block_fixture() {
+    assert_trips(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l001_unsafe_block.rs"),
+        "L001",
+        1,
+    );
+}
+
+#[test]
+fn l001_unsafe_impl_fixture() {
+    // The first impl is SAFETY-commented; only the second trips.
+    let src = include_str!("fixtures/l001_unsafe_impl.rs");
+    let diags = run("crates/fixture/src/lib.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "L001");
+    let line = diags[0].line as usize;
+    assert!(
+        src.lines().nth(line - 1).unwrap_or("").contains("Sync"),
+        "the un-commented Sync impl must be the one flagged"
+    );
+}
+
+#[test]
+fn l002_panics_fixture() {
+    assert_trips(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l002_panics.rs"),
+        "L002",
+        3,
+    );
+}
+
+#[test]
+fn l002_suppression_without_reason_fixture() {
+    let diags = run(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l002_suppression_without_reason.rs"),
+    );
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].rule, "L002");
+    assert!(
+        diags[0].msg.contains("missing its reason"),
+        "{}",
+        diags[0].msg
+    );
+}
+
+#[test]
+fn l003_ordering_fixture() {
+    assert_trips(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l003_ordering.rs"),
+        "L003",
+        2,
+    );
+}
+
+#[test]
+fn l004_thread_fixture() {
+    assert_trips(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l004_thread.rs"),
+        "L004",
+        2,
+    );
+}
+
+#[test]
+fn l005_ffi_fixture() {
+    assert_trips(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/l005_ffi.rs"),
+        "L005",
+        1,
+    );
+}
+
+#[test]
+fn l006_narrowing_fixture() {
+    // Same content, two identities: in the codec file it trips, in any
+    // other library file L006 is out of scope.
+    let src = include_str!("fixtures/l006_narrowing.rs");
+    assert_trips("crates/graph/src/binfmt.rs", src, "L006", 2);
+    assert!(run("crates/fixture/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let diags = run(
+        "crates/fixture/src/lib.rs",
+        include_str!("fixtures/clean.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn fixtures_expectations_cover_every_fixture_file() {
+    // Guard against fixtures rotting unasserted: every file in
+    // tests/fixtures/ must be include_str!'d by this suite.
+    let asserted = [
+        "l001_unsafe_block.rs",
+        "l001_unsafe_impl.rs",
+        "l002_panics.rs",
+        "l002_suppression_without_reason.rs",
+        "l003_ordering.rs",
+        "l004_thread.rs",
+        "l005_ffi.rs",
+        "l006_narrowing.rs",
+        "clean.rs",
+    ];
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    on_disk.sort();
+    let mut expected: Vec<String> = asserted.iter().map(|s| s.to_string()).collect();
+    expected.sort();
+    assert_eq!(on_disk, expected);
+}
+
+/// The acceptance gate: the real workspace is lint-clean. This is the
+/// same walk `cargo run -p cs-lint` does, so tier-1 `cargo test` fails
+/// the moment a violation lands.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let (files, diags) = cs_lint::lint_workspace(root).expect("walk workspace");
+    assert!(files > 40, "expected the full workspace, saw {files} files");
+    let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+    assert!(
+        diags.is_empty(),
+        "workspace has {} cs-lint violations:\n{}",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

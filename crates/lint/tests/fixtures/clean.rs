@@ -1,0 +1,38 @@
+// Fixture: rule-relevant keywords in every literal position the lexer
+// must understand — zero violations expected.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn literals() -> String {
+    let plain = "unsafe { no_safety() } // not code";
+    let raw = r#"x.unwrap(); y.expect("msg"); panic!("nope")"#;
+    let deep = r##"Ordering::Relaxed inside r##-string: "# still in"##;
+    let bytes = b"extern \"C\" { }";
+    let ch = 'u';
+    let quote = '\'';
+    let lifetime: &'static str = "thread::spawn";
+    /* block comment: unsafe, unwrap(), Ordering::SeqCst
+       /* nested: panic!("still a comment") */
+       extern "C" — still a comment */
+    format!("{plain}{raw}{deep}{bytes:?}{ch}{quote}{lifetime}")
+}
+
+// SAFETY-adjacent but safe: a justified ordering and a typed error.
+pub fn counter(c: &AtomicU64) -> u64 {
+    // ORDERING: monotonic statistics counter; readers tolerate lag.
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn checked(v: &[u32]) -> Result<u32, &'static str> {
+    v.first().copied().ok_or("empty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

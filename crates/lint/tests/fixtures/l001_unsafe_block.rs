@@ -1,0 +1,5 @@
+// Fixture: an unsafe block with no SAFETY comment must trip L001 only.
+
+pub fn reinterpret(words: &[u32]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 4) }
+}

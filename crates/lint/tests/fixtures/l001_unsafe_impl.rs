@@ -1,0 +1,8 @@
+// Fixture: each unsafe impl needs its own SAFETY comment; the second
+// one here has none and must trip L001 only.
+
+pub struct Handle(*const u8);
+
+// SAFETY: the pointee is immutable for the handle's whole lifetime.
+unsafe impl Send for Handle {}
+unsafe impl Sync for Handle {}

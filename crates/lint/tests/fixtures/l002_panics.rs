@@ -1,0 +1,14 @@
+// Fixture: unwrap, expect, and panic! in library code — three L002
+// violations, nothing else.
+
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u32]) -> u32 {
+    *v.get(1).expect("needs two elements")
+}
+
+pub fn boom() {
+    panic!("library code must not panic");
+}

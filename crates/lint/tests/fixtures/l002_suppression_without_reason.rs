@@ -1,0 +1,7 @@
+// Fixture: a suppression marker with no reason is itself an L002
+// violation.
+
+pub fn first(v: &[u32]) -> u32 {
+    // cs-lint: allow(L002)
+    *v.first().unwrap()
+}

@@ -1,0 +1,17 @@
+// Fixture: Relaxed and SeqCst without ORDERING justifications — two
+// L003 violations; the justified Relaxed load is clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn gate(c: &AtomicU64) -> u64 {
+    c.load(Ordering::SeqCst)
+}
+
+pub fn fine(c: &AtomicU64) -> u64 {
+    // ORDERING: statistics counter; no other memory depends on it.
+    c.load(Ordering::Relaxed)
+}

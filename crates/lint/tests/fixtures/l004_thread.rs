@@ -1,0 +1,7 @@
+// Fixture: ad-hoc threading outside the scheduler modules — two L004
+// violations (spawn and scope).
+
+pub fn adhoc() {
+    std::thread::spawn(|| {});
+    std::thread::scope(|_s| {});
+}

@@ -1,0 +1,6 @@
+// Fixture: an extern "C" declaration outside cs_graph::storage — one
+// L005 violation.
+
+extern "C" {
+    pub fn getpid() -> i32;
+}

@@ -1,0 +1,18 @@
+// Fixture: linted as if it were crates/graph/src/binfmt.rs — the two
+// narrowing casts trip L006; the widening and pointer casts are clean.
+
+pub fn decode_len(len: u64) -> u32 {
+    len as u32
+}
+
+pub fn wire_count(n: usize) -> u16 {
+    n as u16
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64
+}
+
+pub fn pointer(p: *const u8) -> *const u32 {
+    p as *const u32
+}
