@@ -5,13 +5,19 @@
 //! bench_compare <new.json> <baseline.json>
 //! ```
 //!
-//! Only the *stable* microbenches are gated — pure CPU kernels whose
-//! runtime does not depend on machine load, planner state, or thread
-//! scheduling (`sorted_union/*`, `history_insert_lookup/*`). A stable
-//! bench regressing more than 30% against the committed baseline fails
-//! the gate. End-to-end benches are reported for the trajectory but
-//! never gated: their variance on shared CI runners would make the
-//! lane flaky.
+//! Only the *stable* benches are gated, each family at a tolerance
+//! informed by its measured run-to-run variance:
+//!
+//! * pure CPU kernels (`sorted_union/*`, `history_insert_lookup/*`)
+//!   gate at 1.30× — their spread is a few percent;
+//! * the `eql_*` end-to-end figures gate at 1.60× — four back-to-back
+//!   runs on the build container put their worst spread at 1.16×, and
+//!   the wider bound absorbs shared-runner noise on top of that.
+//!
+//! The remaining end-to-end benches (partitioned search, bench-serve
+//! latencies) are reported for the trajectory but never gated: their
+//! runtime depends on thread scheduling and socket timing, so any
+//! tolerance tight enough to matter would make the lane flaky.
 //!
 //! The parallel-speedup assertion (`chain8_molesp/par2` must not trail
 //! `seq` by more than 25%) only runs when the host has 2+ cores — on a
@@ -23,12 +29,13 @@ use cs_bench::report::BenchRecord;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-/// Prefixes of benches stable enough to gate hard.
-const STABLE_PREFIXES: &[&str] = &["sorted_union/", "history_insert_lookup/"];
-
-/// Maximum tolerated mean-time ratio (new / baseline) for stable
-/// benches.
-const TOLERANCE: f64 = 1.30;
+/// Prefixes of benches stable enough to gate hard, with the maximum
+/// tolerated mean-time ratio (new / baseline) for each family.
+const STABLE_PREFIXES: &[(&str, f64)] = &[
+    ("sorted_union/", 1.30),
+    ("history_insert_lookup/", 1.30),
+    ("eql_", 1.60),
+];
 
 /// Maximum tolerated `par2 / seq` ratio on multicore hosts.
 const PAR_TOLERANCE: f64 = 1.25;
@@ -46,9 +53,10 @@ fn gate_stable(new: &HashMap<String, u64>, baseline: &HashMap<String, u64>) -> V
     let mut failures = Vec::new();
     let mut gated = 0usize;
     for (name, &base_ns) in baseline {
-        if !STABLE_PREFIXES.iter().any(|p| name.starts_with(p)) {
+        let Some(&(_, tolerance)) = STABLE_PREFIXES.iter().find(|(p, _)| name.starts_with(p))
+        else {
             continue;
-        }
+        };
         gated += 1;
         match new.get(name) {
             None => failures.push(format!(
@@ -56,11 +64,11 @@ fn gate_stable(new: &HashMap<String, u64>, baseline: &HashMap<String, u64>) -> V
             )),
             Some(&new_ns) => {
                 let ratio = new_ns as f64 / (base_ns as f64).max(1.0);
-                let verdict = if ratio > TOLERANCE { "FAIL" } else { "ok" };
+                let verdict = if ratio > tolerance { "FAIL" } else { "ok" };
                 println!("  {name}: {base_ns} ns -> {new_ns} ns ({ratio:.2}x) {verdict}");
-                if ratio > TOLERANCE {
+                if ratio > tolerance {
                     failures.push(format!(
-                        "{name}: {new_ns} ns vs baseline {base_ns} ns ({ratio:.2}x > {TOLERANCE:.2}x)"
+                        "{name}: {new_ns} ns vs baseline {base_ns} ns ({ratio:.2}x > {tolerance:.2}x)"
                     ));
                 }
             }
@@ -162,8 +170,28 @@ mod tests {
 
     #[test]
     fn unstable_benches_are_not_gated() {
-        let base = report(&[("sorted_union/8", 100), ("eql_cdf_m2_full_pipeline", 100)]);
-        let new = report(&[("sorted_union/8", 100), ("eql_cdf_m2_full_pipeline", 900)]);
+        let base = report(&[("sorted_union/8", 100), ("random64_molesp_max5/seq", 100)]);
+        let new = report(&[("sorted_union/8", 100), ("random64_molesp_max5/seq", 900)]);
+        assert!(gate_stable(&new, &base).is_empty());
+    }
+
+    #[test]
+    fn eql_figures_gate_at_their_own_tolerance() {
+        // 1.50x passes the 1.60x eql tier but would fail the 1.30x
+        // microbench tier — the per-family tolerance must apply.
+        let base = report(&[("eql_cdf_m2_full_pipeline", 100)]);
+        let ok = report(&[("eql_cdf_m2_full_pipeline", 150)]);
+        assert!(gate_stable(&ok, &base).is_empty());
+        let slow = report(&[("eql_cdf_m2_full_pipeline", 170)]);
+        let failures = gate_stable(&slow, &base);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("1.60x"), "{}", failures[0]);
+    }
+
+    #[test]
+    fn bench_serve_latencies_are_reported_not_gated() {
+        let base = report(&[("sorted_union/8", 100), ("bench_serve/p50", 100)]);
+        let new = report(&[("sorted_union/8", 100), ("bench_serve/p50", 900)]);
         assert!(gate_stable(&new, &base).is_empty());
     }
 

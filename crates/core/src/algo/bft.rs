@@ -218,6 +218,10 @@ impl<'g> BftEngine<'g> {
                 self.stop = true;
             }
         }
+        if self.filters.cancel_requested() {
+            self.stats.cancelled = true;
+            self.stop = true;
+        }
     }
 
     fn run(mut self) -> SearchOutcome {

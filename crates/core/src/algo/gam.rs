@@ -635,7 +635,10 @@ impl<'g> GamEngine<'g> {
         }
     }
 
-    /// Periodic wall-clock check.
+    /// Periodic wall-clock + cooperative-cancellation check. Runs every
+    /// 64 Grow steps, so a cancelled or past-deadline search stops
+    /// mid-search (the resumable `step` loop observes `stop` on its
+    /// next call) instead of running to completion.
     fn check_time(&mut self) {
         self.tick = self.tick.wrapping_add(1);
         if !self.tick.is_multiple_of(64) {
@@ -646,6 +649,10 @@ impl<'g> GamEngine<'g> {
                 self.stats.timed_out = true;
                 self.stop = true;
             }
+        }
+        if self.filters.cancel_requested() {
+            self.stats.cancelled = true;
+            self.stop = true;
         }
     }
 }

@@ -137,6 +137,7 @@ struct Shared<'g> {
     stop: AtomicBool,
     timed_out: AtomicBool,
     budget_exhausted: AtomicBool,
+    cancelled: AtomicBool,
     /// Per-worker Grow queues; a worker pushes only to its own, but
     /// idle workers pop ("steal") from any.
     queues: Box<[Mutex<Queues<GrowTask>>]>,
@@ -206,6 +207,12 @@ impl Worker {
                 shared.stop.store(true, Ordering::Relaxed); // ORDERING: see above
             }
         }
+        if shared.filters.cancel_requested() {
+            // ORDERING: advisory flags, same as the deadline stores
+            // above: re-read every loop iteration, publish no data.
+            shared.cancelled.store(true, Ordering::Relaxed); // ORDERING: see above
+            shared.stop.store(true, Ordering::Relaxed); // ORDERING: see above
+        }
     }
 }
 
@@ -273,6 +280,7 @@ pub fn run_partitioned(
         stop: AtomicBool::new(false),
         timed_out: AtomicBool::new(false),
         budget_exhausted: AtomicBool::new(false),
+        cancelled: AtomicBool::new(false),
         queues: (0..workers)
             .map(|_| Mutex::new(Queues::new(policy)))
             .collect(),
@@ -301,6 +309,7 @@ pub fn run_partitioned(
     // every worker's stores before these loads.
     stats.timed_out = shared.timed_out.load(Ordering::Relaxed); // ORDERING: see above
     stats.budget_exhausted = shared.budget_exhausted.load(Ordering::Relaxed); // ORDERING: see above
+    stats.cancelled = shared.cancelled.load(Ordering::Relaxed); // ORDERING: see above
 
     // Canonical result order: deterministic in the worker count and in
     // the scheduling, unlike the nondeterministic global discovery
@@ -819,6 +828,47 @@ mod tests {
             4,
         );
         assert!(out.stats.budget_exhausted);
+    }
+
+    #[test]
+    fn pre_raised_cancel_stops_partitioned_search() {
+        let w = chain(10);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let flag = crate::CancelFlag::new();
+        flag.cancel();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::GAM,
+            Filters::none().with_cancel(flag),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            4,
+        );
+        assert!(out.stats.cancelled, "cancel flag must stop the workers");
+        assert!(!out.stats.timed_out, "cancellation is not a timeout");
+        // A full chain(10) run yields 1024 results; a cancel observed on
+        // the first 64-tick check leaves the search far from complete.
+        assert!(out.results.len() < 1024);
+    }
+
+    #[test]
+    fn pre_raised_cancel_stops_sequential_search() {
+        let w = chain(10);
+        let seeds = SeedSets::from_sets(w.seeds.clone()).unwrap();
+        let flag = crate::CancelFlag::new();
+        flag.cancel();
+        let out = run_partitioned(
+            &w.graph,
+            &seeds,
+            GamConfig::GAM,
+            Filters::none().with_cancel(flag),
+            QueueOrder::SmallestFirst,
+            QueuePolicy::Single,
+            1, // delegates to the sequential GamEngine
+        );
+        assert!(out.stats.cancelled);
+        assert!(out.results.len() < 1024);
     }
 
     #[test]

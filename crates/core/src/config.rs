@@ -4,8 +4,50 @@
 use crate::tree::TreeData;
 use cs_graph::fxhash::FxHashSet;
 use cs_graph::{EdgeId, Graph, LabelId};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A shared cooperative-cancellation flag.
+///
+/// Cloning yields another handle to the same flag, so a caller can keep
+/// one handle (e.g. a server's cancel registry, keyed by request id) and
+/// push the other into [`Filters::with_cancel`]. The search engines poll
+/// it on the same cadence as the deadline check (every 64 Grow steps) and
+/// stop with [`SearchStats::cancelled`](crate::SearchStats) set, so a
+/// cancelled search still returns its partial state instead of running to
+/// completion.
+#[derive(Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        // ORDERING: Relaxed — the flag is a purely advisory "stop soon"
+        // signal with no data published alongside it; the searches poll
+        // it and act on their own local state only.
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        // ORDERING: Relaxed — advisory poll; see `cancel`.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CancelFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("CancelFlag")
+            .field(&self.is_cancelled())
+            .finish()
+    }
+}
 
 /// CTP filters and evaluation limits, pushed into the search (§4.8).
 #[derive(Clone, Default)]
@@ -24,6 +66,10 @@ pub struct Filters {
     /// Deterministic budget: stop after building this many provenances
     /// (used by tests and benchmarks for reproducibility).
     pub max_provenances: Option<u64>,
+    /// Cooperative cancellation: polled by the engines on the deadline
+    /// cadence; when set, the search stops early with
+    /// `SearchStats::cancelled`.
+    pub cancel: Option<CancelFlag>,
 }
 
 impl Filters {
@@ -68,6 +114,17 @@ impl Filters {
         self
     }
 
+    /// Builder-style: attach a cooperative cancellation flag.
+    pub fn with_cancel(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Has the attached cancel flag (if any) been raised?
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+
     /// Resolves the label filter against a graph's interner. Labels
     /// absent from the graph resolve to nothing (no edge can match).
     pub(crate) fn resolve_labels(&self, g: &Graph) -> Option<FxHashSet<LabelId>> {
@@ -88,6 +145,7 @@ impl std::fmt::Debug for Filters {
             .field("timeout", &self.timeout)
             .field("max_results", &self.max_results)
             .field("max_provenances", &self.max_provenances)
+            .field("cancel", &self.cancel)
             .finish()
     }
 }
@@ -173,6 +231,18 @@ mod tests {
         assert_eq!(f.max_provenances, Some(100));
         assert!(f.timeout.is_some());
         assert!(format!("{f:?}").contains("uni: true"));
+    }
+
+    #[test]
+    fn cancel_flag_is_shared() {
+        let flag = CancelFlag::new();
+        let f = Filters::none().with_cancel(flag.clone());
+        assert!(!f.cancel_requested());
+        flag.cancel();
+        assert!(f.cancel_requested());
+        assert!(format!("{f:?}").contains("CancelFlag(true)"));
+        // A filter without a flag never reports cancellation.
+        assert!(!Filters::none().cancel_requested());
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use algo::{
     evaluate_ctp, evaluate_ctp_partitioned, evaluate_ctp_streaming, evaluate_ctp_with_policy,
     run_partitioned, stream_ctp, Algorithm, CtpStream, GamConfig,
 };
-pub use config::{Filters, PriorityFn, QueueOrder, QueuePolicy};
+pub use config::{CancelFlag, Filters, PriorityFn, QueueOrder, QueuePolicy};
 pub use result::{
     check_result_minimal, sat_of_nodes, ResultSet, ResultTree, SearchOutcome, SearchStats,
     WorkerStats,

@@ -211,6 +211,9 @@ pub struct SearchStats {
     pub timed_out: bool,
     /// True if the provenance budget was exhausted.
     pub budget_exhausted: bool,
+    /// True if the search stopped because its
+    /// [`CancelFlag`](crate::CancelFlag) was raised.
+    pub cancelled: bool,
     /// Per-worker breakdown when the search ran on the partitioned
     /// parallel engine ([`crate::algo::partition`]); empty for
     /// sequential searches. The aggregate counters above are the sums
@@ -251,6 +254,7 @@ impl SearchStats {
             total.stolen += p.stolen;
             total.timed_out |= p.timed_out;
             total.budget_exhausted |= p.budget_exhausted;
+            total.cancelled |= p.cancelled;
             total.workers.push(WorkerStats {
                 produced: p.provenances,
                 pruned: p.pruned,
@@ -273,9 +277,10 @@ pub struct SearchOutcome {
 }
 
 impl SearchOutcome {
-    /// True if the search ran to completion (no timeout / budget stop).
+    /// True if the search ran to completion (no timeout / budget /
+    /// cancellation stop).
     pub fn complete(&self) -> bool {
-        !self.stats.timed_out && !self.stats.budget_exhausted
+        !self.stats.timed_out && !self.stats.budget_exhausted && !self.stats.cancelled
     }
 
     /// Optional seed-mask accessor used by tests.
@@ -482,9 +487,7 @@ mod tests {
             pruned: pr,
             queue_pushes: 10,
             stolen: st,
-            timed_out: false,
-            budget_exhausted: false,
-            workers: Vec::new(),
+            ..SearchStats::default()
         };
         let merged = SearchStats::merge_workers(vec![
             mk(5, 3, 2, 7, 1),

@@ -22,7 +22,7 @@ use cs_engine::{plan_bgp, Bgp, BgpPlan, Binding, Table, Term, TriplePattern};
 use cs_graph::fxhash::FxHashMap;
 use cs_graph::{matching_nodes, Graph, NodeId};
 use std::fmt;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Errors from parsing or executing an EQL query.
 #[derive(Debug)]
@@ -34,6 +34,13 @@ pub enum EqlError {
     /// A structurally invalid query reached the executor (possible when
     /// the AST is constructed programmatically, bypassing the parser).
     Validate(String),
+    /// The query's wall-clock budget ([`ExecOptions::deadline`])
+    /// elapsed; the search was stopped cooperatively mid-flight.
+    DeadlineExceeded,
+    /// The query's [`CancelFlag`](cs_core::CancelFlag)
+    /// ([`ExecOptions::cancel`]) was raised; the search was stopped
+    /// cooperatively mid-flight.
+    Cancelled,
 }
 
 impl fmt::Display for EqlError {
@@ -42,6 +49,8 @@ impl fmt::Display for EqlError {
             EqlError::Parse(e) => write!(f, "{e}"),
             EqlError::Seed(e) => write!(f, "{e}"),
             EqlError::Validate(m) => write!(f, "{m}"),
+            EqlError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EqlError::Cancelled => write!(f, "cancelled"),
         }
     }
 }
@@ -91,6 +100,18 @@ pub struct ExecOptions {
     /// pattern shape, the Fig. 13 per-label plan-cache idea). `0`
     /// disables caching.
     pub plan_cache_capacity: usize,
+    /// Hard per-query wall-clock budget. Unlike
+    /// [`ExecOptions::default_timeout`] (the per-CTP soft `TIMEOUT`
+    /// clause, which returns the partial results found in time), an
+    /// exceeded deadline fails the whole query with
+    /// [`EqlError::DeadlineExceeded`] — the typed path `csqd` turns
+    /// into an error frame. The clock starts when execution starts.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation: when raised (e.g. by a server's cancel
+    /// registry from another thread), the running searches stop at
+    /// their next check and the query fails with
+    /// [`EqlError::Cancelled`].
+    pub cancel: Option<cs_core::CancelFlag>,
 }
 
 impl Default for ExecOptions {
@@ -102,6 +123,8 @@ impl Default for ExecOptions {
             threads: 1,
             search_threads: 1,
             plan_cache_capacity: 128,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -225,6 +248,84 @@ pub fn execute(g: &Graph, q: &QueryAst, opts: &ExecOptions) -> Result<QueryResul
     let session = Session::with_options(g, opts.clone());
     let prepared = session.prepare_ast(q.clone())?;
     session.execute(&prepared)
+}
+
+/// Per-execution control state derived from [`ExecOptions`] when a
+/// query starts: the absolute deadline and the shared cancel flag.
+///
+/// The control is threaded two ways: [`QueryControl::check`] fails
+/// fast *between* execution steps, and [`QueryControl::arm`] pushes
+/// the flag/deadline *into* each search's [`Filters`] so the engines'
+/// cooperative checks (every 64 Grow steps, in the sequential `step`
+/// loop and the partitioned workers alike) stop a running search
+/// mid-flight. [`QueryControl::classify`] then turns the stop reason
+/// into the typed [`EqlError::Cancelled`] /
+/// [`EqlError::DeadlineExceeded`] errors.
+pub(crate) struct QueryControl {
+    deadline: Option<Instant>,
+    cancel: Option<cs_core::CancelFlag>,
+}
+
+impl QueryControl {
+    /// Starts the per-query clock.
+    pub(crate) fn begin(opts: &ExecOptions) -> Self {
+        QueryControl {
+            deadline: opts.deadline.map(|d| Instant::now() + d),
+            cancel: opts.cancel.clone(),
+        }
+    }
+
+    /// Fails fast between execution steps (cancellation wins over the
+    /// deadline when both apply).
+    pub(crate) fn check(&self) -> Result<(), EqlError> {
+        if self.cancel.as_ref().is_some_and(|c| c.is_cancelled()) {
+            return Err(EqlError::Cancelled);
+        }
+        if self.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(EqlError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+
+    /// Pushes the control into one search's filters: the cancel flag
+    /// is attached as-is, and the remaining wall-clock budget tightens
+    /// the CTP timeout (the engines already stop on the tighter of the
+    /// two).
+    pub(crate) fn arm(&self, filters: &mut Filters) {
+        if let Some(c) = &self.cancel {
+            filters.cancel = Some(c.clone());
+        }
+        if let Some(d) = self.deadline {
+            let remaining = d.saturating_duration_since(Instant::now());
+            filters.timeout = Some(filters.timeout.map_or(remaining, |t| t.min(remaining)));
+        }
+    }
+
+    /// Arms every job of a dispatch round.
+    pub(crate) fn arm_jobs(&self, jobs: &mut [CtpJob]) {
+        if self.deadline.is_none() && self.cancel.is_none() {
+            return;
+        }
+        for j in jobs {
+            self.arm(&mut j.filters);
+        }
+    }
+
+    /// Classifies a finished dispatch round: a cancelled search fails
+    /// the query; a timed-out search fails it only when the hard
+    /// deadline has actually passed — a per-CTP soft `TIMEOUT` clause
+    /// keeps its partial results, as before.
+    pub(crate) fn classify(&self, outcomes: &[SearchOutcome]) -> Result<(), EqlError> {
+        if outcomes.iter().any(|o| o.stats.cancelled) {
+            return Err(EqlError::Cancelled);
+        }
+        if outcomes.iter().any(|o| o.stats.timed_out)
+            && self.deadline.is_some_and(|d| Instant::now() >= d)
+        {
+            return Err(EqlError::DeadlineExceeded);
+        }
+        Ok(())
+    }
 }
 
 /// The step (B) job list: per CTP, the job, the table columns of its

@@ -45,7 +45,7 @@ use crate::ast::{QueryAst, QueryForm};
 use crate::exec::{
     ask_truncated, build_ctp_jobs, ctp_filters, dispatch_jobs, grow_ask_limits, join_all,
     materialise_ctps, pick_policy, query_bgps, seed_specs, CtpMaterialisation, EqlError,
-    ExecOptions, ExecStats, QueryResult,
+    ExecOptions, ExecStats, QueryControl, QueryResult,
 };
 use crate::parser::parse;
 use cs_core::parallel::{resolve_search_threads, resolve_threads, CtpJob};
@@ -66,20 +66,24 @@ use std::time::{Duration, Instant};
 /// evaluation inside one query or batch still fans out over
 /// [`ExecOptions::threads`] workers. Use one session per thread.
 ///
-/// A session either borrows its graph ([`Session::new`]) or owns it
-/// ([`Session::from_graph`], [`Session::open_snapshot`]) — the owning
-/// form is `Session<'static>`, so a file-backed dataset can be served
-/// without keeping a graph binding alive elsewhere.
+/// A session either borrows its graph ([`Session::new`]), owns it
+/// ([`Session::from_graph`], [`Session::open_snapshot`]), or shares it
+/// ([`Session::from_shared`]) — the owning and sharing forms are
+/// `Session<'static>`, so a file-backed dataset can be served without
+/// keeping a graph binding alive elsewhere. The shared form is what a
+/// server uses: N connections hold one `Arc<Graph>` (one mmap-loaded
+/// snapshot), each with its own session and plan cache.
 pub struct Session<'g> {
     graph: GraphHandle<'g>,
     opts: ExecOptions,
     cache: RefCell<PlanCache>,
 }
 
-/// The two ways a session holds its graph.
+/// The three ways a session holds its graph.
 enum GraphHandle<'g> {
     Borrowed(&'g Graph),
     Owned(Box<Graph>),
+    Shared(std::sync::Arc<Graph>),
 }
 
 impl GraphHandle<'_> {
@@ -87,6 +91,7 @@ impl GraphHandle<'_> {
         match self {
             GraphHandle::Borrowed(g) => g,
             GraphHandle::Owned(g) => g,
+            GraphHandle::Shared(g) => g,
         }
     }
 }
@@ -151,6 +156,24 @@ impl Session<'static> {
         path: impl AsRef<std::path::Path>,
     ) -> Result<Session<'static>, cs_graph::snapshot::SnapshotError> {
         Session::open_snapshot_with(path, ExecOptions::default())
+    }
+
+    /// A session over a shared, reference-counted graph. Many sessions
+    /// (one per connection, one per thread — sessions are `!Sync`) can
+    /// hold the same `Arc<Graph>`, so a server keeps a single graph in
+    /// memory regardless of how many clients it serves.
+    pub fn from_shared(graph: std::sync::Arc<Graph>) -> Session<'static> {
+        Session::from_shared_with(graph, ExecOptions::default())
+    }
+
+    /// [`Session::from_shared`] with explicit options.
+    pub fn from_shared_with(graph: std::sync::Arc<Graph>, opts: ExecOptions) -> Session<'static> {
+        let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        Session {
+            graph: GraphHandle::Shared(graph),
+            opts,
+            cache,
+        }
     }
 
     /// [`Session::open_snapshot`] with explicit options.
@@ -244,6 +267,7 @@ impl<'g> Session<'g> {
         let g = self.graph();
         let ast = &q.ast;
         let t_total = Instant::now();
+        let control = QueryControl::begin(&self.opts);
         let mut stats = ExecStats::default();
 
         // ---- Step (A): plan each BGP component through the session
@@ -251,22 +275,27 @@ impl<'g> Session<'g> {
         let t0 = Instant::now();
         let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
         stats.bgp_time = t0.elapsed();
+        control.check()?;
 
         // ---- Step (B): evaluate the CTPs. All CTPs of a query are
         // independent searches (their seed sets derive only from step
         // A), so they are collected into [`CtpJob`]s and — when more
         // than one worker is configured — dispatched through the §6
-        // coarse-grained parallel evaluator.
+        // coarse-grained parallel evaluator. The control is armed into
+        // every job, so a raised cancel flag or an elapsed deadline
+        // stops the searches mid-flight.
         let t1 = Instant::now();
         let (mut jobs, job_cols, deepenable) = build_ctp_jobs(g, ast, &bgp_tables, &self.opts)?;
+        control.arm_jobs(&mut jobs);
         let materialised = self.run_ctp_rounds(
             ast,
             &bgp_tables,
             &mut jobs,
             &job_cols,
             &deepenable,
+            &control,
             &mut stats,
-        );
+        )?;
         stats.ctp_time = t1.elapsed();
 
         Ok(assemble(
@@ -283,6 +312,7 @@ impl<'g> Session<'g> {
     /// deepenable result caps while the join probe stays empty and a
     /// truncated search might still produce the joining tree. Each
     /// round replaces the previous attempt's per-CTP stats.
+    #[allow(clippy::too_many_arguments)]
     fn run_ctp_rounds(
         &self,
         ast: &QueryAst,
@@ -290,8 +320,9 @@ impl<'g> Session<'g> {
         jobs: &mut [CtpJob],
         job_cols: &[Vec<Option<String>>],
         deepenable: &[bool],
+        control: &QueryControl,
         stats: &mut ExecStats,
-    ) -> CtpMaterialisation {
+    ) -> Result<CtpMaterialisation, EqlError> {
         loop {
             let outcomes = dispatch_jobs(
                 self.graph(),
@@ -299,6 +330,7 @@ impl<'g> Session<'g> {
                 self.opts.threads,
                 self.opts.search_threads,
             );
+            control.classify(&outcomes)?;
 
             stats.ctp_stats.clear();
             let truncated = ask_truncated(jobs, &outcomes, deepenable);
@@ -310,12 +342,12 @@ impl<'g> Session<'g> {
             // the join is witnessed, or no truncated search can change
             // it.
             if ast.form == QueryForm::Select || !truncated || timed_out {
-                return materialised;
+                return Ok(materialised);
             }
             let mut probe = bgp_tables.to_vec();
             probe.extend(materialised.0.iter().cloned());
             if !join_all(probe).is_empty() {
-                return materialised;
+                return Ok(materialised);
             }
             grow_ask_limits(jobs, deepenable);
         }
@@ -372,14 +404,19 @@ impl<'g> Session<'g> {
         if pick_policy(&seeds, self.opts.balance_ratio) != QueuePolicy::Single {
             return Ok(None);
         }
+        let control = QueryControl::begin(&self.opts);
+        control.check()?;
+        let mut filters = ctp_filters(ctp, &self.opts);
+        control.arm(&mut filters);
         let outcome = evaluate_ctp_streaming(
             self.graph(),
             &seeds,
             algorithm,
-            ctp_filters(ctp, &self.opts),
+            filters,
             QueueOrder::SmallestFirst,
             |_| false, // first witness decides: stop immediately
         );
+        control.classify(std::slice::from_ref(&outcome))?;
         Ok(Some(!outcome.results.is_empty()))
     }
 
@@ -410,6 +447,7 @@ impl<'g> Session<'g> {
         }
 
         let g = self.graph();
+        let control = QueryControl::begin(&self.opts);
         let mut staged: Vec<Result<Staged, EqlError>> = Vec::with_capacity(queries.len());
         let mut all_jobs: Vec<CtpJob> = Vec::new();
         for text in queries {
@@ -418,8 +456,10 @@ impl<'g> Session<'g> {
                 let t0 = Instant::now();
                 let bgp_tables = self.eval_bgps(&prepared.bgps, &mut stats);
                 stats.bgp_time = t0.elapsed();
-                let (jobs, job_cols, deepenable) =
+                control.check()?;
+                let (mut jobs, job_cols, deepenable) =
                     build_ctp_jobs(g, &prepared.ast, &bgp_tables, &self.opts)?;
+                control.arm_jobs(&mut jobs);
                 let n_jobs = jobs.len();
                 all_jobs.extend(jobs);
                 Ok(Staged {
@@ -451,6 +491,10 @@ impl<'g> Session<'g> {
                 let jobs = &all_jobs[job_base..job_base + st.n_jobs];
                 job_base += st.n_jobs;
                 let outs: Vec<_> = outcome_iter.by_ref().take(st.n_jobs).collect();
+                // A cancelled/past-deadline batch fails each affected
+                // query; queries whose searches already finished keep
+                // their results.
+                control.classify(&outs)?;
 
                 let truncated = ask_truncated(jobs, &outs, &st.deepenable);
                 let timed_out = outs.iter().any(|o| o.stats.timed_out);
@@ -475,8 +519,9 @@ impl<'g> Session<'g> {
                             &mut retry_jobs,
                             &st.job_cols,
                             &st.deepenable,
+                            &control,
                             &mut st.stats,
-                        );
+                        )?;
                         st.stats.ctp_time += t2.elapsed();
                         return Ok(assemble(
                             &st.prepared.ast,
@@ -548,16 +593,23 @@ impl<'g> Session<'g> {
             )));
         }
 
+        let control = QueryControl::begin(&self.opts);
         let mut stats = ExecStats::default();
         let t0 = Instant::now();
         let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
         stats.bgp_time = t0.elapsed();
+        control.check()?;
 
         let (specs, _) = seed_specs(self.graph(), ctp, 0, &bgp_tables);
         let seeds = SeedSets::new(specs)?;
         let policy = pick_policy(&seeds, self.opts.balance_ratio);
         let mut filters = ctp_filters(ctp, &self.opts);
         filters.max_results = ctp.filters.limit;
+        // Armed control: the lazily pulled stream stops early when the
+        // flag is raised or the budget elapses (visible as
+        // `stats().cancelled` / `stats().timed_out`); the eager
+        // partitioned path below reports the typed error directly.
+        control.arm(&mut filters);
 
         let intra = resolve_search_threads(
             self.opts.search_threads,
@@ -577,6 +629,7 @@ impl<'g> Session<'g> {
                 policy,
                 intra,
             );
+            control.classify(std::slice::from_ref(&outcome))?;
             StreamInner::Eager {
                 trees: outcome.results.into_trees().into_iter(),
                 stats: outcome.stats,

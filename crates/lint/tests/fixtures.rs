@@ -97,6 +97,16 @@ fn l004_thread_fixture() {
 }
 
 #[test]
+fn l004_server_thread_fixture() {
+    // The allowlist is file-granular inside crates/server: only
+    // server.rs may thread; every sibling module still trips.
+    let src = include_str!("fixtures/l004_server_thread.rs");
+    assert_trips("crates/server/src/scheduler.rs", src, "L004", 1);
+    assert_trips("crates/server/src/client.rs", src, "L004", 1);
+    assert!(run("crates/server/src/server.rs", src).is_empty());
+}
+
+#[test]
 fn l005_ffi_fixture() {
     assert_trips(
         "crates/fixture/src/lib.rs",
@@ -134,6 +144,7 @@ fn fixtures_expectations_cover_every_fixture_file() {
         "l002_panics.rs",
         "l002_suppression_without_reason.rs",
         "l003_ordering.rs",
+        "l004_server_thread.rs",
         "l004_thread.rs",
         "l005_ffi.rs",
         "l006_narrowing.rs",

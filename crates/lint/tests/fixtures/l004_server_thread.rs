@@ -1,0 +1,9 @@
+// Fixture: the cs-server allowlist entry is `server.rs` alone, not the
+// whole crate — a scheduler (or client, proto, …) file spawning its own
+// worker trips L004 even inside crates/server. One violation.
+
+pub fn sneak_a_worker_past_the_scheduler() {
+    std::thread::spawn(|| {
+        // A detached worker here would bypass admission control.
+    });
+}

@@ -1,0 +1,183 @@
+//! `csqd` — the connection-search query daemon.
+//!
+//! ```text
+//! csqd <graph-source> [--addr HOST:PORT] [--workers N]
+//!      [--threads N] [--search-threads N]
+//!      [--queue N] [--tenant-inflight N] [--default-deadline-ms N]
+//! ```
+//!
+//! A *graph source* is the same as `csq`'s: `--demo`, a `.csg`
+//! snapshot, a generator spec (`gen:scale_free:nodes=2000,seed=7`), or
+//! a tab-separated triples file. The graph is loaded once and shared
+//! by every connection.
+//!
+//! The server prints `csqd listening on <addr>` once ready (the line
+//! test harnesses and the CI serve-smoke lane wait for) and runs until
+//! a client sends a `shutdown` frame.
+
+use cs_eql::ExecOptions;
+use cs_graph::generate::from_spec;
+use cs_graph::{binfmt, figure1, ntriples, snapshot, Graph};
+use cs_server::{Server, ServerConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: csqd <graph-source|--demo> [--addr HOST:PORT] [--workers N] \
+         [--threads N] [--search-threads N] [--queue N] [--tenant-inflight N] \
+         [--default-deadline-ms N]\n\
+         graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Parses the numeric value of `flag` at `args[i + 1]`.
+fn numeric_flag<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> Result<T, String> {
+    let Some(raw) = args.get(i + 1) else {
+        return Err(format!("{flag} expects a number, but none was given"));
+    };
+    raw.parse::<T>()
+        .map_err(|_| format!("{flag} expects a number, got {raw:?}"))
+}
+
+/// Builds a graph from a source string — the same resolution order as
+/// `csq`: demo graph, generator spec, `.csg` snapshot, triples file.
+fn load_graph(source: &str) -> Result<Graph, String> {
+    if source == "--demo" {
+        return Ok(figure1());
+    }
+    if let Some(spec) = source.strip_prefix("gen:") {
+        return from_spec(spec).map_err(|e| e.to_string());
+    }
+    if !std::path::Path::new(source).exists() {
+        match from_spec(source) {
+            Ok(g) => return Ok(g),
+            Err(cs_graph::generate::SpecError::UnknownFamily(_)) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    if source.ends_with(".csg") {
+        return snapshot::load_from(source).map_err(|e| e.to_string());
+    }
+    let raw = std::fs::read(source).map_err(|e| format!("cannot read {source}: {e}"))?;
+    if raw.starts_with(b"CSG1") || raw.starts_with(b"CSG2") {
+        binfmt::decode_graph(&raw).map_err(|e| format!("{source}: {e}"))
+    } else {
+        let text = String::from_utf8(raw).map_err(|_| format!("{source} is not UTF-8"))?;
+        ntriples::parse_triples(&text).map_err(|e| format!("bad triples in {source}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut source: Option<&str> = None;
+    let mut addr = "127.0.0.1:7687".to_string();
+    let mut cfg = ServerConfig {
+        exec: ExecOptions::default(),
+        ..ServerConfig::default()
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                let Some(a) = args.get(i + 1) else {
+                    return fail("--addr expects HOST:PORT, but none was given");
+                };
+                addr = a.clone();
+                i += 2;
+            }
+            "--workers" => {
+                match numeric_flag::<usize>(&args, i, "--workers") {
+                    Ok(n) => cfg.workers = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--threads" => {
+                match numeric_flag::<usize>(&args, i, "--threads") {
+                    Ok(n) => cfg.exec.threads = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--search-threads" => {
+                match numeric_flag::<usize>(&args, i, "--search-threads") {
+                    Ok(n) => cfg.exec.search_threads = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--queue" => {
+                match numeric_flag::<usize>(&args, i, "--queue") {
+                    Ok(n) => cfg.scheduler.queue_capacity = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--tenant-inflight" => {
+                match numeric_flag::<usize>(&args, i, "--tenant-inflight") {
+                    Ok(n) => cfg.scheduler.tenant_inflight = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--default-deadline-ms" => {
+                match numeric_flag::<u64>(&args, i, "--default-deadline-ms") {
+                    Ok(ms) => cfg.default_deadline = Some(Duration::from_millis(ms)),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            other => {
+                if other.starts_with("--") && other != "--demo" {
+                    return usage();
+                }
+                if source.is_some() {
+                    return usage();
+                }
+                source = Some(other);
+                i += 1;
+            }
+        }
+    }
+
+    let Some(source) = source else {
+        return usage();
+    };
+    let graph = match load_graph(source) {
+        Ok(g) => Arc::new(g),
+        Err(e) => return fail(e),
+    };
+    eprintln!(
+        "csqd: loaded {source}: {} nodes, {} edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    let server = match Server::bind(&addr, graph, cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot bind {addr}: {e}")),
+    };
+    let bound = match server.local_addr() {
+        Ok(a) => a,
+        Err(e) => return fail(e),
+    };
+    // The readiness line harnesses wait for — flushed via println's
+    // line buffering before the serve loop starts blocking.
+    println!("csqd listening on {bound}");
+    match server.run() {
+        Ok(()) => {
+            eprintln!("csqd: shut down");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}

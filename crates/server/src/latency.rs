@@ -1,0 +1,107 @@
+//! Exact latency histogram for `csq bench-serve`.
+//!
+//! The load generator records one sample per request; the histogram
+//! stores them all (an open-loop run at bench scale is tens of
+//! thousands of samples — exact beats bucketed at this size) and
+//! answers percentile queries by sorting once on demand.
+
+/// Sample-storing histogram over nanosecond latencies.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, nanos: u64) {
+        self.samples.push(nanos);
+        self.sorted = false;
+    }
+
+    /// Absorbs every sample of `other` (merging per-connection
+    /// histograms into a run-wide one). Exact: the union's percentiles
+    /// come from the union's samples.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let sum: u128 = self.samples.iter().map(|&s| s as u128).sum();
+        (sum / self.samples.len() as u128) as u64
+    }
+
+    /// The `p`-th percentile (nearest-rank over the sorted samples),
+    /// `p` in `0.0..=100.0`. Returns 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // Nearest-rank: ceil(p/100 * n), 1-based; p = 0 maps to the
+        // minimum.
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(n - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_samples() {
+        let mut h = LatencyHistogram::new();
+        for v in [5u64, 1, 4, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(90.0), 5);
+        assert_eq!(h.percentile(100.0), 5);
+        assert_eq!(h.mean(), 3);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn recording_after_a_query_resorts() {
+        let mut h = LatencyHistogram::new();
+        h.record(10);
+        assert_eq!(h.percentile(50.0), 10);
+        h.record(1);
+        assert_eq!(h.percentile(0.0), 1);
+    }
+}

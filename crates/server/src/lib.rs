@@ -1,0 +1,37 @@
+//! `cs-server` — the `csqd` multi-tenant query server.
+//!
+//! Everything the paper's engine computes in-process, served over TCP:
+//! N clients share one loaded graph (an mmap snapshot or generated
+//! dataset), each connection gets its own [`Session`] (plan cache and
+//! all), and a global admission-controlled scheduler keeps tenants
+//! fairly shared across a fixed executor pool. The pieces:
+//!
+//! * [`proto`] — the `csq/1` length-prefixed binary protocol;
+//! * [`scheduler`] — bounded, tenant-fair admission and dispatch;
+//! * [`server`] — the accept/reader/executor threading around them;
+//! * [`client`] — the blocking client (`csq connect`, `csq
+//!   bench-serve`, tests);
+//! * [`latency`] — the exact percentile histogram behind `bench-serve`.
+//!
+//! Per-query **deadlines** and **cooperative cancellation** ride the
+//! typed path in `cs-eql` ([`cs_eql::ExecOptions::deadline`] /
+//! [`cs_eql::ExecOptions::cancel`]): the engines' search loops poll a
+//! shared flag every 64 steps, so a timed-out or cancelled query stops
+//! mid-search and its connection receives a typed error frame instead
+//! of a result.
+//!
+//! [`Session`]: cs_eql::Session
+
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod latency;
+pub mod proto;
+pub mod scheduler;
+pub mod server;
+
+pub use client::{Canceller, Client, ClientError};
+pub use latency::LatencyHistogram;
+pub use proto::{ErrorCode, ErrorReply, QueryReply, RequestHeader};
+pub use scheduler::{AdmitError, Scheduler, SchedulerConfig, SchedulerStats};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,572 @@
+//! The `csq/1` wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame — request or response — has the same envelope, all
+//! integers little-endian:
+//!
+//! ```text
+//! u32 magic        "CSQ1" (0x31515343)
+//! u32 frame-len    length of the body that follows (id + opcode + payload)
+//! u64 request-id   chosen by the client; echoed on every response
+//! u8  opcode
+//! …   payload      opcode-specific
+//! ```
+//!
+//! Request opcodes: `Query`, `Batch`, `Ask` (a [`RequestHeader`] plus
+//! query text), `Stats`, `Ping`, `Cancel` (the target request id),
+//! `Shutdown`. Response opcodes: `Reply` (rendered results), `Error`
+//! (a typed [`ErrorCode`] + message), `Pong`, `StatsReply`,
+//! `ShutdownAck`. `Cancel` has no response of its own — the cancelled
+//! query answers with an `Error` frame carrying
+//! [`ErrorCode::Cancelled`].
+//!
+//! The codec is defensive by construction: decoding never panics, a
+//! frame body is bounded by [`MAX_FRAME_LEN`], and every malformed
+//! input maps to a typed [`ProtoError`]. The proptest suite in
+//! `tests/proto_robustness.rs` feeds arbitrary bytes through both the
+//! byte-level and the socket-level paths.
+
+use std::io::{Read, Write};
+
+/// Frame magic: `b"CSQ1"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"CSQ1");
+
+/// Upper bound on a frame body (request id + opcode + payload). Large
+/// enough for rendered result tables, small enough that a hostile
+/// length prefix cannot make the server allocate unbounded memory.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Frame opcodes (requests and responses share the byte space;
+/// responses have the high bit set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Execute one query (`SELECT` or `ASK`), reply with its rendering.
+    Query = 0x01,
+    /// Execute several queries through one cross-query dispatch.
+    Batch = 0x02,
+    /// Execute an `ASK` query, reply with its boolean.
+    Ask = 0x03,
+    /// Server statistics snapshot.
+    Stats = 0x04,
+    /// Liveness probe; the payload is echoed back.
+    Ping = 0x05,
+    /// Cancel the in-flight request named by the payload's `u64` id.
+    Cancel = 0x06,
+    /// Stop accepting connections and drain.
+    Shutdown = 0x07,
+    /// Successful query/batch/ask response ([`QueryReply`]).
+    Reply = 0x81,
+    /// Typed error response ([`ErrorReply`]).
+    Error = 0x82,
+    /// Ping echo.
+    Pong = 0x83,
+    /// Statistics text.
+    StatsReply = 0x84,
+    /// Shutdown acknowledged.
+    ShutdownAck = 0x85,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(b: u8) -> Result<Opcode, ProtoError> {
+        Ok(match b {
+            0x01 => Opcode::Query,
+            0x02 => Opcode::Batch,
+            0x03 => Opcode::Ask,
+            0x04 => Opcode::Stats,
+            0x05 => Opcode::Ping,
+            0x06 => Opcode::Cancel,
+            0x07 => Opcode::Shutdown,
+            0x81 => Opcode::Reply,
+            0x82 => Opcode::Error,
+            0x83 => Opcode::Pong,
+            0x84 => Opcode::StatsReply,
+            0x85 => Opcode::ShutdownAck,
+            other => return Err(ProtoError::BadOpcode(other)),
+        })
+    }
+}
+
+/// Typed error codes carried by [`Opcode::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The query failed to parse, validate, or seed.
+    Query = 1,
+    /// The request's cancel frame arrived while the search ran.
+    Cancelled = 2,
+    /// The per-query deadline elapsed mid-search.
+    DeadlineExceeded = 3,
+    /// Admission control rejected the request (run queue full).
+    Overloaded = 4,
+    /// The frame or payload was malformed.
+    Protocol = 5,
+    /// The server is shutting down.
+    ShuttingDown = 6,
+    /// Unexpected server-side failure.
+    Internal = 7,
+}
+
+impl ErrorCode {
+    /// Decodes an error-code byte.
+    pub fn from_u8(b: u8) -> Result<ErrorCode, ProtoError> {
+        Ok(match b {
+            1 => ErrorCode::Query,
+            2 => ErrorCode::Cancelled,
+            3 => ErrorCode::DeadlineExceeded,
+            4 => ErrorCode::Overloaded,
+            5 => ErrorCode::Protocol,
+            6 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::Internal,
+            other => return Err(ProtoError::BadErrorCode(other)),
+        })
+    }
+}
+
+/// Errors of the codec itself (framing and payload decoding).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket error (including EOF mid-frame).
+    Io(std::io::Error),
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic(u32),
+    /// The length prefix exceeded [`MAX_FRAME_LEN`] (or was too short
+    /// to hold the id + opcode).
+    BadLength(u32),
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Unknown error-code byte.
+    BadErrorCode(u8),
+    /// A payload ended before its declared contents.
+    Truncated,
+    /// A string field was not UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o: {e}"),
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:#010x}"),
+            ProtoError::BadLength(n) => write!(f, "bad frame length {n}"),
+            ProtoError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            ProtoError::BadErrorCode(b) => write!(f, "unknown error code {b}"),
+            ProtoError::Truncated => write!(f, "truncated payload"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen id, echoed on responses.
+    pub request_id: u64,
+    /// What the frame means.
+    pub opcode: Opcode,
+    /// Opcode-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame without payload.
+    pub fn empty(request_id: u64, opcode: Opcode) -> Frame {
+        Frame {
+            request_id,
+            opcode,
+            payload: Vec::new(),
+        }
+    }
+}
+
+/// Writes one frame (single `write_all`, so concurrent writers
+/// serialised by a lock emit whole frames).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    let body_len = 8 + 1 + frame.payload.len();
+    let mut buf = Vec::with_capacity(8 + body_len);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(body_len as u32).to_le_bytes());
+    buf.extend_from_slice(&frame.request_id.to_le_bytes());
+    buf.push(frame.opcode as u8);
+    buf.extend_from_slice(&frame.payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Reads one frame, validating magic, length bound, and opcode.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, ProtoError> {
+    let mut head = [0u8; 8];
+    r.read_exact(&mut head)?;
+    let magic = u32::from_le_bytes([head[0], head[1], head[2], head[3]]);
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let len = u32::from_le_bytes([head[4], head[5], head[6], head[7]]);
+    if !(9..=MAX_FRAME_LEN).contains(&len) {
+        return Err(ProtoError::BadLength(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let mut cur = Cursor::new(&body);
+    let request_id = cur.u64()?;
+    let opcode = Opcode::from_u8(cur.u8()?)?;
+    Ok(Frame {
+        request_id,
+        opcode,
+        payload: cur.rest().to_vec(),
+    })
+}
+
+/// Bounds-checked little-endian reader over a payload slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, ProtoError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+        ]))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        let s = self.take(n)?;
+        String::from_utf8(s.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    /// The unread remainder.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+/// Appends a `u32`-length-prefixed UTF-8 string.
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Common header of `Query` / `Batch` / `Ask` payloads.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestHeader {
+    /// Tenant name for fair-share scheduling; empty = the default
+    /// tenant.
+    pub tenant: String,
+    /// Per-query deadline in milliseconds; `0` = the server default.
+    pub deadline_ms: u32,
+}
+
+impl RequestHeader {
+    /// Encodes the header into `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.deadline_ms.to_le_bytes());
+        put_string(buf, &self.tenant);
+    }
+
+    /// Decodes a header from `cur`.
+    pub fn decode(cur: &mut Cursor<'_>) -> Result<RequestHeader, ProtoError> {
+        let deadline_ms = cur.u32()?;
+        let tenant = cur.string()?;
+        Ok(RequestHeader {
+            tenant,
+            deadline_ms,
+        })
+    }
+}
+
+/// Payload of `Query` / `Ask`: a header plus the query text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// Scheduling header.
+    pub header: RequestHeader,
+    /// The EQL query text.
+    pub text: String,
+}
+
+impl QueryRequest {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        put_string(&mut buf, &self.text);
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<QueryRequest, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let header = RequestHeader::decode(&mut cur)?;
+        let text = cur.string()?;
+        Ok(QueryRequest { header, text })
+    }
+}
+
+/// Payload of `Batch`: a header plus a list of query texts, executed
+/// through one cross-query dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRequest {
+    /// Scheduling header.
+    pub header: RequestHeader,
+    /// The queries, in execution order.
+    pub queries: Vec<String>,
+}
+
+impl BatchRequest {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&(self.queries.len() as u16).to_le_bytes());
+        for q in &self.queries {
+            put_string(&mut buf, q);
+        }
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<BatchRequest, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let header = RequestHeader::decode(&mut cur)?;
+        let n = cur.u16()? as usize;
+        let mut queries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            queries.push(cur.string()?);
+        }
+        Ok(BatchRequest { header, queries })
+    }
+}
+
+/// Payload of `Reply`: the rendered result, byte-identical to what
+/// local `csq` prints for the same query on the same graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Answer rows (summed over a batch).
+    pub rows: u64,
+    /// `ASK` answer; `None` for `SELECT`.
+    pub boolean: Option<bool>,
+    /// Rendered result text.
+    pub text: String,
+}
+
+impl QueryReply {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.push(match self.boolean {
+            None => 0u8,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        buf.extend_from_slice(&self.rows.to_le_bytes());
+        put_string(&mut buf, &self.text);
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<QueryReply, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let boolean = match cur.u8()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            _ => return Err(ProtoError::Truncated),
+        };
+        let rows = cur.u64()?;
+        let text = cur.string()?;
+        Ok(QueryReply {
+            rows,
+            boolean,
+            text,
+        })
+    }
+}
+
+/// Payload of `Error`: a typed code plus a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorReply {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// One-line detail.
+    pub message: String,
+}
+
+impl ErrorReply {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = vec![self.code as u8];
+        put_string(&mut buf, &self.message);
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<ErrorReply, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let code = ErrorCode::from_u8(cur.u8()?)?;
+        let message = cur.string()?;
+        Ok(ErrorReply { code, message })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame {
+            request_id: 7,
+            opcode: Opcode::Query,
+            payload: b"hello".to_vec(),
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let g = read_frame(&mut buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let f = Frame::empty(1, Opcode::Ping);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        buf[0] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtoError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtoError::BadLength(_))
+        ));
+        // Too-short bodies (cannot hold id + opcode) are equally bad.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&4u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtoError::BadLength(4))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let f = Frame {
+            request_id: 3,
+            opcode: Opcode::Query,
+            payload: vec![0u8; 100],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(
+            read_frame(&mut buf.as_slice()),
+            Err(ProtoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn request_payload_roundtrips() {
+        let q = QueryRequest {
+            header: RequestHeader {
+                tenant: "alice".into(),
+                deadline_ms: 250,
+            },
+            text: "SELECT w WHERE { CONNECT(\"a\", \"b\" -> w) }".into(),
+        };
+        assert_eq!(QueryRequest::decode(&q.encode()).unwrap(), q);
+
+        let b = BatchRequest {
+            header: RequestHeader::default(),
+            queries: vec!["q1".into(), "q2".into()],
+        };
+        assert_eq!(BatchRequest::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn reply_payloads_roundtrip() {
+        for boolean in [None, Some(true), Some(false)] {
+            let r = QueryReply {
+                rows: 42,
+                boolean,
+                text: "x\ty\n1\t2\n".into(),
+            };
+            assert_eq!(QueryReply::decode(&r.encode()).unwrap(), r);
+        }
+        let e = ErrorReply {
+            code: ErrorCode::DeadlineExceeded,
+            message: "deadline exceeded".into(),
+        };
+        assert_eq!(ErrorReply::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn decoders_reject_truncated_payloads() {
+        let q = QueryRequest {
+            header: RequestHeader {
+                tenant: "t".into(),
+                deadline_ms: 1,
+            },
+            text: "SELECT".into(),
+        };
+        let enc = q.encode();
+        for cut in 0..enc.len() {
+            assert!(
+                QueryRequest::decode(&enc[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+}

@@ -1,0 +1,586 @@
+//! `csqd`'s connection and execution machinery.
+//!
+//! Threading model (all spawning in this file, inside one
+//! [`std::thread::scope`]):
+//!
+//! * the **accept loop** (the calling thread) polls a non-blocking
+//!   listener, handing each connection to a reader thread;
+//! * one **reader thread per connection** decodes frames and either
+//!   answers control frames (`ping`, `stats`, `cancel`, `shutdown`)
+//!   in-line or submits query jobs to the [`Scheduler`];
+//! * a fixed pool of **executor workers** pulls jobs tenant-fairly and
+//!   runs them on the submitting connection's [`Session`].
+//!
+//! Every connection shares one `Arc<Graph>` (e.g. an mmap-loaded
+//! snapshot) and owns its session, so plan caches are per-connection
+//! while the graph is loaded once. Responses are written under a
+//! per-connection writer lock — control replies from the reader thread
+//! and query replies from workers interleave as whole frames.
+//!
+//! Deadlines and cancellation ride the typed path built into the
+//! engine: the worker arms [`ExecOptions::deadline`] /
+//! [`ExecOptions::cancel`], the search's cooperative checks stop it
+//! mid-flight, and the resulting [`EqlError::DeadlineExceeded`] /
+//! [`EqlError::Cancelled`] becomes an error frame with the matching
+//! [`ErrorCode`]. A `cancel` frame only raises the target's
+//! [`CancelFlag`] — the *cancelled request itself* answers with the
+//! error frame, so the client never waits on a dropped reply.
+
+use crate::proto::{
+    read_frame, write_frame, BatchRequest, Cursor, ErrorCode, ErrorReply, Frame, Opcode,
+    ProtoError, QueryReply, QueryRequest,
+};
+use crate::scheduler::{AdmitError, Scheduler, SchedulerConfig};
+use cs_core::CancelFlag;
+use cs_eql::{EqlError, ExecOptions, Session};
+use cs_graph::Graph;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long the accept loop sleeps between polls, and the granularity
+/// at which idle reader threads notice shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Executor worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Admission control and tenant fairness knobs.
+    pub scheduler: SchedulerConfig,
+    /// Deadline applied to requests that do not carry one
+    /// (`deadline_ms == 0`). `None` = no default deadline.
+    pub default_deadline: Option<Duration>,
+    /// Base execution options for every connection's session
+    /// (`threads` / `search_threads` budgets, default algorithm, …).
+    /// Per-request deadline/cancel are overlaid per job.
+    pub exec: ExecOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            scheduler: SchedulerConfig::default(),
+            default_deadline: None,
+            exec: ExecOptions::default(),
+        }
+    }
+}
+
+/// Serving counters, exposed through the `stats` opcode.
+#[derive(Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    queries_ok: AtomicU64,
+    queries_failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ServerCounters {
+    fn bump(counter: &AtomicU64) {
+        // ORDERING: Relaxed — monotonic statistics counters; readers
+        // only format them into a report, no data is published through
+        // them.
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn get(counter: &AtomicU64) -> u64 {
+        // ORDERING: Relaxed — see `bump`.
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// One admitted query job.
+struct Job {
+    conn: Arc<ConnShared>,
+    request_id: u64,
+    kind: JobKind,
+    /// Absolute deadline, fixed at admission so queueing time counts
+    /// against the budget.
+    deadline: Option<Instant>,
+    cancel: CancelFlag,
+}
+
+enum JobKind {
+    Query(String),
+    Ask(String),
+    Batch(Vec<String>),
+}
+
+/// Per-connection state shared between its reader thread and the
+/// executor workers.
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    /// The connection's session. `Session` is `!Sync` (its plan cache
+    /// sits behind a `RefCell`), so workers take it under a mutex for
+    /// the duration of a query; queries *within* one connection are
+    /// serialised, queries across connections run concurrently.
+    session: Mutex<Session<'static>>,
+    /// Cancel flags of this connection's admitted-but-unfinished
+    /// requests, keyed by request id — the `cancel` opcode's target
+    /// registry.
+    inflight: Mutex<HashMap<u64, CancelFlag>>,
+}
+
+impl ConnShared {
+    fn send(&self, frame: &Frame) {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // A failed write means the client is gone; its reader thread
+        // notices on its next read and tears the connection down.
+        let _ = write_frame(&mut *w, frame);
+    }
+
+    fn send_error(&self, request_id: u64, code: ErrorCode, message: impl Into<String>) {
+        self.send(&Frame {
+            request_id,
+            opcode: Opcode::Error,
+            payload: ErrorReply {
+                code,
+                message: message.into(),
+            }
+            .encode(),
+        });
+    }
+}
+
+/// Wraps a read-timeout socket so `read_frame` blocks *interruptibly*:
+/// each timeout tick re-checks the server's shutdown flag instead of
+/// surfacing a spurious mid-frame error.
+struct InterruptibleReader<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for InterruptibleReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // ORDERING: Relaxed — advisory stop signal; no data
+                    // is published through the flag.
+                    if self.shutdown.load(Ordering::Relaxed) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::ConnectionAborted,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+/// The `csqd` server: a bound listener plus the shared graph.
+pub struct Server {
+    listener: TcpListener,
+    graph: Arc<Graph>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    counters: ServerCounters,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over
+    /// the shared graph.
+    pub fn bind(addr: &str, graph: Arc<Graph>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            graph,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            counters: ServerCounters::default(),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Asks the serve loop to stop: stops accepting, drains admitted
+    /// work, unblocks readers. Callable from any thread (e.g. a test
+    /// harness holding the `Server` in an `Arc`).
+    pub fn request_shutdown(&self) {
+        // ORDERING: Relaxed — advisory stop signal polled by the
+        // accept loop and the per-connection readers; the `thread::scope`
+        // join below is what synchronises their actual teardown.
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    fn shutting_down(&self) -> bool {
+        // ORDERING: Relaxed — see `request_shutdown`.
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Serves until a `shutdown` frame (or [`Server::request_shutdown`])
+    /// arrives, then drains and returns. Blocks the calling thread.
+    pub fn run(&self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let sched: Scheduler<Job> = Scheduler::new(self.cfg.scheduler.clone());
+        let workers = self.cfg.workers.max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| self.worker_loop(&sched));
+            }
+            while !self.shutting_down() {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        ServerCounters::bump(&self.counters.connections);
+                        scope.spawn(|| self.serve_connection(stream, &sched));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    // Transient accept failures (e.g. a connection reset
+                    // before accept) must not kill the server.
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            sched.shutdown();
+        });
+        Ok(())
+    }
+
+    /// Executor worker: pulls tenant-fair jobs until drained shutdown.
+    fn worker_loop(&self, sched: &Scheduler<Job>) {
+        while let Some((tenant, job)) = sched.next() {
+            self.execute(job);
+            sched.done(&tenant);
+        }
+    }
+
+    /// Runs one job on its connection's session and writes the reply.
+    fn execute(&self, job: Job) {
+        let frame = self.run_job(&job);
+        job.conn
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&job.request_id);
+        job.conn.send(&frame);
+    }
+
+    fn run_job(&self, job: &Job) -> Frame {
+        let mut session = job
+            .conn
+            .session
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        // Overlay the per-request controls; the remaining budget is
+        // measured from *now*, so time spent queued has already been
+        // charged against the absolute deadline.
+        let opts = session.options_mut();
+        opts.cancel = Some(job.cancel.clone());
+        opts.deadline = job
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()));
+
+        let graph = self.graph.as_ref();
+        let reply = match &job.kind {
+            JobKind::Query(text) => session.run(text).map(|r| QueryReply {
+                rows: r.rows() as u64,
+                boolean: r.boolean,
+                text: r.render(graph),
+            }),
+            JobKind::Ask(text) => session.ask(text).map(|b| QueryReply {
+                rows: u64::from(b),
+                boolean: Some(b),
+                text: format!("{b}\n"),
+            }),
+            JobKind::Batch(texts) => {
+                let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+                let results = session.execute_batch(&refs);
+                let mut rows = 0u64;
+                let mut text = String::new();
+                let mut first_err: Option<EqlError> = None;
+                for r in results {
+                    match r {
+                        Ok(q) => {
+                            rows += q.rows() as u64;
+                            text.push_str(&q.render(graph));
+                        }
+                        // Typed control errors fail the whole batch —
+                        // the deadline/flag applies to the batch, not
+                        // one member.
+                        Err(e @ (EqlError::DeadlineExceeded | EqlError::Cancelled)) => {
+                            first_err = Some(e);
+                            break;
+                        }
+                        Err(e) => {
+                            if first_err.is_none() {
+                                first_err = Some(e);
+                            }
+                        }
+                    }
+                }
+                match first_err {
+                    Some(e) => Err(e),
+                    None => Ok(QueryReply {
+                        rows,
+                        boolean: None,
+                        text,
+                    }),
+                }
+            }
+        };
+        let opts = session.options_mut();
+        opts.cancel = None;
+        opts.deadline = None;
+        drop(session);
+
+        match reply {
+            Ok(r) => {
+                ServerCounters::bump(&self.counters.queries_ok);
+                Frame {
+                    request_id: job.request_id,
+                    opcode: Opcode::Reply,
+                    payload: r.encode(),
+                }
+            }
+            Err(e) => {
+                let code = match e {
+                    EqlError::Cancelled => {
+                        ServerCounters::bump(&self.counters.cancelled);
+                        ErrorCode::Cancelled
+                    }
+                    EqlError::DeadlineExceeded => {
+                        ServerCounters::bump(&self.counters.deadline_exceeded);
+                        ErrorCode::DeadlineExceeded
+                    }
+                    _ => {
+                        ServerCounters::bump(&self.counters.queries_failed);
+                        ErrorCode::Query
+                    }
+                };
+                Frame {
+                    request_id: job.request_id,
+                    opcode: Opcode::Error,
+                    payload: ErrorReply {
+                        code,
+                        message: e.to_string(),
+                    }
+                    .encode(),
+                }
+            }
+        }
+    }
+
+    /// Per-connection reader: decodes frames until disconnect, protocol
+    /// desync, or shutdown.
+    fn serve_connection(&self, stream: TcpStream, sched: &Scheduler<Job>) {
+        if stream.set_read_timeout(Some(READ_TIMEOUT)).is_err() {
+            return;
+        }
+        let writer = match stream.try_clone() {
+            Ok(w) => w,
+            Err(_) => return,
+        };
+        let conn = Arc::new(ConnShared {
+            writer: Mutex::new(writer),
+            session: Mutex::new(Session::from_shared_with(
+                self.graph.clone(),
+                self.cfg.exec.clone(),
+            )),
+            inflight: Mutex::new(HashMap::new()),
+        });
+        let mut reader = InterruptibleReader {
+            stream: &stream,
+            shutdown: &self.shutdown,
+        };
+        loop {
+            match read_frame(&mut reader) {
+                Ok(frame) => {
+                    if !self.handle_frame(&conn, frame, sched) {
+                        break;
+                    }
+                }
+                // Disconnect (or shutdown): tear this connection down.
+                Err(ProtoError::Io(_)) => break,
+                // Framing desync: the byte stream is unrecoverable, so
+                // report once and close — but only this connection.
+                Err(e) => {
+                    conn.send_error(0, ErrorCode::Protocol, e.to_string());
+                    break;
+                }
+            }
+        }
+        // Whatever this connection still has running is for nobody
+        // now; raising the flags lets the searches stop early instead
+        // of computing into a closed socket.
+        for flag in conn
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+        {
+            flag.cancel();
+        }
+    }
+
+    /// Dispatches one decoded frame. Returns `false` to close the
+    /// connection.
+    fn handle_frame(&self, conn: &Arc<ConnShared>, frame: Frame, sched: &Scheduler<Job>) -> bool {
+        match frame.opcode {
+            Opcode::Query | Opcode::Ask => {
+                let req = match QueryRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        conn.send_error(frame.request_id, ErrorCode::Protocol, e.to_string());
+                        return true;
+                    }
+                };
+                let kind = if frame.opcode == Opcode::Query {
+                    JobKind::Query(req.text)
+                } else {
+                    JobKind::Ask(req.text)
+                };
+                self.admit(conn, frame.request_id, &req.header, kind, sched);
+                true
+            }
+            Opcode::Batch => {
+                let req = match BatchRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        conn.send_error(frame.request_id, ErrorCode::Protocol, e.to_string());
+                        return true;
+                    }
+                };
+                self.admit(
+                    conn,
+                    frame.request_id,
+                    &req.header,
+                    JobKind::Batch(req.queries),
+                    sched,
+                );
+                true
+            }
+            Opcode::Cancel => {
+                // Fire-and-forget: the cancelled request itself answers
+                // with its Cancelled error frame.
+                if let Ok(target) = Cursor::new(&frame.payload).u64() {
+                    if let Some(flag) = conn
+                        .inflight
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .get(&target)
+                    {
+                        flag.cancel();
+                    }
+                }
+                true
+            }
+            Opcode::Ping => {
+                conn.send(&Frame {
+                    request_id: frame.request_id,
+                    opcode: Opcode::Pong,
+                    payload: frame.payload,
+                });
+                true
+            }
+            Opcode::Stats => {
+                conn.send(&Frame {
+                    request_id: frame.request_id,
+                    opcode: Opcode::StatsReply,
+                    payload: self.stats_text(sched).into_bytes(),
+                });
+                true
+            }
+            Opcode::Shutdown => {
+                conn.send(&Frame::empty(frame.request_id, Opcode::ShutdownAck));
+                self.request_shutdown();
+                false
+            }
+            // A client sending response opcodes is off-protocol.
+            Opcode::Reply
+            | Opcode::Error
+            | Opcode::Pong
+            | Opcode::StatsReply
+            | Opcode::ShutdownAck => {
+                conn.send_error(
+                    frame.request_id,
+                    ErrorCode::Protocol,
+                    "response opcode sent by client",
+                );
+                false
+            }
+        }
+    }
+
+    /// Admission: registers the cancel flag and submits the job, or
+    /// answers with the typed rejection.
+    fn admit(
+        &self,
+        conn: &Arc<ConnShared>,
+        request_id: u64,
+        header: &crate::proto::RequestHeader,
+        kind: JobKind,
+        sched: &Scheduler<Job>,
+    ) {
+        let deadline_ms = if header.deadline_ms > 0 {
+            Some(Duration::from_millis(u64::from(header.deadline_ms)))
+        } else {
+            self.cfg.default_deadline
+        };
+        let cancel = CancelFlag::new();
+        conn.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(request_id, cancel.clone());
+        let job = Job {
+            conn: Arc::clone(conn),
+            request_id,
+            kind,
+            deadline: deadline_ms.map(|d| Instant::now() + d),
+            cancel,
+        };
+        if let Err(e) = sched.submit(&header.tenant, job) {
+            ServerCounters::bump(&self.counters.rejected);
+            conn.inflight
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&request_id);
+            let code = match e {
+                AdmitError::QueueFull => ErrorCode::Overloaded,
+                AdmitError::ShuttingDown => ErrorCode::ShuttingDown,
+            };
+            conn.send_error(request_id, code, e.to_string());
+        }
+    }
+
+    fn stats_text(&self, sched: &Scheduler<Job>) -> String {
+        let s = sched.stats();
+        let c = &self.counters;
+        format!(
+            "graph: {} nodes, {} edges\n\
+             scheduler: {} queued, {} inflight, {} tenant(s)\n\
+             served: {} ok, {} failed, {} cancelled, {} deadline_exceeded, {} rejected\n\
+             connections: {}\n",
+            self.graph.node_count(),
+            self.graph.edge_count(),
+            s.queued,
+            s.inflight,
+            s.tenants,
+            ServerCounters::get(&c.queries_ok),
+            ServerCounters::get(&c.queries_failed),
+            ServerCounters::get(&c.cancelled),
+            ServerCounters::get(&c.deadline_exceeded),
+            ServerCounters::get(&c.rejected),
+            ServerCounters::get(&c.connections),
+        )
+    }
+}

@@ -1,0 +1,358 @@
+//! End-to-end tests of `csqd`: concurrent-client parity against a
+//! local [`Session`], server-side deadlines and cooperative
+//! cancellation, admission control, and the shutdown drain.
+
+use cs_eql::Session;
+use cs_graph::generate::random_connected;
+use cs_graph::Graph;
+use cs_server::{Client, ClientError, ErrorCode, RequestHeader, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The shared dataset: the `random64_molesp_max5` workload graph —
+/// small enough to serve instantly, dense enough that `MAX 5` searches
+/// run long (the deadline/cancel target).
+fn graph() -> Arc<Graph> {
+    Arc::new(random_connected(64, 192, 42))
+}
+
+const LONG_QUERY: &str = r#"SELECT w WHERE { CONNECT("n0", "n63" -> w) MAX 5 }"#;
+
+/// Binds an ephemeral-port server and runs it on a background thread.
+fn start(cfg: ServerConfig) -> (Arc<Server>, SocketAddr, JoinHandle<()>) {
+    let server = Arc::new(Server::bind("127.0.0.1:0", graph(), cfg).expect("bind"));
+    let addr = server.local_addr().expect("local addr");
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || {
+            server.run().expect("serve loop");
+        })
+    };
+    (server, addr, handle)
+}
+
+/// Stops a started server and joins its serve loop.
+fn stop(server: &Server, handle: JoinHandle<()>) {
+    server.request_shutdown();
+    handle.join().expect("serve loop joins");
+}
+
+/// The acceptance bar: ≥ 8 concurrent connections, every reply
+/// byte-identical to what a local session produces for the same query
+/// on the same graph.
+#[test]
+fn eight_concurrent_clients_match_local_session() {
+    const CLIENTS: usize = 8;
+    const QUERIES_PER_CLIENT: usize = 4;
+    let (server, addr, handle) = start(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+
+    // Each client runs its own query set; expectations come from a
+    // fresh local session over the identical graph.
+    let queries: Vec<Vec<String>> = (0..CLIENTS)
+        .map(|c| {
+            (0..QUERIES_PER_CLIENT)
+                .map(|q| {
+                    format!(
+                        r#"SELECT w WHERE {{ CONNECT("n{}", "n{}" -> w) MAX 3 }}"#,
+                        c,
+                        63 - q
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let g = graph();
+    let expected: Vec<Vec<(u64, String)>> = queries
+        .iter()
+        .map(|qs| {
+            let session = Session::from_shared(Arc::clone(&g));
+            qs.iter()
+                .map(|q| {
+                    let r = session.run(q).expect("local run");
+                    (r.rows() as u64, r.render(&g))
+                })
+                .collect()
+        })
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (c, (qs, exp)) in queries.iter().zip(&expected).enumerate() {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let header = RequestHeader {
+                    tenant: format!("tenant{}", c % 3),
+                    deadline_ms: 0,
+                };
+                for (q, (rows, text)) in qs.iter().zip(exp) {
+                    let reply = client.query(q, &header).expect("server reply");
+                    assert_eq!(reply.rows, *rows, "client {c}: row count parity");
+                    assert_eq!(&reply.text, text, "client {c}: rendered-text parity");
+                }
+            });
+        }
+    });
+    stop(&server, handle);
+}
+
+#[test]
+fn batch_over_server_matches_local_batch() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let qs = [
+        r#"SELECT w WHERE { CONNECT("n1", "n62" -> w) MAX 3 }"#,
+        r#"SELECT w WHERE { CONNECT("n2", "n61" -> w) MAX 3 }"#,
+    ];
+    let g = graph();
+    let session = Session::from_shared(Arc::clone(&g));
+    let mut rows = 0u64;
+    let mut text = String::new();
+    for r in session.execute_batch(&qs) {
+        let r = r.expect("local batch member");
+        rows += r.rows() as u64;
+        text.push_str(&r.render(&g));
+    }
+
+    let mut client = Client::connect(addr).expect("connect");
+    let reply = client
+        .batch(&qs, &RequestHeader::default())
+        .expect("batch reply");
+    assert_eq!(reply.rows, rows);
+    assert_eq!(reply.text, text);
+    stop(&server, handle);
+}
+
+#[test]
+fn ask_opcode_returns_boolean() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let header = RequestHeader::default();
+    assert!(client
+        .ask(r#"ASK WHERE { CONNECT("n0", "n1" -> w) MAX 5 }"#, &header)
+        .expect("ask"));
+    stop(&server, handle);
+}
+
+/// A query error (here: an empty seed set) is a typed `Query` error
+/// frame, and the connection keeps serving afterwards.
+#[test]
+fn query_error_does_not_poison_the_connection() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let header = RequestHeader::default();
+    let err = client
+        .query(
+            r#"SELECT w WHERE { CONNECT("NoSuchNode", "n0" -> w) }"#,
+            &header,
+        )
+        .expect_err("empty seed set must fail");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Query, "{}", e.message),
+        other => panic!("want server error, got {other}"),
+    }
+    // Same connection, next query succeeds.
+    let reply = client
+        .query(
+            r#"SELECT w WHERE { CONNECT("n0", "n1" -> w) MAX 3 }"#,
+            &header,
+        )
+        .expect("connection still serves");
+    assert!(reply.rows > 0);
+    stop(&server, handle);
+}
+
+/// The acceptance bar: a long search under a short per-request
+/// deadline returns `DeadlineExceeded` well before the untimed
+/// runtime.
+#[test]
+fn server_deadline_exceeded_well_before_untimed_runtime() {
+    let g = graph();
+    let t0 = Instant::now();
+    let full = Session::from_shared(Arc::clone(&g))
+        .run(LONG_QUERY)
+        .expect("untimed local run");
+    let untimed = t0.elapsed();
+    assert!(full.rows() > 0);
+
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let t = Instant::now();
+    let err = client
+        .query(
+            LONG_QUERY,
+            &RequestHeader {
+                tenant: String::new(),
+                deadline_ms: 25,
+            },
+        )
+        .expect_err("deadline must fail the query");
+    let elapsed = t.elapsed();
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::DeadlineExceeded, "{}", e.message);
+            assert_eq!(e.message, "deadline exceeded");
+        }
+        other => panic!("want server error, got {other}"),
+    }
+    assert!(
+        elapsed < untimed / 3,
+        "deadline stop took {elapsed:?}, untimed runtime {untimed:?}"
+    );
+    stop(&server, handle);
+}
+
+/// The server-wide default deadline applies when the request carries
+/// none.
+#[test]
+fn default_deadline_applies_to_unmarked_requests() {
+    let (server, addr, handle) = start(ServerConfig {
+        default_deadline: Some(Duration::from_millis(25)),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .query(LONG_QUERY, &RequestHeader::default())
+        .expect_err("default deadline must fail the query");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::DeadlineExceeded),
+        other => panic!("want server error, got {other}"),
+    }
+    stop(&server, handle);
+}
+
+/// A `cancel` frame sent mid-query stops the search cooperatively; the
+/// cancelled request answers with a `Cancelled` error frame.
+#[test]
+fn cancel_frame_stops_running_query() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let id = client
+        .send_query(LONG_QUERY, &RequestHeader::default())
+        .expect("send");
+    let mut canceller = client.canceller().expect("canceller");
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        canceller.cancel(id).expect("cancel frame");
+    });
+    let err = client.wait_query(id).expect_err("cancel must fail it");
+    killer.join().expect("killer joins");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::Cancelled, "{}", e.message);
+            assert_eq!(e.message, "cancelled");
+        }
+        other => panic!("want server error, got {other}"),
+    }
+    // The connection survives its own cancelled query.
+    let reply = client
+        .query(
+            r#"SELECT w WHERE { CONNECT("n0", "n1" -> w) MAX 3 }"#,
+            &RequestHeader::default(),
+        )
+        .expect("connection still serves");
+    assert!(reply.rows > 0);
+    stop(&server, handle);
+}
+
+/// Admission control: with a single worker, a full run queue answers
+/// `Overloaded` instead of queueing without bound.
+#[test]
+fn full_run_queue_rejects_with_overloaded() {
+    let (server, addr, handle) = start(ServerConfig {
+        workers: 1,
+        scheduler: cs_server::SchedulerConfig {
+            queue_capacity: 1,
+            tenant_inflight: 1,
+        },
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(addr).expect("connect");
+    // Bounded deadlines so the flood drains by itself.
+    let header = RequestHeader {
+        tenant: String::new(),
+        deadline_ms: 200,
+    };
+    // First long query occupies the worker, second fills the queue,
+    // third must bounce at admission.
+    let _id1 = client.send_query(LONG_QUERY, &header).expect("send 1");
+    let _id2 = client.send_query(LONG_QUERY, &header).expect("send 2");
+    let id3 = client.send_query(LONG_QUERY, &header).expect("send 3");
+    let err = client.wait_query(id3).expect_err("admission must reject");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Overloaded, "{}", e.message),
+        other => panic!("want overloaded, got {other}"),
+    }
+    stop(&server, handle);
+}
+
+#[test]
+fn ping_stats_and_shutdown_roundtrip() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    assert!(client.ping().expect("ping") < Duration::from_secs(5));
+    client
+        .query(
+            r#"SELECT w WHERE { CONNECT("n0", "n1" -> w) MAX 3 }"#,
+            &RequestHeader {
+                tenant: "alice".into(),
+                deadline_ms: 0,
+            },
+        )
+        .expect("query");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("graph: 64 nodes"), "{stats}");
+    assert!(stats.contains("scheduler:"), "{stats}");
+    assert!(stats.contains("1 ok"), "{stats}");
+
+    // Protocol shutdown: the serve loop drains and returns, so the
+    // join below completes without request_shutdown().
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("serve loop drains");
+    drop(server);
+}
+
+/// Two tenants, one worker: round-robin dispatch interleaves their
+/// queued jobs rather than running one tenant's backlog to completion.
+#[test]
+fn tenants_share_the_worker_fairly() {
+    let (server, addr, handle) = start(ServerConfig {
+        workers: 1,
+        scheduler: cs_server::SchedulerConfig {
+            queue_capacity: 64,
+            tenant_inflight: 1,
+        },
+        ..ServerConfig::default()
+    });
+    let quick = r#"SELECT w WHERE { CONNECT("n0", "n1" -> w) MAX 2 }"#;
+    // Tenant A floods first; tenant B's single query must not wait for
+    // the whole backlog (round-robin puts it second, not seventh).
+    let mut flood = Client::connect(addr).expect("connect A");
+    let header_a = RequestHeader {
+        tenant: "a".into(),
+        deadline_ms: 0,
+    };
+    let mut ids = Vec::new();
+    for _ in 0..6 {
+        ids.push(flood.send_query(quick, &header_a).expect("flood"));
+    }
+    let mut other = Client::connect(addr).expect("connect B");
+    let reply = other
+        .query(
+            quick,
+            &RequestHeader {
+                tenant: "b".into(),
+                deadline_ms: 0,
+            },
+        )
+        .expect("tenant B served");
+    assert!(reply.rows > 0);
+    // Drain tenant A so shutdown is clean.
+    for id in ids {
+        let _ = flood.wait_query(id);
+    }
+    stop(&server, handle);
+}

@@ -2,11 +2,15 @@
 //!
 //! ```text
 //! csq <graph-source> <query-or-@file> [--algorithm NAME] [--timeout MS]
-//!     [--threads N] [--search-threads N] [--stats] [--explain] [--batch]
-//!     [--stream]
+//!     [--timeout-ms N] [--threads N] [--search-threads N] [--stats]
+//!     [--explain] [--batch] [--stream]
 //! csq --graph <file.csg> <query-or-@file> [...]   # same, source as a flag
 //! csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]
 //! csq snapshot inspect <file.csg>
+//! csq connect <addr> <query-or-@file> [--tenant T] [--timeout-ms N]
+//!     [--batch] [--cancel-after-ms N]
+//! csq bench-serve <addr> <query-or-@file> [--qps N] [--duration-ms N]
+//!     [--connections K] [--tenant T] [--timeout-ms N]
 //! ```
 //!
 //! A *graph source* is `--demo` (the Figure 1 graph), a `.csg` binary
@@ -36,27 +40,48 @@
 //! SELECT through [`Session::execute_streaming`], printing each
 //! connecting tree as the search produces it.
 //!
+//! `--timeout-ms N` is the *hard* per-query deadline
+//! ([`ExecOptions::deadline`]): unlike the per-CTP soft `--timeout`
+//! (which keeps the partial results found in time), an exceeded
+//! deadline fails the query with a typed `DeadlineExceeded` — a
+//! one-line `error: deadline exceeded` and a non-zero exit.
+//!
+//! `csq connect` runs the same query loop against a `csqd` server
+//! (`cs_server::Client`), printing results identically to local mode;
+//! `--cancel-after-ms N` fires a cooperative cancel frame mid-query
+//! from a second socket handle. `csq bench-serve` is an open-loop
+//! load generator: it schedules requests at a target QPS across K
+//! connections, collects a latency histogram, reports p50/p95/p99 and
+//! achieved QPS, and appends the percentiles to the `CS_BENCH_JSON`
+//! sink (cs-bench/1 records) when that is set.
+//!
 //! The exit code is non-zero when the graph cannot be loaded, a
 //! snapshot cannot be saved or read, a query fails to parse, or
 //! execution errors — including any query of a batch. I/O and decode
 //! failures are one-line `error:` messages, never panics.
 
+use connection_search::bench::BenchRecord;
 use connection_search::core::Algorithm;
-use connection_search::eql::{ExecOptions, QueryResult};
+use connection_search::eql::{EqlError, ExecOptions, QueryResult};
 use connection_search::graph::generate::from_spec;
 use connection_search::graph::{binfmt, figure1, ntriples, snapshot, Graph};
+use connection_search::server::{Client, ClientError, ErrorCode, LatencyHistogram, RequestHeader};
 use connection_search::Session;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: csq <graph-source|--demo> <query|@query-file> \
-         [--algorithm NAME] [--timeout MS] [--threads N] [--search-threads N] \
-         [--stats] [--explain] [--batch] [--stream]\n       \
+         [--algorithm NAME] [--timeout MS] [--timeout-ms N] [--threads N] \
+         [--search-threads N] [--stats] [--explain] [--batch] [--stream]\n       \
          csq --graph <file.csg> <query|@query-file> [...]\n       \
          csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]\n       \
          csq snapshot inspect <file.csg>\n       \
+         csq connect <host:port> <query|@query-file> [--tenant T] \
+         [--timeout-ms N] [--batch] [--cancel-after-ms N]\n       \
+         csq bench-serve <host:port> <query|@query-file> [--qps N] \
+         [--duration-ms N] [--connections K] [--tenant T] [--timeout-ms N]\n       \
          csq <graph-file> --snapshot <out.csg>   (legacy alias of `snapshot save`)\n\
          graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
     );
@@ -67,6 +92,26 @@ fn usage() -> ExitCode {
 fn fail(msg: impl std::fmt::Display) -> ExitCode {
     eprintln!("error: {msg}");
     ExitCode::FAILURE
+}
+
+/// Prints a query-execution failure: the typed control errors
+/// (deadline, cancellation) are plain one-line `error:` messages; real
+/// query errors keep the `query error:` prefix.
+fn report_query_error(e: &EqlError) {
+    match e {
+        EqlError::DeadlineExceeded | EqlError::Cancelled => eprintln!("error: {e}"),
+        other => eprintln!("query error: {other}"),
+    }
+}
+
+/// Reads `<query|@query-file>` input.
+fn read_query_arg(arg: &str) -> Result<String, String> {
+    match arg.strip_prefix('@') {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read query file {path}: {e}"))
+        }
+        None => Ok(arg.to_string()),
+    }
 }
 
 /// Parses the numeric value of `flag` at `args[i + 1]`. Missing or
@@ -242,8 +287,11 @@ fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("snapshot") {
-        return snapshot_command(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("snapshot") => return snapshot_command(&args[1..]),
+        Some("connect") => return connect_command(&args[1..]),
+        Some("bench-serve") => return bench_serve_command(&args[1..]),
+        _ => {}
     }
     if args.len() < 2 {
         return usage();
@@ -293,6 +341,13 @@ fn main() -> ExitCode {
             "--timeout" => {
                 match numeric_flag::<u64>(&args, i, "--timeout") {
                     Ok(ms) => opts.default_timeout = Some(Duration::from_millis(ms)),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--timeout-ms" => {
+                match numeric_flag::<u64>(&args, i, "--timeout-ms") {
+                    Ok(ms) => opts.deadline = Some(Duration::from_millis(ms)),
                     Err(e) => return fail(e),
                 }
                 i += 2;
@@ -407,7 +462,8 @@ fn main() -> ExitCode {
             match result {
                 Ok(r) => report(graph, r, show_plan, show_stats),
                 Err(e) => {
-                    eprintln!("query error: {e}\n  in: {}", text.trim());
+                    report_query_error(e);
+                    eprintln!("  in: {}", text.trim());
                     failed = true;
                 }
             }
@@ -430,14 +486,14 @@ fn main() -> ExitCode {
         let prepared = match session.prepare(&query) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("query error: {e}");
+                report_query_error(&e);
                 return ExitCode::FAILURE;
             }
         };
         let mut result_stream = match session.execute_streaming(&prepared) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("query error: {e}");
+                report_query_error(&e);
                 return ExitCode::FAILURE;
             }
         };
@@ -471,8 +527,357 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("query error: {e}");
+            report_query_error(&e);
             ExitCode::FAILURE
         }
+    }
+}
+
+/// Prints a server-side failure the way local mode would: typed
+/// control rejections (cancelled, deadline, admission) are one-line
+/// `error:` messages; query errors keep the `query error:` prefix.
+fn report_client_error(e: &ClientError) -> ExitCode {
+    match e {
+        ClientError::Server(reply) => match reply.code {
+            ErrorCode::Query => {
+                eprintln!("query error: {}", reply.message);
+            }
+            _ => {
+                eprintln!("error: {}", reply.message);
+            }
+        },
+        other => {
+            eprintln!("error: {other}");
+        }
+    }
+    ExitCode::FAILURE
+}
+
+/// The `csq connect <addr> <query|@file> ...` subcommand: runs queries
+/// against a `csqd` server, printing results identically to local
+/// mode.
+fn connect_command(args: &[String]) -> ExitCode {
+    let mut addr: Option<&str> = None;
+    let mut query_arg: Option<&str> = None;
+    let mut header = RequestHeader::default();
+    let mut batch = false;
+    let mut cancel_after_ms: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenant" => {
+                let Some(t) = args.get(i + 1) else {
+                    return fail("--tenant expects a name, but none was given");
+                };
+                header.tenant = t.clone();
+                i += 2;
+            }
+            "--timeout-ms" => {
+                match numeric_flag::<u32>(args, i, "--timeout-ms") {
+                    Ok(ms) => header.deadline_ms = ms,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--cancel-after-ms" => {
+                match numeric_flag::<u64>(args, i, "--cancel-after-ms") {
+                    Ok(ms) => cancel_after_ms = Some(ms),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--batch" => {
+                batch = true;
+                i += 1;
+            }
+            other => {
+                if other.starts_with("--") {
+                    return usage();
+                }
+                if addr.is_none() {
+                    addr = Some(other);
+                } else if query_arg.is_none() {
+                    query_arg = Some(other);
+                } else {
+                    return usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let (Some(addr), Some(query_arg)) = (addr, query_arg) else {
+        return usage();
+    };
+    let query = match read_query_arg(query_arg) {
+        Ok(q) => q,
+        Err(e) => return fail(e),
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+    };
+
+    let reply = if batch {
+        let queries = split_queries(&query);
+        if queries.is_empty() {
+            return fail("--batch input contains no queries");
+        }
+        client.batch(&queries, &header)
+    } else if let Some(ms) = cancel_after_ms {
+        // Two-phase: send, arm the canceller against the id, wait.
+        match client.send_query(&query, &header) {
+            Ok(id) => {
+                let mut canceller = match client.canceller() {
+                    Ok(c) => c,
+                    Err(e) => return fail(e),
+                };
+                let handle = std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(ms));
+                    let _ = canceller.cancel(id);
+                });
+                let r = client.wait_query(id);
+                let _ = handle.join();
+                r
+            }
+            Err(e) => Err(e),
+        }
+    } else {
+        client.query(&query, &header)
+    };
+
+    match reply {
+        Ok(r) => {
+            print!("{}", r.text);
+            eprintln!("{} row(s)", r.rows);
+            ExitCode::SUCCESS
+        }
+        Err(e) => report_client_error(&e),
+    }
+}
+
+/// The `csq bench-serve` subcommand: an open-loop load generator. One
+/// request is *scheduled* every `1/qps` seconds across K connections
+/// regardless of completions (an overloaded server shows up as rising
+/// latency, not a lower request rate), and per-request latency goes
+/// into an exact histogram.
+fn bench_serve_command(args: &[String]) -> ExitCode {
+    let mut addr: Option<&str> = None;
+    let mut query_arg: Option<&str> = None;
+    let mut header = RequestHeader::default();
+    let mut qps: u64 = 50;
+    let mut duration_ms: u64 = 2_000;
+    let mut connections: usize = 4;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tenant" => {
+                let Some(t) = args.get(i + 1) else {
+                    return fail("--tenant expects a name, but none was given");
+                };
+                header.tenant = t.clone();
+                i += 2;
+            }
+            "--timeout-ms" => {
+                match numeric_flag::<u32>(args, i, "--timeout-ms") {
+                    Ok(ms) => header.deadline_ms = ms,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--qps" => {
+                match numeric_flag::<u64>(args, i, "--qps") {
+                    Ok(n) if n > 0 => qps = n,
+                    Ok(_) => return fail("--qps must be positive"),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--duration-ms" => {
+                match numeric_flag::<u64>(args, i, "--duration-ms") {
+                    Ok(n) if n > 0 => duration_ms = n,
+                    Ok(_) => return fail("--duration-ms must be positive"),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--connections" => {
+                match numeric_flag::<usize>(args, i, "--connections") {
+                    Ok(n) if n > 0 => connections = n,
+                    Ok(_) => return fail("--connections must be positive"),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            other => {
+                if other.starts_with("--") {
+                    return usage();
+                }
+                if addr.is_none() {
+                    addr = Some(other);
+                } else if query_arg.is_none() {
+                    query_arg = Some(other);
+                } else {
+                    return usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let (Some(addr), Some(query_arg)) = (addr, query_arg) else {
+        return usage();
+    };
+    let query = match read_query_arg(query_arg) {
+        Ok(q) => q,
+        Err(e) => return fail(e),
+    };
+
+    let total = (qps * duration_ms / 1_000).max(1) as usize;
+    let interval = Duration::from_secs_f64(1.0 / qps as f64);
+    let mut clients = Vec::with_capacity(connections);
+    for _ in 0..connections {
+        match Client::connect(addr) {
+            Ok(c) => clients.push(c),
+            Err(e) => return fail(format!("cannot connect to {addr}: {e}")),
+        }
+    }
+
+    // Request k fires at t0 + k·interval on connection k mod K. Each
+    // connection thread owns the requests assigned to it; a slow reply
+    // delays only that connection's later sends (open-loop per lane).
+    struct LaneResult {
+        hist: LatencyHistogram,
+        ok: usize,
+        deadline_exceeded: usize,
+        rejected: usize,
+        failed: usize,
+    }
+    let t0 = Instant::now();
+    let lanes: Vec<LaneResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .into_iter()
+            .enumerate()
+            .map(|(lane, mut client)| {
+                let header = header.clone();
+                let query = query.as_str();
+                scope.spawn(move || {
+                    let mut r = LaneResult {
+                        hist: LatencyHistogram::new(),
+                        ok: 0,
+                        deadline_exceeded: 0,
+                        rejected: 0,
+                        failed: 0,
+                    };
+                    let mut k = lane;
+                    while k < total {
+                        let target = t0 + interval * k as u32;
+                        let now = Instant::now();
+                        if now < target {
+                            std::thread::sleep(target - now);
+                        }
+                        let sent = Instant::now();
+                        match client.query(query, &header) {
+                            Ok(_) => {
+                                r.ok += 1;
+                                r.hist.record(sent.elapsed().as_nanos() as u64);
+                            }
+                            Err(ClientError::Server(e)) => match e.code {
+                                ErrorCode::DeadlineExceeded | ErrorCode::Cancelled => {
+                                    r.deadline_exceeded += 1;
+                                }
+                                ErrorCode::Overloaded | ErrorCode::ShuttingDown => {
+                                    r.rejected += 1;
+                                }
+                                _ => r.failed += 1,
+                            },
+                            Err(_) => {
+                                // Transport failure: this lane is dead.
+                                r.failed += total.saturating_sub(k) / connections.max(1) + 1;
+                                break;
+                            }
+                        }
+                        k += connections;
+                    }
+                    r
+                })
+            })
+            .collect();
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
+    });
+    let elapsed = t0.elapsed();
+
+    let mut hist = LatencyHistogram::new();
+    let (mut ok, mut deadline_exceeded, mut rejected, mut failed) =
+        (0usize, 0usize, 0usize, 0usize);
+    for lane in lanes {
+        ok += lane.ok;
+        deadline_exceeded += lane.deadline_exceeded;
+        rejected += lane.rejected;
+        failed += lane.failed;
+        hist.merge(&lane.hist);
+    }
+
+    if ok == 0 {
+        return fail("bench-serve: no request succeeded");
+    }
+    let achieved_qps = ok as f64 / elapsed.as_secs_f64();
+    let (p50, p95, p99) = (
+        hist.percentile(50.0),
+        hist.percentile(95.0),
+        hist.percentile(99.0),
+    );
+    println!(
+        "bench-serve: {total} scheduled @ {qps} qps over {connections} connection(s)\n\
+         completed {ok} ok ({achieved_qps:.1} qps), {deadline_exceeded} deadline/cancel, \
+         {rejected} rejected, {failed} failed in {elapsed:.2?}\n\
+         latency p50 {} p95 {} p99 {} mean {}",
+        fmt_ns(p50),
+        fmt_ns(p95),
+        fmt_ns(p99),
+        fmt_ns(hist.mean()),
+    );
+
+    // cs-bench/1 records into the shared sink, aggregated by
+    // `bench_report` alongside the criterion benches.
+    if let Ok(path) = std::env::var("CS_BENCH_JSON") {
+        if !path.is_empty() {
+            use std::io::Write as _;
+            let records = [
+                ("bench_serve/p50", p50),
+                ("bench_serve/p95", p95),
+                ("bench_serve/p99", p99),
+            ];
+            let mut lines = String::new();
+            for (name, ns) in records {
+                let rec = BenchRecord {
+                    name: name.to_string(),
+                    mean_ns: ns,
+                    iters: hist.len() as u64,
+                };
+                lines.push_str(&rec.to_json_line());
+                lines.push('\n');
+            }
+            let written = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(lines.as_bytes()));
+            if let Err(e) = written {
+                eprintln!("warning: cannot append to CS_BENCH_JSON sink {path}: {e}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Formats a nanosecond latency human-readably.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
     }
 }

@@ -13,6 +13,7 @@
 //! * [`engine`] — conjunctive (BGP) query engine
 //! * [`core`] — CTP search algorithms and baselines
 //! * [`eql`] — the extended query language: parser, planner, executor
+//! * [`server`] — `csqd`, the multi-tenant query server and its client
 //!
 //! ## Quickstart
 //!
@@ -39,9 +40,11 @@
 //! assert!(result.rows() > 0);
 //! ```
 
+pub use cs_bench as bench;
 pub use cs_core as core;
 pub use cs_engine as engine;
 pub use cs_eql as eql;
 pub use cs_graph as graph;
+pub use cs_server as server;
 
 pub use cs_eql::{PreparedQuery, ResultStream, Session};

@@ -116,7 +116,7 @@ const DEMO_CTP: &str = r#"SELECT w WHERE { CONNECT("Bob", "Elon" -> w) MAX 4 }"#
 
 #[test]
 fn numeric_flags_reject_garbage_with_one_line_error() {
-    for flag in ["--threads", "--search-threads", "--timeout"] {
+    for flag in ["--threads", "--search-threads", "--timeout", "--timeout-ms"] {
         let out = csq(&["--demo", DEMO_CTP, flag, "abc"]);
         assert!(!out.status.success(), "{flag} abc must fail");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -133,7 +133,7 @@ fn numeric_flags_reject_garbage_with_one_line_error() {
 
 #[test]
 fn numeric_flags_reject_missing_value() {
-    for flag in ["--threads", "--search-threads", "--timeout"] {
+    for flag in ["--threads", "--search-threads", "--timeout", "--timeout-ms"] {
         let out = csq(&["--demo", DEMO_CTP, flag]);
         assert!(!out.status.success(), "bare {flag} must fail");
         let stderr = String::from_utf8_lossy(&out.stderr);
@@ -153,6 +153,7 @@ fn usage_lists_every_flag() {
     for flag in [
         "--algorithm",
         "--timeout",
+        "--timeout-ms",
         "--threads",
         "--search-threads",
         "--stats",
@@ -163,9 +164,59 @@ fn usage_lists_every_flag() {
         "--snapshot",
         "snapshot save",
         "snapshot inspect",
+        "connect",
+        "bench-serve",
+        "--tenant",
+        "--cancel-after-ms",
+        "--qps",
+        "--duration-ms",
+        "--connections",
     ] {
         assert!(stderr.contains(flag), "usage misses {flag}: {stderr}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// The hard per-query deadline (`--timeout-ms`): a typed DeadlineExceeded,
+// reported as a one-line `error:` with a non-zero exit — unlike the soft
+// per-CTP `--timeout`, which keeps the partial results found in time.
+
+/// A search long enough that a 20 ms deadline trips mid-flight (the
+/// `random64_molesp_max5` workload class).
+const LONG_GRAPH: &str = "gen:random_connected:n=64,extra=192,seed=42";
+const LONG_QUERY: &str = r#"SELECT w WHERE { CONNECT("n0", "n63" -> w) MAX 5 }"#;
+
+#[test]
+fn timeout_ms_reports_typed_deadline_exceeded() {
+    let out = csq(&[LONG_GRAPH, LONG_QUERY, "--timeout-ms", "20"]);
+    assert_one_line_error(&out, "--timeout-ms deadline");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stderr.trim_end(), "error: deadline exceeded", "{stderr}");
+}
+
+#[test]
+fn generous_timeout_ms_changes_nothing() {
+    let plain = csq(&["--demo", DEMO_CTP]);
+    let guarded = csq(&["--demo", DEMO_CTP, "--timeout-ms", "600000"]);
+    assert!(plain.status.success() && guarded.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&guarded.stdout),
+        "an unreached deadline must not change output"
+    );
+}
+
+#[test]
+fn soft_timeout_still_keeps_partial_results() {
+    // The soft per-CTP timeout truncates but succeeds — the contract
+    // split the hard deadline must not regress.
+    let out = csq(&[LONG_GRAPH, LONG_QUERY, "--timeout", "1", "--stats"]);
+    assert!(
+        out.status.success(),
+        "soft timeout is not an error: {out:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("TIMED OUT"), "{stderr}");
 }
 
 // ---------------------------------------------------------------------------
