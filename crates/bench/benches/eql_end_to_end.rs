@@ -7,9 +7,24 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cs_bench::harness::cdf_query;
-use cs_eql::{parse, ExecOptions, Session};
+use cs_eql::{parse, ExecOptions, ResultCacheMode, Session};
 use cs_graph::figure1;
 use cs_graph::generate::{cdf, CdfParams};
+use cs_graph::Graph;
+
+/// Every session here disables the cross-query result cache: these
+/// benches measure the search/join pipeline itself, and a cache hit on
+/// a repeated identical query would time the replay path instead (that
+/// path has its own bench, `eql_result_cache`).
+fn uncached(graph: &Graph) -> Session<'_> {
+    Session::with_options(
+        graph,
+        ExecOptions {
+            result_cache: ResultCacheMode::Off,
+            ..ExecOptions::default()
+        },
+    )
+}
 
 /// One of `n` distinct queries sharing a single 8-pattern star-join
 /// BGP shape over the Figure 1 labels (non-empty result): only the
@@ -42,7 +57,7 @@ fn benches(c: &mut Criterion) {
 
     c.bench_function("eql_parse_cdf_query", |b| b.iter(|| parse(&q2).unwrap()));
     c.bench_function("eql_cdf_m2_full_pipeline", |b| {
-        let session = Session::new(&built.graph);
+        let session = uncached(&built.graph);
         b.iter(|| session.run(&q2).unwrap())
     });
 
@@ -55,13 +70,13 @@ fn benches(c: &mut Criterion) {
     });
     let q3 = cdf_query(3, false, 10_000);
     c.bench_function("eql_cdf_m3_full_pipeline", |b| {
-        let session = Session::new(&built3.graph);
+        let session = uncached(&built3.graph);
         b.iter(|| session.run(&q3).unwrap())
     });
 
     let uni = cdf_query(2, true, 10_000);
     c.bench_function("eql_cdf_m2_uni_pipeline", |b| {
-        let session = Session::new(&built.graph);
+        let session = uncached(&built.graph);
         b.iter(|| session.run(&uni).unwrap())
     });
 
@@ -75,14 +90,14 @@ fn benches(c: &mut Criterion) {
         b.iter(|| {
             let mut rows = 0usize;
             for q in &shape_stream {
-                rows += Session::new(&g).run(q).unwrap().rows();
+                rows += uncached(&g).run(q).unwrap().rows();
             }
             rows
         })
     });
     c.bench_function("eql_repeated_shape_warm_session", |b| {
         b.iter(|| {
-            let session = Session::new(&g);
+            let session = uncached(&g);
             let mut rows = 0usize;
             for q in &shape_stream {
                 let r = session.run(q).unwrap();
@@ -105,7 +120,7 @@ fn benches(c: &mut Criterion) {
     let batch_refs: Vec<&str> = batch_queries.iter().map(String::as_str).collect();
 
     c.bench_function("eql_multi_query_oneshot_sequential", |b| {
-        let session = Session::new(&built.graph);
+        let session = uncached(&built.graph);
         b.iter(|| {
             let mut rows = 0usize;
             for q in &batch_refs {
@@ -119,6 +134,7 @@ fn benches(c: &mut Criterion) {
             &built.graph,
             ExecOptions {
                 threads: 0,
+                result_cache: ResultCacheMode::Off,
                 ..ExecOptions::default()
             },
         );

@@ -1,0 +1,127 @@
+//! Cross-query result cache benchmarks: the same CTP-heavy query
+//! cold (cache off, full search every run), warm (exact-signature
+//! replay), and dominated (a narrower probe served by subsumption
+//! from a wider cached entry, zero graph traversal).
+//!
+//! Two acceptance assertions run before the measured benches:
+//! an exact hit must replay at least 5x faster than the cold
+//! search, and a subsumption-served probe must beat re-searching
+//! the narrow query directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_bench::harness::cdf_query;
+use cs_eql::{ExecOptions, ResultCacheMode, Session};
+use cs_graph::generate::{cdf, random_connected, CdfParams};
+use std::time::{Duration, Instant};
+
+/// Options with the result cache disabled — the uncached baseline.
+fn cache_off() -> ExecOptions {
+    ExecOptions {
+        result_cache: ResultCacheMode::Off,
+        ..ExecOptions::default()
+    }
+}
+
+/// Mean wall time of `runs` back-to-back executions of `f`.
+fn mean_time(runs: u32, mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    t0.elapsed() / runs
+}
+
+fn benches(c: &mut Criterion) {
+    // ---- Exact-hit replay on the Fig. 13 pipeline query (BGP +
+    // variable-seeded CONNECT on a CDF graph).
+    let built = cdf(&CdfParams {
+        m: 2,
+        n_t: 8,
+        n_l: 16,
+        s_l: 3,
+        seed: 77,
+    });
+    let q2 = cdf_query(2, false, 10_000);
+    let g = random_connected(64, 192, 42);
+    let wide = r#"SELECT w WHERE { CONNECT("n0", "n63" -> w) MAX 3 }"#;
+
+    // Acceptance: a warm exact hit replays the stored trees instead of
+    // searching, so it must be at least 5x faster than the cold run.
+    // Asserted on the explicit-seed workload query, where the search is
+    // the whole cost (no BGP/join residual to mask the replay).
+    {
+        let cold_session = Session::with_options(&g, cache_off());
+        let warm_session = Session::new(&g);
+        warm_session.run(wide).expect("warm-up run");
+        let cold = mean_time(10, || {
+            cold_session.run(wide).expect("cold run");
+        });
+        let warm = mean_time(10, || {
+            warm_session.run(wide).expect("warm run");
+        });
+        assert!(
+            warm_session.result_cache_hits() >= 10,
+            "warm runs must be served from the cache"
+        );
+        let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(1e-9);
+        println!("result-cache exact-hit speedup: {speedup:.1}x (cold {cold:?}, warm {warm:?})");
+        assert!(
+            speedup >= 5.0,
+            "exact hit must be >=5x faster than cold search, got {speedup:.2}x \
+             (cold {cold:?}, warm {warm:?})"
+        );
+    }
+
+    c.bench_function("eql_result_cache_cold", |b| {
+        let session = Session::with_options(&built.graph, cache_off());
+        b.iter(|| session.run(&q2).unwrap())
+    });
+    c.bench_function("eql_result_cache_warm_exact", |b| {
+        let session = Session::new(&built.graph);
+        session.run(&q2).unwrap();
+        b.iter(|| session.run(&q2).unwrap())
+    });
+
+    // ---- Subsumption on the serving workload graph: warm the cache
+    // with the wide MAX 3 search, then probe a label-restricted twin.
+    // The entry dominates the probe (superset labels, same bound), so
+    // every probe filters cached trees instead of searching.
+    let narrow = r#"SELECT w WHERE { CONNECT("n0", "n63" -> w) LABEL "r0", "r1", "r2" MAX 3 }"#;
+
+    // Acceptance: answering the narrow probe by filtering the cached
+    // wide result must beat re-searching the narrow query directly.
+    {
+        let direct_session = Session::with_options(&g, cache_off());
+        let sub_session = Session::new(&g);
+        sub_session.run(wide).expect("wide warm-up");
+        sub_session.run(narrow).expect("subsumed probe");
+        assert!(
+            sub_session.result_cache_subsumed_hits() >= 1,
+            "the narrow probe must be subsumption-served"
+        );
+        let direct = mean_time(10, || {
+            direct_session.run(narrow).expect("direct narrow search");
+        });
+        let subsumed = mean_time(10, || {
+            sub_session.run(narrow).expect("subsumed narrow probe");
+        });
+        println!("result-cache subsumption: direct {direct:?}, subsumed {subsumed:?}");
+        assert!(
+            subsumed < direct,
+            "subsumption-served probe ({subsumed:?}) must beat direct re-search ({direct:?})"
+        );
+    }
+
+    c.bench_function("eql_result_cache_direct_narrow", |b| {
+        let session = Session::with_options(&g, cache_off());
+        b.iter(|| session.run(narrow).unwrap())
+    });
+    c.bench_function("eql_result_cache_subsumed", |b| {
+        let session = Session::new(&g);
+        session.run(wide).unwrap();
+        b.iter(|| session.run(narrow).unwrap())
+    });
+}
+
+criterion_group!(eql_result_cache, benches);
+criterion_main!(eql_result_cache);

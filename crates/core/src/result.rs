@@ -179,6 +179,18 @@ impl ResultSet {
         }
     }
 
+    /// Rebuilds a result set from trees (e.g. replayed from a result
+    /// cache), restoring the dedup index. Insertion order is kept, so
+    /// feeding canonically sorted trees yields a canonically sorted
+    /// set.
+    pub fn from_trees(trees: impl IntoIterator<Item = ResultTree>) -> Self {
+        let mut rs = ResultSet::new();
+        for t in trees {
+            rs.insert(t);
+        }
+        rs
+    }
+
     /// The results' canonical edge sets, sorted — convenient for
     /// comparing two algorithms' outputs in tests.
     pub fn canonical(&self) -> Vec<Vec<EdgeId>> {
@@ -419,6 +431,20 @@ mod tests {
             seeds: vec![ns[0]].into_boxed_slice(), // smaller → replaces
         }));
         assert_eq!(rs.trees()[1].seeds.as_ref(), &[ns[0]]);
+    }
+
+    #[test]
+    fn from_trees_restores_dedup_index() {
+        let (_, ns, es) = path_graph();
+        let r = ResultTree {
+            edges: es.clone().into_boxed_slice(),
+            nodes: ns.clone().into_boxed_slice(),
+            seeds: vec![ns[0], ns[3]].into_boxed_slice(),
+        };
+        let mut rs = ResultSet::from_trees(vec![r.clone()]);
+        assert_eq!(rs.len(), 1);
+        assert!(rs.contains(&es, ns[0]));
+        assert!(!rs.insert(r));
     }
 
     #[test]

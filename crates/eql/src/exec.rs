@@ -9,6 +9,7 @@
 
 use crate::ast::{CtpAst, QueryAst, QueryForm, TermAst};
 use crate::parser::ParseError;
+use crate::result_cache::ResultCacheMode;
 use crate::session::Session;
 use cs_core::parallel::{
     evaluate_ctps_parallel_budgeted, evaluate_job, resolve_search_threads, resolve_threads, CtpJob,
@@ -112,6 +113,16 @@ pub struct ExecOptions {
     /// their next check and the query fails with
     /// [`EqlError::Cancelled`].
     pub cancel: Option<cs_core::CancelFlag>,
+    /// Where the CTP result cache lives (the plan cache one level up):
+    /// per-session ([`ResultCacheMode::On`], the default), disabled, or
+    /// a [`SharedResultCache`](crate::SharedResultCache) handle shared
+    /// across sessions over the same graph.
+    pub result_cache: ResultCacheMode,
+    /// Capacity (entries) of the per-session result cache when
+    /// [`ExecOptions::result_cache`] is [`ResultCacheMode::On`]; `0`
+    /// disables caching. Ignored for `Off`/`Shared` (a shared cache
+    /// carries its own capacity).
+    pub result_cache_capacity: usize,
 }
 
 impl Default for ExecOptions {
@@ -125,8 +136,27 @@ impl Default for ExecOptions {
             plan_cache_capacity: 128,
             deadline: None,
             cancel: None,
+            result_cache: ResultCacheMode::On,
+            result_cache_capacity: crate::result_cache::DEFAULT_RESULT_CACHE_CAPACITY,
         }
     }
+}
+
+/// One magic-set seed narrowing step (B.1½): a CTP seed set was
+/// intersected with the other tables binding the same variable before
+/// dispatch, shrinking the search frontier. Recorded in
+/// [`ExecStats::seed_narrowings`] so `--explain` can show the seeded
+/// vs. unseeded cardinalities.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedNarrowing {
+    /// Output variable of the narrowed CTP.
+    pub ctp: String,
+    /// The shared seed variable whose set was narrowed.
+    pub var: String,
+    /// Seed-set cardinality before narrowing.
+    pub from: usize,
+    /// Seed-set cardinality after narrowing (the intersection).
+    pub to: usize,
 }
 
 /// Timing and search statistics of one query execution.
@@ -151,6 +181,18 @@ pub struct ExecStats {
     pub plan_cache_hits: u64,
     /// BGP plans this execution had to build from scratch.
     pub plan_cache_misses: u64,
+    /// CTP searches answered by an exact result-cache hit.
+    pub result_cache_hits: u64,
+    /// CTP searches the result cache could not answer.
+    pub result_cache_misses: u64,
+    /// CTP searches answered by filtering a dominating cached entry
+    /// (subsumption).
+    pub result_cache_subsumed: u64,
+    /// Cached trees rejected while answering this execution's
+    /// subsumption hits.
+    pub result_cache_trees_filtered: u64,
+    /// Magic-set seed narrowings applied before dispatch.
+    pub seed_narrowings: Vec<SeedNarrowing>,
 }
 
 /// The result of an EQL query.
@@ -329,9 +371,23 @@ impl QueryControl {
 }
 
 /// The step (B) job list: per CTP, the job, the table columns of its
-/// seed positions (`None` for hidden constants), and whether the ASK
-/// deepening loop may raise its result cap.
-pub(crate) type CtpJobs = (Vec<CtpJob>, Vec<Vec<Option<String>>>, Vec<bool>);
+/// seed positions (`None` for hidden constants), whether the ASK
+/// deepening loop may raise its result cap, and the surplus seeds the
+/// magic-set narrowing removed (so [`enforce_exclusions`] can re-impose
+/// the original seed-set exclusivity after dispatch).
+pub(crate) struct BuiltJobs {
+    /// One search job per CTP, in query order.
+    pub(crate) jobs: Vec<CtpJob>,
+    /// Per CTP, the table column of each seed position.
+    pub(crate) job_cols: Vec<Vec<Option<String>>>,
+    /// Per CTP, whether ASK deepening may raise its result cap.
+    pub(crate) deepenable: Vec<bool>,
+    /// Per CTP, the sorted union of seeds removed by narrowing (empty
+    /// when the CTP was not narrowed).
+    pub(crate) exclusions: Vec<Vec<NodeId>>,
+    /// The narrowing steps applied, for [`ExecStats::seed_narrowings`].
+    pub(crate) narrowings: Vec<SeedNarrowing>,
+}
 
 /// Lowers a CTP's filter clauses into search [`Filters`] — everything
 /// except the result cap (`LIMIT`), which each call site layers on
@@ -354,12 +410,19 @@ pub(crate) fn build_ctp_jobs(
     q: &QueryAst,
     bgp_tables: &[Table],
     opts: &ExecOptions,
-) -> Result<CtpJobs, EqlError> {
+) -> Result<BuiltJobs, EqlError> {
+    let mut per_ctp: Vec<(Vec<SeedSpec>, Vec<Option<String>>)> = q
+        .ctps
+        .iter()
+        .enumerate()
+        .map(|(ci, ctp)| seed_specs(g, ctp, ci, bgp_tables))
+        .collect();
+    let (exclusions, narrowings) = narrow_shared_seed_sets(q, &mut per_ctp);
+
     let mut jobs: Vec<CtpJob> = Vec::with_capacity(q.ctps.len());
     let mut job_cols: Vec<Vec<Option<String>>> = Vec::with_capacity(q.ctps.len());
     let mut deepenable: Vec<bool> = Vec::with_capacity(q.ctps.len());
-    for (ci, ctp) in q.ctps.iter().enumerate() {
-        let (specs, col_vars) = seed_specs(g, ctp, ci, bgp_tables);
+    for (ci, (ctp, (specs, col_vars))) in q.ctps.iter().zip(per_ctp).enumerate() {
         let seeds = SeedSets::new(specs)?;
 
         let mut filters = ctp_filters(ctp, opts);
@@ -392,7 +455,147 @@ pub(crate) fn build_ctp_jobs(
         job_cols.push(col_vars);
         deepenable.push(deepen);
     }
-    Ok((jobs, job_cols, deepenable))
+    Ok(BuiltJobs {
+        jobs,
+        job_cols,
+        deepenable,
+        exclusions,
+        narrowings,
+    })
+}
+
+/// Magic-set seed narrowing (step B.1½): when several tables bind the
+/// same variable — two CTPs sharing a seed variable, possibly already
+/// restricted by a BGP — only nodes in the *intersection* of the seed
+/// sets can survive the step (C) natural join, so each eligible CTP
+/// searches from the intersection instead of its full set, shrinking
+/// the frontier before any graph work.
+///
+/// Narrowing alone is not semantics-preserving: Def. 2.8 admits
+/// *exactly one* node per seed set, so removing a node from a set frees
+/// it to appear as an internal tree node, producing trees the original
+/// query excludes. The returned per-CTP surplus lists let
+/// [`enforce_exclusions`] drop those trees after dispatch; the
+/// combination provably returns exactly the original trees whose seed
+/// lies in the intersection — and all other trees produce no join rows.
+///
+/// Ineligible (left unnarrowed): CTPs with a `SCORE` clause (TOP-k is
+/// computed before the join, so pre-shrinking the scored set changes
+/// which trees fill the k slots), an explicit `LIMIT` (the kept subset
+/// is user-visible), or an `N` seed position (All-position results are
+/// discovery-order-dependent). Empty intersections also skip narrowing:
+/// the join produces the empty answer either way, and seed-set
+/// validation keeps its usual error surface.
+///
+/// Row answers are invariant under narrowing — a tree whose bound seed
+/// lies outside the intersection cannot equi-join with the other
+/// tables binding the variable. The [`QueryResult::trees`] map of a
+/// narrowed CTP, however, only lists the trees the narrowed search
+/// discovered: results that could never contribute a join row are
+/// omitted rather than computed and discarded.
+pub(crate) fn narrow_shared_seed_sets(
+    q: &QueryAst,
+    per_ctp: &mut [(Vec<SeedSpec>, Vec<Option<String>>)],
+) -> (Vec<Vec<NodeId>>, Vec<SeedNarrowing>) {
+    let mut exclusions: Vec<Vec<NodeId>> = vec![Vec::new(); per_ctp.len()];
+    let mut narrowings: Vec<SeedNarrowing> = Vec::new();
+    // Explicit-set positions per variable, in deterministic order.
+    let mut by_var: std::collections::BTreeMap<String, Vec<(usize, usize)>> = Default::default();
+    for (ci, (specs, cols)) in per_ctp.iter().enumerate() {
+        for (pos, col) in cols.iter().enumerate() {
+            if let (Some(v), SeedSpec::Set(_)) = (col.as_deref(), &specs[pos]) {
+                by_var.entry(v.to_string()).or_default().push((ci, pos));
+            }
+        }
+    }
+    let eligible: Vec<bool> = q
+        .ctps
+        .iter()
+        .zip(per_ctp.iter())
+        .map(|(ctp, (specs, _))| {
+            ctp.filters.score.is_none()
+                && ctp.filters.limit.is_none()
+                && specs.iter().all(|s| matches!(s, SeedSpec::Set(_)))
+        })
+        .collect();
+    for (var, positions) in &by_var {
+        if positions.len() < 2 {
+            continue;
+        }
+        let mut inter: Option<Vec<NodeId>> = None;
+        for &(ci, pos) in positions {
+            let SeedSpec::Set(s) = &per_ctp[ci].0[pos] else {
+                continue;
+            };
+            let mut s = s.clone();
+            s.sort_unstable();
+            s.dedup();
+            inter = Some(match inter {
+                None => s,
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|n| s.binary_search(n).is_ok())
+                    .collect(),
+            });
+        }
+        let Some(inter) = inter else { continue };
+        if inter.is_empty() {
+            continue;
+        }
+        for &(ci, pos) in positions {
+            if !eligible[ci] {
+                continue;
+            }
+            let SeedSpec::Set(orig) = &mut per_ctp[ci].0[pos] else {
+                continue;
+            };
+            let mut sorted = orig.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let surplus: Vec<NodeId> = sorted
+                .iter()
+                .copied()
+                .filter(|n| inter.binary_search(n).is_err())
+                .collect();
+            if surplus.is_empty() {
+                continue;
+            }
+            narrowings.push(SeedNarrowing {
+                ctp: q.ctps[ci].out_var.clone(),
+                var: var.clone(),
+                from: sorted.len(),
+                to: inter.len(),
+            });
+            let excl = &mut exclusions[ci];
+            excl.extend(surplus);
+            excl.sort_unstable();
+            excl.dedup();
+            *orig = inter.clone();
+        }
+    }
+    (exclusions, narrowings)
+}
+
+/// Re-imposes the original seed-set exclusivity on narrowed jobs'
+/// outcomes: a tree containing *any* node the narrowing removed would
+/// hold two nodes of that original seed set (its seed plus the
+/// surplus), which Def. 2.8 forbids — the narrowed search admits it
+/// only because the surplus node left the set. Runs after
+/// [`ask_truncated`] (which must see the raw result count against the
+/// cap) and after cache insertion (the cache stores the raw outcome of
+/// the narrowed signature).
+pub(crate) fn enforce_exclusions(outcomes: &mut [SearchOutcome], exclusions: &[Vec<NodeId>]) {
+    for (o, excl) in outcomes.iter_mut().zip(exclusions) {
+        if excl.is_empty() {
+            continue;
+        }
+        let trees = std::mem::take(&mut o.results).into_trees();
+        o.results = cs_core::ResultSet::from_trees(
+            trees
+                .into_iter()
+                .filter(|t| !t.nodes.iter().any(|n| excl.binary_search(n).is_ok())),
+        );
+    }
 }
 
 /// Evaluates a slice of CTP jobs through the two-level scheduler:

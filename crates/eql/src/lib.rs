@@ -38,11 +38,18 @@ pub mod ast;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod result_cache;
 pub mod session;
 
 pub use ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, QueryForm, TermAst};
-pub use exec::{execute, explain_plan, EqlError, ExecOptions, ExecStats, QueryResult};
+pub use exec::{
+    execute, explain_plan, EqlError, ExecOptions, ExecStats, QueryResult, SeedNarrowing,
+};
 #[allow(deprecated)]
 pub use exec::{run_ask, run_query, run_query_with};
 pub use parser::{parse, ParseError};
+pub use result_cache::{
+    CacheCounters, CtpSignature, ResultCache, ResultCacheMode, SharedResultCache,
+    DEFAULT_RESULT_CACHE_CAPACITY,
+};
 pub use session::{PreparedQuery, ResultStream, Session};

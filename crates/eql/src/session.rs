@@ -43,18 +43,21 @@
 
 use crate::ast::{QueryAst, QueryForm};
 use crate::exec::{
-    ask_truncated, build_ctp_jobs, ctp_filters, dispatch_jobs, grow_ask_limits, join_all,
-    materialise_ctps, pick_policy, query_bgps, seed_specs, CtpMaterialisation, EqlError,
+    ask_truncated, build_ctp_jobs, ctp_filters, dispatch_jobs, enforce_exclusions, grow_ask_limits,
+    join_all, materialise_ctps, pick_policy, query_bgps, seed_specs, CtpMaterialisation, EqlError,
     ExecOptions, ExecStats, QueryControl, QueryResult,
 };
 use crate::parser::parse;
+use crate::result_cache::{
+    CacheCounters, CacheLookup, CtpSignature, ResultCache, ResultCacheMode, SharedResultCache,
+};
 use cs_core::parallel::{resolve_search_threads, resolve_threads, CtpJob};
 use cs_core::{
     evaluate_ctp_streaming, stream_ctp, Algorithm, CtpStream, QueueOrder, QueuePolicy, ResultTree,
-    SearchStats, SeedSets,
+    SearchOutcome, SearchStats, SeedSets,
 };
 use cs_engine::{eval_bgp_with_plan, Bgp, PlanCache, Table};
-use cs_graph::Graph;
+use cs_graph::{Graph, NodeId};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
@@ -77,6 +80,7 @@ pub struct Session<'g> {
     graph: GraphHandle<'g>,
     opts: ExecOptions,
     cache: RefCell<PlanCache>,
+    results: ResultCacheHandle,
 }
 
 /// The three ways a session holds its graph.
@@ -92,6 +96,65 @@ impl GraphHandle<'_> {
             GraphHandle::Borrowed(g) => g,
             GraphHandle::Owned(g) => g,
             GraphHandle::Shared(g) => g,
+        }
+    }
+}
+
+/// Where this session's CTP result cache lives, resolved once from
+/// [`ExecOptions::result_cache`] at construction.
+enum ResultCacheHandle {
+    Off,
+    Local(RefCell<ResultCache>),
+    Shared(SharedResultCache),
+}
+
+impl ResultCacheHandle {
+    fn from_opts(opts: &ExecOptions) -> ResultCacheHandle {
+        match &opts.result_cache {
+            ResultCacheMode::Off => ResultCacheHandle::Off,
+            ResultCacheMode::On if opts.result_cache_capacity == 0 => ResultCacheHandle::Off,
+            ResultCacheMode::On => {
+                ResultCacheHandle::Local(RefCell::new(ResultCache::new(opts.result_cache_capacity)))
+            }
+            ResultCacheMode::Shared(h) => ResultCacheHandle::Shared(h.clone()),
+        }
+    }
+
+    /// Runs `f` with the cache, or returns `None` when caching is off.
+    fn with<R>(&self, f: impl FnOnce(&mut ResultCache) -> R) -> Option<R> {
+        match self {
+            ResultCacheHandle::Off => None,
+            ResultCacheHandle::Local(c) => Some(f(&mut c.borrow_mut())),
+            ResultCacheHandle::Shared(s) => Some(s.with(f)),
+        }
+    }
+}
+
+/// How the result cache answered one CTP job of a dispatch round —
+/// the per-job attribution [`ExecStats`] counters are folded from.
+#[derive(Clone, Copy)]
+pub(crate) enum CacheEvent {
+    /// Exact signature hit.
+    Hit,
+    /// Subsumption hit; carries the number of trees filtered out.
+    Subsumed(u64),
+    /// No usable entry: the search ran.
+    Miss,
+    /// The job bypassed the cache (caching off or uncacheable job).
+    Bypass,
+}
+
+/// Folds a dispatch round's per-job cache events into a query's stats.
+pub(crate) fn fold_cache_events(stats: &mut ExecStats, events: &[CacheEvent]) {
+    for e in events {
+        match e {
+            CacheEvent::Hit => stats.result_cache_hits += 1,
+            CacheEvent::Subsumed(filtered) => {
+                stats.result_cache_subsumed += 1;
+                stats.result_cache_trees_filtered += filtered;
+            }
+            CacheEvent::Miss => stats.result_cache_misses += 1,
+            CacheEvent::Bypass => {}
         }
     }
 }
@@ -141,10 +204,12 @@ impl Session<'static> {
     /// An owning session with explicit options.
     pub fn from_graph_with(graph: Graph, opts: ExecOptions) -> Session<'static> {
         let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        let results = ResultCacheHandle::from_opts(&opts);
         Session {
             graph: GraphHandle::Owned(Box::new(graph)),
             opts,
             cache,
+            results,
         }
     }
 
@@ -166,13 +231,19 @@ impl Session<'static> {
         Session::from_shared_with(graph, ExecOptions::default())
     }
 
-    /// [`Session::from_shared`] with explicit options.
+    /// [`Session::from_shared`] with explicit options. This is the
+    /// server constructor: passing
+    /// [`ResultCacheMode::Shared`] in the options makes
+    /// every connection's session probe and feed one cross-session
+    /// result cache over the shared graph.
     pub fn from_shared_with(graph: std::sync::Arc<Graph>, opts: ExecOptions) -> Session<'static> {
         let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        let results = ResultCacheHandle::from_opts(&opts);
         Session {
             graph: GraphHandle::Shared(graph),
             opts,
             cache,
+            results,
         }
     }
 
@@ -195,10 +266,12 @@ impl<'g> Session<'g> {
     /// A session over `g` with explicit options.
     pub fn with_options(graph: &'g Graph, opts: ExecOptions) -> Self {
         let cache = RefCell::new(PlanCache::new(opts.plan_cache_capacity));
+        let results = ResultCacheHandle::from_opts(&opts);
         Session {
             graph: GraphHandle::Borrowed(graph),
             opts,
             cache,
+            results,
         }
     }
 
@@ -232,6 +305,128 @@ impl<'g> Session<'g> {
     /// Number of plans currently cached.
     pub fn plan_cache_len(&self) -> usize {
         self.cache.borrow().len()
+    }
+
+    /// The result cache's counters. For a session on a
+    /// [`ResultCacheMode::Shared`] cache these are the
+    /// *shared* totals across every attached session; all zero when
+    /// caching is off.
+    pub fn result_cache_counters(&self) -> CacheCounters {
+        self.results.with(|c| c.counters()).unwrap_or_default()
+    }
+
+    /// CTP searches answered by an exact result-cache hit.
+    pub fn result_cache_hits(&self) -> u64 {
+        self.result_cache_counters().hits
+    }
+
+    /// CTP searches the result cache could not answer.
+    pub fn result_cache_misses(&self) -> u64 {
+        self.result_cache_counters().misses
+    }
+
+    /// CTP searches answered by filtering a dominating cached entry.
+    pub fn result_cache_subsumed_hits(&self) -> u64 {
+        self.result_cache_counters().subsumed
+    }
+
+    /// Number of entries in the result cache.
+    pub fn result_cache_len(&self) -> usize {
+        self.results.with(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Evaluates a round of CTP jobs through the result cache: probes
+    /// every job under one cache lock, dispatches only the misses
+    /// (lock released — searches never serialise on the cache), then
+    /// re-locks to insert the freshly computed complete outcomes.
+    /// Returns the outcomes in job order plus the per-job cache events
+    /// for stats attribution.
+    fn dispatch_cached(&self, jobs: &[CtpJob]) -> (Vec<SearchOutcome>, Vec<CacheEvent>) {
+        let g = self.graph();
+        if matches!(self.results, ResultCacheHandle::Off) {
+            let outs = dispatch_jobs(g, jobs, self.opts.threads, self.opts.search_threads);
+            return (outs, vec![CacheEvent::Bypass; jobs.len()]);
+        }
+        let sigs: Vec<Option<CtpSignature>> = jobs.iter().map(|j| CtpSignature::of(g, j)).collect();
+        // Batch dedup: a job whose signature already appeared earlier
+        // in this dispatch is deferred to a second round, so the first
+        // occurrence's freshly inserted outcome serves it as a plain
+        // hit instead of redoing the identical search. (If the first
+        // occurrence's outcome was incomplete and thus uncacheable,
+        // the second round's miss path still searches it for real.)
+        let firsts: Vec<bool> = sigs
+            .iter()
+            .enumerate()
+            .map(|(i, sig)| match sig {
+                None => true,
+                Some(s) => !sigs[..i].iter().flatten().any(|p| p == s),
+            })
+            .collect();
+        let mut slots: Vec<Option<SearchOutcome>> = Vec::with_capacity(jobs.len());
+        slots.resize_with(jobs.len(), || None);
+        let mut events: Vec<CacheEvent> = vec![CacheEvent::Bypass; jobs.len()];
+        for round in 0..2 {
+            let idx: Vec<usize> = (0..jobs.len())
+                .filter(|&i| firsts[i] == (round == 0))
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            // Probe every job of this round under one lock, so a
+            // concurrent sharer cannot evict between lookups.
+            self.results.with(|cache| {
+                for &i in &idx {
+                    match &sigs[i] {
+                        None => events[i] = CacheEvent::Bypass,
+                        Some(s) => match cache.lookup(g, s) {
+                            CacheLookup::Exact(outcome) => {
+                                slots[i] = Some(outcome);
+                                events[i] = CacheEvent::Hit;
+                            }
+                            CacheLookup::Subsumed {
+                                outcome,
+                                filtered_out,
+                            } => {
+                                slots[i] = Some(outcome);
+                                events[i] = CacheEvent::Subsumed(filtered_out);
+                            }
+                            CacheLookup::Miss => events[i] = CacheEvent::Miss,
+                        },
+                    }
+                }
+            });
+            // The lock is released while the misses run the real
+            // searches, then retaken to publish their outcomes.
+            let miss_idx: Vec<usize> = idx
+                .iter()
+                .copied()
+                .filter(|&i| slots[i].is_none())
+                .collect();
+            let miss_jobs: Vec<CtpJob> = miss_idx.iter().map(|&i| jobs[i].clone()).collect();
+            let outs = dispatch_jobs(g, &miss_jobs, self.opts.threads, self.opts.search_threads);
+            self.results.with(|cache| {
+                for (&i, o) in miss_idx.iter().zip(&outs) {
+                    if matches!(events[i], CacheEvent::Miss) {
+                        if let Some(sig) = &sigs[i] {
+                            cache.insert(sig.clone(), o);
+                        }
+                    }
+                }
+            });
+            let mut fresh = outs.into_iter();
+            for &i in &miss_idx {
+                // cs-lint: allow(L002): `fresh` holds exactly one
+                // outcome per miss index by construction.
+                slots[i] = Some(fresh.next().expect("one dispatched outcome per miss"));
+            }
+        }
+        let outcomes = slots
+            .into_iter()
+            // cs-lint: allow(L002): every index is either a probe hit
+            // or a member of exactly one round's miss set.
+            .map(|s| s.expect("every job slot filled after two rounds"))
+            .collect();
+        (outcomes, events)
     }
 
     /// Parses, validates, and component-groups a query. The returned
@@ -285,14 +480,16 @@ impl<'g> Session<'g> {
         // every job, so a raised cancel flag or an elapsed deadline
         // stops the searches mid-flight.
         let t1 = Instant::now();
-        let (mut jobs, job_cols, deepenable) = build_ctp_jobs(g, ast, &bgp_tables, &self.opts)?;
-        control.arm_jobs(&mut jobs);
+        let mut built = build_ctp_jobs(g, ast, &bgp_tables, &self.opts)?;
+        control.arm_jobs(&mut built.jobs);
+        stats.seed_narrowings = built.narrowings;
         let materialised = self.run_ctp_rounds(
             ast,
             &bgp_tables,
-            &mut jobs,
-            &job_cols,
-            &deepenable,
+            &mut built.jobs,
+            &built.job_cols,
+            &built.deepenable,
+            &built.exclusions,
             &control,
             &mut stats,
         )?;
@@ -320,21 +517,22 @@ impl<'g> Session<'g> {
         jobs: &mut [CtpJob],
         job_cols: &[Vec<Option<String>>],
         deepenable: &[bool],
+        exclusions: &[Vec<NodeId>],
         control: &QueryControl,
         stats: &mut ExecStats,
     ) -> Result<CtpMaterialisation, EqlError> {
         loop {
-            let outcomes = dispatch_jobs(
-                self.graph(),
-                jobs,
-                self.opts.threads,
-                self.opts.search_threads,
-            );
+            let (mut outcomes, events) = self.dispatch_cached(jobs);
             control.classify(&outcomes)?;
+            fold_cache_events(stats, &events);
 
             stats.ctp_stats.clear();
+            // Deepening decisions read the *raw* outcomes (a cap-hit
+            // must stay visible); the exclusivity re-check of narrowed
+            // jobs runs after, and after the raw outcome was cached.
             let truncated = ask_truncated(jobs, &outcomes, deepenable);
             let timed_out = outcomes.iter().any(|o| o.stats.timed_out);
+            enforce_exclusions(&mut outcomes, exclusions);
 
             let materialised = materialise_ctps(self.graph(), ast, outcomes, job_cols, stats);
 
@@ -443,6 +641,7 @@ impl<'g> Session<'g> {
             bgp_tables: Vec<Table>,
             job_cols: Vec<Vec<Option<String>>>,
             deepenable: Vec<bool>,
+            exclusions: Vec<Vec<NodeId>>,
             n_jobs: usize,
         }
 
@@ -457,26 +656,28 @@ impl<'g> Session<'g> {
                 let bgp_tables = self.eval_bgps(&prepared.bgps, &mut stats);
                 stats.bgp_time = t0.elapsed();
                 control.check()?;
-                let (mut jobs, job_cols, deepenable) =
-                    build_ctp_jobs(g, &prepared.ast, &bgp_tables, &self.opts)?;
-                control.arm_jobs(&mut jobs);
-                let n_jobs = jobs.len();
-                all_jobs.extend(jobs);
+                let mut built = build_ctp_jobs(g, &prepared.ast, &bgp_tables, &self.opts)?;
+                control.arm_jobs(&mut built.jobs);
+                stats.seed_narrowings = built.narrowings;
+                let n_jobs = built.jobs.len();
+                all_jobs.extend(built.jobs);
                 Ok(Staged {
                     prepared,
                     stats,
                     bgp_tables,
-                    job_cols,
-                    deepenable,
+                    job_cols: built.job_cols,
+                    deepenable: built.deepenable,
+                    exclusions: built.exclusions,
                     n_jobs,
                 })
             });
             staged.push(one);
         }
 
-        // The one cross-query dispatch.
+        // The one cross-query dispatch, through the result cache: a
+        // batch repeating a CTP pays for its search once.
         let t1 = Instant::now();
-        let outcomes = dispatch_jobs(g, &all_jobs, self.opts.threads, self.opts.search_threads);
+        let (outcomes, events) = self.dispatch_cached(&all_jobs);
         let dispatch_time = t1.elapsed();
 
         let mut outcome_iter = outcomes.into_iter();
@@ -489,8 +690,9 @@ impl<'g> Session<'g> {
                     Err(e) => return Err(e),
                 };
                 let jobs = &all_jobs[job_base..job_base + st.n_jobs];
+                fold_cache_events(&mut st.stats, &events[job_base..job_base + st.n_jobs]);
                 job_base += st.n_jobs;
-                let outs: Vec<_> = outcome_iter.by_ref().take(st.n_jobs).collect();
+                let mut outs: Vec<_> = outcome_iter.by_ref().take(st.n_jobs).collect();
                 // A cancelled/past-deadline batch fails each affected
                 // query; queries whose searches already finished keep
                 // their results.
@@ -498,6 +700,7 @@ impl<'g> Session<'g> {
 
                 let truncated = ask_truncated(jobs, &outs, &st.deepenable);
                 let timed_out = outs.iter().any(|o| o.stats.timed_out);
+                enforce_exclusions(&mut outs, &st.exclusions);
                 let materialised =
                     materialise_ctps(g, &st.prepared.ast, outs, &st.job_cols, &mut st.stats);
                 st.stats.ctp_time = dispatch_time;
@@ -519,6 +722,7 @@ impl<'g> Session<'g> {
                             &mut retry_jobs,
                             &st.job_cols,
                             &st.deepenable,
+                            &st.exclusions,
                             &control,
                             &mut st.stats,
                         )?;

@@ -4,6 +4,7 @@
 //! csqd <graph-source> [--addr HOST:PORT] [--workers N]
 //!      [--threads N] [--search-threads N]
 //!      [--queue N] [--tenant-inflight N] [--default-deadline-ms N]
+//!      [--result-cache off|on|shared] [--result-cache-capacity N]
 //! ```
 //!
 //! A *graph source* is the same as `csq`'s: `--demo`, a `.csg`
@@ -11,11 +12,17 @@
 //! a tab-separated triples file. The graph is loaded once and shared
 //! by every connection.
 //!
+//! The cross-query result cache defaults to one cache shared by every
+//! connection (`Server::bind` upgrades the session-local `on` mode to
+//! `shared`, so `on` and `shared` are equivalent here); `--result-cache
+//! off` disables it. Its hit/miss/subsumed counters appear in the
+//! `stats` opcode's reply.
+//!
 //! The server prints `csqd listening on <addr>` once ready (the line
 //! test harnesses and the CI serve-smoke lane wait for) and runs until
 //! a client sends a `shutdown` frame.
 
-use cs_eql::ExecOptions;
+use cs_eql::{ExecOptions, ResultCacheMode};
 use cs_graph::generate::from_spec;
 use cs_graph::{binfmt, figure1, ntriples, snapshot, Graph};
 use cs_server::{Server, ServerConfig};
@@ -27,7 +34,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: csqd <graph-source|--demo> [--addr HOST:PORT] [--workers N] \
          [--threads N] [--search-threads N] [--queue N] [--tenant-inflight N] \
-         [--default-deadline-ms N]\n\
+         [--default-deadline-ms N] [--result-cache off|on|shared] \
+         [--result-cache-capacity N]\n\
          graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
     );
     ExitCode::from(2)
@@ -132,6 +140,32 @@ fn main() -> ExitCode {
             "--default-deadline-ms" => {
                 match numeric_flag::<u64>(&args, i, "--default-deadline-ms") {
                     Ok(ms) => cfg.default_deadline = Some(Duration::from_millis(ms)),
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--result-cache" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("off") => cfg.exec.result_cache = ResultCacheMode::Off,
+                    // `on` and `shared` are both one server-wide cache:
+                    // `Server::bind` upgrades `On` to `Shared` (with
+                    // the final `--result-cache-capacity`, whichever
+                    // flag order was used).
+                    Some("on" | "shared") => cfg.exec.result_cache = ResultCacheMode::On,
+                    Some(other) => {
+                        return fail(format!(
+                            "--result-cache expects off|on|shared, got {other:?}"
+                        ))
+                    }
+                    None => {
+                        return fail("--result-cache expects off|on|shared, but none was given")
+                    }
+                }
+                i += 2;
+            }
+            "--result-cache-capacity" => {
+                match numeric_flag::<usize>(&args, i, "--result-cache-capacity") {
+                    Ok(n) => cfg.exec.result_cache_capacity = n,
                     Err(e) => return fail(e),
                 }
                 i += 2;

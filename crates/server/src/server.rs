@@ -13,9 +13,13 @@
 //!
 //! Every connection shares one `Arc<Graph>` (e.g. an mmap-loaded
 //! snapshot) and owns its session, so plan caches are per-connection
-//! while the graph is loaded once. Responses are written under a
-//! per-connection writer lock — control replies from the reader thread
-//! and query replies from workers interleave as whole frames.
+//! while the graph is loaded once. The cross-query *result* cache is
+//! upgraded to a single [`SharedResultCache`] at [`Server::bind`]
+//! (unless configured off), so one connection's completed CTP searches
+//! answer any connection's repeats; its counters ride the `stats`
+//! opcode. Responses are written under a per-connection writer lock —
+//! control replies from the reader thread and query replies from
+//! workers interleave as whole frames.
 //!
 //! Deadlines and cancellation ride the typed path built into the
 //! engine: the worker arms [`ExecOptions::deadline`] /
@@ -32,7 +36,7 @@ use crate::proto::{
 };
 use crate::scheduler::{AdmitError, Scheduler, SchedulerConfig};
 use cs_core::CancelFlag;
-use cs_eql::{EqlError, ExecOptions, Session};
+use cs_eql::{CacheCounters, EqlError, ExecOptions, ResultCacheMode, Session, SharedResultCache};
 use cs_graph::Graph;
 use std::collections::HashMap;
 use std::io::Read;
@@ -58,7 +62,10 @@ pub struct ServerConfig {
     pub default_deadline: Option<Duration>,
     /// Base execution options for every connection's session
     /// (`threads` / `search_threads` budgets, default algorithm, …).
-    /// Per-request deadline/cancel are overlaid per job.
+    /// Per-request deadline/cancel are overlaid per job. A
+    /// [`ResultCacheMode::On`] here (the default) is upgraded by
+    /// [`Server::bind`] to one [`ResultCacheMode::Shared`] cache for
+    /// the whole server; `Off` disables caching.
     pub exec: ExecOptions,
 }
 
@@ -191,19 +198,36 @@ pub struct Server {
     cfg: ServerConfig,
     shutdown: AtomicBool,
     counters: ServerCounters,
+    /// The server-wide result cache every connection's session shares
+    /// (`None` when caching is configured off). Kept here so the
+    /// `stats` opcode can report its counters.
+    result_cache: Option<SharedResultCache>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) over
-    /// the shared graph.
-    pub fn bind(addr: &str, graph: Arc<Graph>, cfg: ServerConfig) -> std::io::Result<Server> {
+    /// the shared graph. A [`ResultCacheMode::On`] in `cfg.exec` is
+    /// upgraded to one [`ResultCacheMode::Shared`] cache (sized by
+    /// [`ExecOptions::result_cache_capacity`]) handed to every
+    /// connection's session.
+    pub fn bind(addr: &str, graph: Arc<Graph>, mut cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        let result_cache = match &cfg.exec.result_cache {
+            ResultCacheMode::Off => None,
+            ResultCacheMode::On => {
+                let shared = SharedResultCache::new(cfg.exec.result_cache_capacity);
+                cfg.exec.result_cache = ResultCacheMode::Shared(shared.clone());
+                Some(shared)
+            }
+            ResultCacheMode::Shared(shared) => Some(shared.clone()),
+        };
         Ok(Server {
             listener,
             graph,
             cfg,
             shutdown: AtomicBool::new(false),
             counters: ServerCounters::default(),
+            result_cache,
         })
     }
 
@@ -565,10 +589,15 @@ impl Server {
     fn stats_text(&self, sched: &Scheduler<Job>) -> String {
         let s = sched.stats();
         let c = &self.counters;
+        let (rc, rc_entries) = match &self.result_cache {
+            Some(shared) => (shared.counters(), shared.len()),
+            None => (CacheCounters::default(), 0),
+        };
         format!(
             "graph: {} nodes, {} edges\n\
              scheduler: {} queued, {} inflight, {} tenant(s)\n\
              served: {} ok, {} failed, {} cancelled, {} deadline_exceeded, {} rejected\n\
+             result_cache: {} hits, {} misses, {} subsumed, {} trees_filtered, {} entries\n\
              connections: {}\n",
             self.graph.node_count(),
             self.graph.edge_count(),
@@ -580,6 +609,11 @@ impl Server {
             ServerCounters::get(&c.cancelled),
             ServerCounters::get(&c.deadline_exceeded),
             ServerCounters::get(&c.rejected),
+            rc.hits,
+            rc.misses,
+            rc.subsumed,
+            rc.trees_filtered,
+            rc_entries,
             ServerCounters::get(&c.connections),
         )
     }

@@ -315,6 +315,71 @@ fn ping_stats_and_shutdown_roundtrip() {
     drop(server);
 }
 
+/// The shared result cache: a query repeated across two connections is
+/// byte-identical on every run (first run a miss, repeats replayed from
+/// the server-wide cache) and still matches an uncached local session.
+#[test]
+fn shared_result_cache_replays_identically_across_connections() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let q = r#"SELECT w WHERE { CONNECT("n3", "n60" -> w) MAX 3 }"#;
+
+    // The ground truth: a local session with caching off.
+    let g = graph();
+    let local = Session::from_shared_with(
+        Arc::clone(&g),
+        cs_eql::ExecOptions {
+            result_cache: cs_eql::ResultCacheMode::Off,
+            ..cs_eql::ExecOptions::default()
+        },
+    );
+    let expect = local.run(q).expect("local run");
+    let (rows, text) = (expect.rows() as u64, expect.render(&g));
+
+    let header = RequestHeader::default();
+    let mut first = Client::connect(addr).expect("connect 1");
+    let mut second = Client::connect(addr).expect("connect 2");
+    for client in [&mut first, &mut second] {
+        for run in 0..2 {
+            let reply = client.query(q, &header).expect("server reply");
+            assert_eq!(reply.rows, rows, "run {run}: row count parity");
+            assert_eq!(reply.text, text, "run {run}: rendered-text parity");
+        }
+    }
+
+    // One miss (the very first run), three shared-cache hits.
+    let stats = first.stats().expect("stats");
+    assert!(
+        stats.contains("result_cache: 3 hits, 1 misses, 0 subsumed, 0 trees_filtered, 1 entries"),
+        "{stats}"
+    );
+    stop(&server, handle);
+}
+
+/// `--result-cache off` (ServerConfig with `Off`) serves without a
+/// cache and reports all-zero counters in the stats reply.
+#[test]
+fn result_cache_off_reports_zero_counters() {
+    let (server, addr, handle) = start(ServerConfig {
+        exec: cs_eql::ExecOptions {
+            result_cache: cs_eql::ResultCacheMode::Off,
+            ..cs_eql::ExecOptions::default()
+        },
+        ..ServerConfig::default()
+    });
+    let q = r#"SELECT w WHERE { CONNECT("n0", "n1" -> w) MAX 3 }"#;
+    let mut client = Client::connect(addr).expect("connect");
+    let header = RequestHeader::default();
+    let a = client.query(q, &header).expect("first run");
+    let b = client.query(q, &header).expect("second run");
+    assert_eq!(a.text, b.text, "uncached repeats stay deterministic");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("result_cache: 0 hits, 0 misses, 0 subsumed, 0 trees_filtered, 0 entries"),
+        "{stats}"
+    );
+    stop(&server, handle);
+}
+
 /// Two tenants, one worker: round-robin dispatch interleaves their
 /// queued jobs rather than running one tenant's backlog to completion.
 #[test]

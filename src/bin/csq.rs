@@ -2,15 +2,16 @@
 //!
 //! ```text
 //! csq <graph-source> <query-or-@file> [--algorithm NAME] [--timeout MS]
-//!     [--timeout-ms N] [--threads N] [--search-threads N] [--stats]
+//!     [--timeout-ms N] [--threads N] [--search-threads N]
+//!     [--result-cache on|off] [--result-cache-capacity N] [--stats]
 //!     [--explain] [--batch] [--stream]
 //! csq --graph <file.csg> <query-or-@file> [...]   # same, source as a flag
 //! csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]
 //! csq snapshot inspect <file.csg>
 //! csq connect <addr> <query-or-@file> [--tenant T] [--timeout-ms N]
-//!     [--batch] [--cancel-after-ms N]
+//!     [--batch] [--cancel-after-ms N] [--stats]
 //! csq bench-serve <addr> <query-or-@file> [--qps N] [--duration-ms N]
-//!     [--connections K] [--tenant T] [--timeout-ms N]
+//!     [--connections K] [--tenant T] [--timeout-ms N] [--label NAME]
 //! ```
 //!
 //! A *graph source* is `--demo` (the Figure 1 graph), a `.csg` binary
@@ -40,6 +41,14 @@
 //! SELECT through [`Session::execute_streaming`], printing each
 //! connecting tree as the search produces it.
 //!
+//! `--result-cache off` disables the session's cross-query result
+//! cache (`cs_eql::result_cache`); `--result-cache-capacity N` sets
+//! how many CTP result sets the LRU retains (default
+//! `DEFAULT_RESULT_CACHE_CAPACITY`). `--stats` then reports the hit
+//! / miss / subsumed / trees-filtered counters per query, and
+//! `--explain` additionally prints one `magic seeds:` line per seed
+//! set narrowed by shared-variable (magic-set) intersection.
+//!
 //! `--timeout-ms N` is the *hard* per-query deadline
 //! ([`ExecOptions::deadline`]): unlike the per-CTP soft `--timeout`
 //! (which keeps the partial results found in time), an exceeded
@@ -62,7 +71,7 @@
 
 use connection_search::bench::BenchRecord;
 use connection_search::core::Algorithm;
-use connection_search::eql::{EqlError, ExecOptions, QueryResult};
+use connection_search::eql::{EqlError, ExecOptions, QueryResult, ResultCacheMode};
 use connection_search::graph::generate::from_spec;
 use connection_search::graph::{binfmt, figure1, ntriples, snapshot, Graph};
 use connection_search::server::{Client, ClientError, ErrorCode, LatencyHistogram, RequestHeader};
@@ -74,14 +83,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: csq <graph-source|--demo> <query|@query-file> \
          [--algorithm NAME] [--timeout MS] [--timeout-ms N] [--threads N] \
-         [--search-threads N] [--stats] [--explain] [--batch] [--stream]\n       \
+         [--search-threads N] [--result-cache on|off] \
+         [--result-cache-capacity N] [--stats] [--explain] [--batch] [--stream]\n       \
          csq --graph <file.csg> <query|@query-file> [...]\n       \
          csq snapshot save <gen-spec|graph-file> <out.csg> [--no-stats]\n       \
          csq snapshot inspect <file.csg>\n       \
          csq connect <host:port> <query|@query-file> [--tenant T] \
-         [--timeout-ms N] [--batch] [--cancel-after-ms N]\n       \
+         [--timeout-ms N] [--batch] [--cancel-after-ms N] [--stats]\n       \
          csq bench-serve <host:port> <query|@query-file> [--qps N] \
-         [--duration-ms N] [--connections K] [--tenant T] [--timeout-ms N]\n       \
+         [--duration-ms N] [--connections K] [--tenant T] [--timeout-ms N] \
+         [--label NAME]\n       \
          csq <graph-file> --snapshot <out.csg>   (legacy alias of `snapshot save`)\n\
          graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
     );
@@ -246,6 +257,12 @@ fn report_plans(stats: &connection_search::eql::ExecStats) {
         "plan cache: {} hit(s), {} miss(es)",
         stats.plan_cache_hits, stats.plan_cache_misses
     );
+    for n in &stats.seed_narrowings {
+        eprintln!(
+            "magic seeds: CTP {} seed {} narrowed {} -> {} node(s)",
+            n.ctp, n.var, n.from, n.to
+        );
+    }
 }
 
 /// Prints one query's result (and optional plan/stats views) to
@@ -263,6 +280,13 @@ fn report(graph: &Graph, result: &QueryResult, show_plan: bool, show_stats: bool
             result.stats.bgp_time,
             result.stats.ctp_time,
             result.stats.join_time
+        );
+        eprintln!(
+            "result cache: {} hit(s), {} miss(es), {} subsumed, {} tree(s) filtered",
+            result.stats.result_cache_hits,
+            result.stats.result_cache_misses,
+            result.stats.result_cache_subsumed,
+            result.stats.result_cache_trees_filtered
         );
         for (var, s, d) in &result.stats.ctp_stats {
             eprintln!(
@@ -362,6 +386,24 @@ fn main() -> ExitCode {
             "--search-threads" => {
                 match numeric_flag::<usize>(&args, i, "--search-threads") {
                     Ok(n) => opts.search_threads = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--result-cache" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("on") => opts.result_cache = ResultCacheMode::On,
+                    Some("off") => opts.result_cache = ResultCacheMode::Off,
+                    Some(other) => {
+                        return fail(format!("--result-cache expects on|off, got {other:?}"))
+                    }
+                    None => return fail("--result-cache expects on|off, but none was given"),
+                }
+                i += 2;
+            }
+            "--result-cache-capacity" => {
+                match numeric_flag::<usize>(&args, i, "--result-cache-capacity") {
+                    Ok(n) => opts.result_cache_capacity = n,
                     Err(e) => return fail(e),
                 }
                 i += 2;
@@ -475,6 +517,16 @@ fn main() -> ExitCode {
                 session.plan_cache_misses(),
                 session.plan_cache_len()
             );
+            let rc = session.result_cache_counters();
+            eprintln!(
+                "session result cache: {} hit(s), {} miss(es), {} subsumed, \
+                 {} tree(s) filtered, {} cached result(s)",
+                rc.hits,
+                rc.misses,
+                rc.subsumed,
+                rc.trees_filtered,
+                session.result_cache_len()
+            );
         }
         if failed {
             return ExitCode::FAILURE;
@@ -561,10 +613,15 @@ fn connect_command(args: &[String]) -> ExitCode {
     let mut query_arg: Option<&str> = None;
     let mut header = RequestHeader::default();
     let mut batch = false;
+    let mut show_stats = false;
     let mut cancel_after_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats" => {
+                show_stats = true;
+                i += 1;
+            }
             "--tenant" => {
                 let Some(t) = args.get(i + 1) else {
                     return fail("--tenant expects a name, but none was given");
@@ -649,6 +706,14 @@ fn connect_command(args: &[String]) -> ExitCode {
         Ok(r) => {
             print!("{}", r.text);
             eprintln!("{} row(s)", r.rows);
+            if show_stats {
+                // The server-side view: scheduler occupancy, served
+                // counters, and the shared result-cache counters.
+                match client.stats() {
+                    Ok(text) => eprint!("{text}"),
+                    Err(e) => return report_client_error(&e),
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => report_client_error(&e),
@@ -667,6 +732,7 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
     let mut qps: u64 = 50;
     let mut duration_ms: u64 = 2_000;
     let mut connections: usize = 4;
+    let mut label = "bench_serve".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -706,6 +772,16 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
                     Ok(_) => return fail("--connections must be positive"),
                     Err(e) => return fail(e),
                 }
+                i += 2;
+            }
+            "--label" => {
+                // Record-name prefix for the CS_BENCH_JSON sink, so
+                // two runs (e.g. cache off vs shared) land as distinct
+                // series in one report.
+                let Some(name) = args.get(i + 1) else {
+                    return fail("--label expects a name, but none was given");
+                };
+                label = name.clone();
                 i += 2;
             }
             other => {
@@ -842,14 +918,14 @@ fn bench_serve_command(args: &[String]) -> ExitCode {
         if !path.is_empty() {
             use std::io::Write as _;
             let records = [
-                ("bench_serve/p50", p50),
-                ("bench_serve/p95", p95),
-                ("bench_serve/p99", p99),
+                (format!("{label}/p50"), p50),
+                (format!("{label}/p95"), p95),
+                (format!("{label}/p99"), p99),
             ];
             let mut lines = String::new();
             for (name, ns) in records {
                 let rec = BenchRecord {
-                    name: name.to_string(),
+                    name,
                     mean_ns: ns,
                     iters: hist.len() as u64,
                 };
