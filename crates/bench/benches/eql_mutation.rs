@@ -1,0 +1,152 @@
+//! Live-graph mutation benchmarks: what a mutation batch costs to
+//! apply, and what keeping a standing query current costs afterwards —
+//! the watch's delta maintenance (generation check, label-footprint
+//! test, reach probe) against the naive alternative of re-running the
+//! query in full after every batch.
+//!
+//! One acceptance assertion runs before the measured benches: for a
+//! mutation outside the standing query's label footprint, the
+//! maintain path (mutate + poll, which skips re-evaluation) must beat
+//! the recompute path (mutate + full cache-off re-run) outright.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cs_eql::{ExecOptions, ResultCacheMode, Session, WatchSkip};
+use cs_graph::generate::random_connected;
+use cs_graph::{Mutation, NodeId};
+use std::time::{Duration, Instant};
+
+/// The serving workload graph every eql_* figure runs on.
+fn workload() -> cs_graph::Graph {
+    random_connected(64, 192, 42)
+}
+
+/// The standing query: the bench-serve figure query with an explicit
+/// LABEL filter, so its footprint (`r0..r3`) is closed and mutations
+/// under a foreign label are provably irrelevant.
+const STANDING: &str =
+    r#"SELECT w WHERE { CONNECT("n0", "n63" -> w) LABEL "r0", "r1", "r2", "r3" MAX 3 }"#;
+
+/// One churn round: insert an edge under a label the standing query
+/// cannot observe, then remove it again — two generation bumps that
+/// leave the graph unchanged.
+fn churn(session: &mut Session<'static>) {
+    let applied = session
+        .mutate(vec![Mutation::InsertEdge {
+            src: NodeId::new(5),
+            label: "zz".to_string(),
+            dst: NodeId::new(9),
+        }])
+        .expect("insert applies");
+    session
+        .mutate(vec![Mutation::RemoveEdge {
+            edge: applied.edges[0],
+        }])
+        .expect("remove applies");
+}
+
+/// Mean wall time of `runs` back-to-back executions of `f`.
+fn mean_time(runs: u32, mut f: impl FnMut()) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    t0.elapsed() / runs
+}
+
+fn benches(c: &mut Criterion) {
+    // Acceptance: maintaining the standing answer across an irrelevant
+    // batch (poll → label-footprint skip) must beat re-running the
+    // query in full after the same batch.
+    {
+        let mut maintain = Session::from_graph_with(workload(), ExecOptions::default());
+        let mut watch = maintain.watch(STANDING).expect("baseline");
+        let mut recompute = Session::from_graph_with(
+            workload(),
+            ExecOptions {
+                result_cache: ResultCacheMode::Off,
+                ..ExecOptions::default()
+            },
+        );
+        recompute.run(STANDING).expect("warm the plan cache");
+        let maintain_mean = mean_time(20, || {
+            churn(&mut maintain);
+            let delta = watch.poll(&maintain).expect("poll");
+            assert_eq!(delta.skipped, Some(WatchSkip::LabelsDisjoint));
+        });
+        let recompute_mean = mean_time(20, || {
+            churn(&mut recompute);
+            recompute.run(STANDING).expect("full re-run");
+        });
+        println!(
+            "mutation maintenance: delta {maintain_mean:?}, full recompute {recompute_mean:?}"
+        );
+        assert!(
+            maintain_mean < recompute_mean,
+            "delta maintenance ({maintain_mean:?}) must beat full recompute \
+             ({recompute_mean:?})"
+        );
+    }
+
+    // What a minimal batch costs end to end through the session: CoW
+    // overlay write, generation bump, cardinality maintenance, plan- and
+    // result-cache invalidation.
+    c.bench_function("eql_mutation_apply_batch", |b| {
+        let mut session = Session::from_graph_with(workload(), ExecOptions::default());
+        b.iter(|| churn(&mut session))
+    });
+
+    // Keeping a standing query current across irrelevant churn: the
+    // poll terminates at the label-footprint layer.
+    c.bench_function("eql_mutation_delta_maintain", |b| {
+        let mut session = Session::from_graph_with(workload(), ExecOptions::default());
+        let mut watch = session.watch(STANDING).expect("baseline");
+        b.iter(|| {
+            churn(&mut session);
+            watch.poll(&session).expect("poll")
+        })
+    });
+
+    // The naive alternative: re-run the standing query in full (result
+    // cache off) after the same churn.
+    c.bench_function("eql_mutation_full_recompute", |b| {
+        let mut session = Session::from_graph_with(
+            workload(),
+            ExecOptions {
+                result_cache: ResultCacheMode::Off,
+                ..ExecOptions::default()
+            },
+        );
+        b.iter(|| {
+            churn(&mut session);
+            session.run(STANDING).expect("full re-run")
+        })
+    });
+
+    // A *relevant* mutation (an `r0` edge off the source seed): the
+    // poll cannot skip and re-evaluates, so this figure tracks the
+    // worst-case maintenance cost next to the skip path above.
+    c.bench_function("eql_mutation_poll_reeval", |b| {
+        let mut session = Session::from_graph_with(workload(), ExecOptions::default());
+        let mut watch = session.watch(STANDING).expect("baseline");
+        b.iter(|| {
+            let applied = session
+                .mutate(vec![Mutation::InsertEdge {
+                    src: NodeId::new(0),
+                    label: "r0".to_string(),
+                    dst: NodeId::new(17),
+                }])
+                .expect("insert applies");
+            let first = watch.poll(&session).expect("poll");
+            assert!(first.skipped.is_none(), "an r0 edge must force a re-run");
+            session
+                .mutate(vec![Mutation::RemoveEdge {
+                    edge: applied.edges[0],
+                }])
+                .expect("remove applies");
+            watch.poll(&session).expect("poll")
+        })
+    });
+}
+
+criterion_group!(mutation, benches);
+criterion_main!(mutation);

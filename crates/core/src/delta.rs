@@ -1,0 +1,242 @@
+//! Delta-seeded relevance probe for incremental CTP re-evaluation.
+//!
+//! When a live graph mutates (see `cs_graph::mutate`), a standing
+//! query need not re-run if the delta provably cannot change its
+//! result. The probe exploits the structure of CTP results: every
+//! result tree that *appears or disappears* because of a mutation
+//! batch contains a node the batch touched (an endpoint of an
+//! inserted/removed edge, or an inserted node), has at most `MAX`
+//! edges, uses only `LABEL`-allowed edges, and connects one node from
+//! each explicit seed set.
+//!
+//! So a bounded breadth-first sweep from the touched nodes — depth
+//! capped at `MAX`, traversal restricted to allowed labels — is a
+//! *sound* pruning test: if some explicit seed set has no member
+//! within reach, no result tree through the delta can exist and the
+//! standing query skips re-evaluation entirely (the semi-naive /
+//! DRED-style "does the delta derive anything?" check). When the
+//! probe says "relevant" the consumer re-runs the search and diffs
+//! against the previous canonical result set — sound *and* complete.
+//!
+//! The probe is deliberately budgeted: with no `MAX` filter the sweep
+//! could flood the component, so it gives up after
+//! [`DEFAULT_PROBE_BUDGET`] visited nodes and reports the delta as
+//! (conservatively) relevant.
+
+use crate::config::Filters;
+use crate::seeds::{SeedSets, SeedSpec};
+use cs_graph::fxhash::FxHashSet;
+use cs_graph::{Graph, LabelId, NodeId};
+use std::collections::VecDeque;
+
+/// Node-visit budget after which [`probe_delta`] stops and reports
+/// the delta as relevant (conservative, never unsound).
+pub const DEFAULT_PROBE_BUDGET: usize = 65_536;
+
+/// What [`probe_delta`] concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// True if the mutation delta may change the CTP's result set —
+    /// the consumer must re-evaluate. False is a proof of irrelevance.
+    pub relevant: bool,
+    /// Nodes visited by the sweep (probe cost, for stats output).
+    pub visited: usize,
+    /// True if the sweep gave up on its budget rather than concluding
+    /// (implies `relevant`).
+    pub budget_exhausted: bool,
+}
+
+/// Decides whether a mutation batch touching `touched` can affect the
+/// CTP `(seeds, filters)` on `g`, by bounded bidirectional BFS from
+/// the touched nodes. See the [module docs](self) for the soundness
+/// argument. `budget` caps visited nodes ([`DEFAULT_PROBE_BUDGET`] is
+/// a good default); an exhausted budget reports relevant.
+pub fn probe_delta(
+    g: &Graph,
+    seeds: &SeedSets,
+    filters: &Filters,
+    touched: &[NodeId],
+    budget: usize,
+) -> ProbeOutcome {
+    if touched.is_empty() {
+        return ProbeOutcome {
+            relevant: false,
+            visited: 0,
+            budget_exhausted: false,
+        };
+    }
+    // Explicit seed sets the sweep still has to reach. `All` sets are
+    // satisfied by any node (in particular by a touched endpoint), so
+    // only explicit sets constrain reachability.
+    let mut needed = crate::seedmask::SeedMask::EMPTY;
+    for (i, spec) in seeds.specs().iter().enumerate() {
+        if matches!(spec, SeedSpec::Set(_)) {
+            needed.insert(i);
+        }
+    }
+    // LABEL filter: resolve allowed labels once. A label string the
+    // graph has never interned cannot appear on any edge.
+    let allowed: Option<FxHashSet<LabelId>> = filters.labels.as_ref().map(|ls| {
+        ls.iter()
+            .filter_map(|l| g.label_id(l))
+            .collect::<FxHashSet<_>>()
+    });
+    let max_depth = filters.max_edges;
+
+    let mut reached = crate::seedmask::SeedMask::EMPTY;
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    let mut queue: VecDeque<(NodeId, usize)> = VecDeque::new();
+    for &n in touched {
+        if n.index() < g.node_count() && seen.insert(n) {
+            queue.push_back((n, 0));
+        }
+    }
+    let mut visited = 0usize;
+    while let Some((n, depth)) = queue.pop_front() {
+        visited += 1;
+        if visited > budget {
+            return ProbeOutcome {
+                relevant: true,
+                visited,
+                budget_exhausted: true,
+            };
+        }
+        reached = reached.union(seeds.membership(n));
+        if reached.superset_of(needed) {
+            return ProbeOutcome {
+                relevant: true,
+                visited,
+                budget_exhausted: false,
+            };
+        }
+        if max_depth.is_some_and(|m| depth >= m) {
+            continue;
+        }
+        for a in g.adjacent(n) {
+            if let Some(allowed) = &allowed {
+                if !allowed.contains(&g.edge(a.edge()).label) {
+                    continue;
+                }
+            }
+            let other = a.other();
+            if seen.insert(other) {
+                queue.push_back((other, depth + 1));
+            }
+        }
+    }
+    ProbeOutcome {
+        relevant: false,
+        visited,
+        budget_exhausted: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cs_graph::GraphBuilder;
+
+    /// a --x-- b --x-- c     d --x-- e   (two components)
+    fn two_chains() -> (Graph, Vec<NodeId>) {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|l| b.add_node(l))
+            .collect();
+        b.add_edge(ids[0], "x", ids[1]);
+        b.add_edge(ids[1], "x", ids[2]);
+        b.add_edge(ids[3], "x", ids[4]);
+        (b.freeze(), ids)
+    }
+
+    fn seeds_of(sets: Vec<Vec<NodeId>>) -> SeedSets {
+        SeedSets::from_sets(sets).unwrap()
+    }
+
+    #[test]
+    fn unreachable_seed_set_is_irrelevant() {
+        let (g, ids) = two_chains();
+        // Seeds live in the other component: a delta at d/e can't
+        // produce a tree containing them.
+        let seeds = seeds_of(vec![vec![ids[0]], vec![ids[2]]]);
+        let out = probe_delta(&g, &seeds, &Filters::none(), &[ids[3], ids[4]], 1000);
+        assert!(!out.relevant);
+        assert!(!out.budget_exhausted);
+    }
+
+    #[test]
+    fn reachable_seed_sets_are_relevant() {
+        let (g, ids) = two_chains();
+        let seeds = seeds_of(vec![vec![ids[0]], vec![ids[2]]]);
+        let out = probe_delta(&g, &seeds, &Filters::none(), &[ids[1]], 1000);
+        assert!(out.relevant);
+    }
+
+    #[test]
+    fn max_edges_bounds_the_sweep() {
+        let (g, ids) = two_chains();
+        let seeds = seeds_of(vec![vec![ids[0]], vec![ids[2]]]);
+        // Both seeds are within depth 1 of b — reachable under MAX 1…
+        assert!(
+            probe_delta(
+                &g,
+                &seeds,
+                &Filters::none().with_max_edges(1),
+                &[ids[1]],
+                1000
+            )
+            .relevant
+        );
+        // …but a delta at c is 2 hops from a: irrelevant under MAX 1.
+        let out = probe_delta(
+            &g,
+            &seeds,
+            &Filters::none().with_max_edges(1),
+            &[ids[2]],
+            1000,
+        );
+        assert!(!out.relevant);
+    }
+
+    #[test]
+    fn label_filter_restricts_traversal() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node("a");
+        let m = b.add_node("m");
+        let z = b.add_node("z");
+        b.add_edge(a, "good", m);
+        b.add_edge(m, "bad", z);
+        let g = b.freeze();
+        let seeds = seeds_of(vec![vec![a], vec![z]]);
+        // Unfiltered: delta at m reaches both seeds.
+        assert!(probe_delta(&g, &seeds, &Filters::none(), &[m], 1000).relevant);
+        // LABEL {good}: z is behind a "bad" edge — unreachable.
+        let f = Filters::none().with_labels(["good"]);
+        assert!(!probe_delta(&g, &seeds, &f, &[m], 1000).relevant);
+    }
+
+    #[test]
+    fn empty_touched_set_is_irrelevant() {
+        let (g, ids) = two_chains();
+        let seeds = seeds_of(vec![vec![ids[0]]]);
+        assert!(!probe_delta(&g, &seeds, &Filters::none(), &[], 1000).relevant);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_conservative() {
+        let (g, ids) = two_chains();
+        let seeds = seeds_of(vec![vec![ids[0]], vec![ids[2]]]);
+        let out = probe_delta(&g, &seeds, &Filters::none(), &[ids[3]], 1);
+        assert!(out.relevant);
+        assert!(out.budget_exhausted);
+    }
+
+    #[test]
+    fn all_sets_are_presatisfied() {
+        let (g, ids) = two_chains();
+        // One explicit set + N: only the explicit one must be reached.
+        let seeds = SeedSets::new(vec![SeedSpec::Set(vec![ids[0]]), SeedSpec::All]).unwrap();
+        assert!(probe_delta(&g, &seeds, &Filters::none(), &[ids[1]], 1000).relevant);
+        assert!(!probe_delta(&g, &seeds, &Filters::none(), &[ids[3]], 1000).relevant);
+    }
+}

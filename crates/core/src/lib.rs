@@ -25,6 +25,7 @@
 pub mod algo;
 pub mod baseline;
 mod config;
+pub mod delta;
 pub mod explain;
 pub mod parallel;
 mod result;
@@ -38,6 +39,7 @@ pub use algo::{
     run_partitioned, stream_ctp, Algorithm, CtpStream, GamConfig,
 };
 pub use config::{CancelFlag, Filters, PriorityFn, QueueOrder, QueuePolicy};
+pub use delta::{probe_delta, ProbeOutcome, DEFAULT_PROBE_BUDGET};
 pub use result::{
     check_result_minimal, sat_of_nodes, ResultSet, ResultTree, SearchOutcome, SearchStats,
     WorkerStats,

@@ -124,13 +124,53 @@ fn rebind(plan: &BgpPlan, bgp: &Bgp) -> BgpPlan {
     }
 }
 
+/// The label vocabulary a cached plan depends on: the fx-hashes of
+/// every label/type string constant in the BGP's predicates (a
+/// conservative superset of what the plan's estimates used), plus a
+/// wildcard flag for non-equality label predicates (`LIKE` globs)
+/// whose vocabulary can't be enumerated.
+fn label_footprint(bgp: &Bgp) -> (Vec<u64>, bool) {
+    let mut fp = Vec::new();
+    let mut wildcard = false;
+    for p in &bgp.patterns {
+        for t in [&p.src, &p.edge, &p.dst] {
+            for c in &t.pred.conditions {
+                if matches!(c.prop, PropRef::Label | PropRef::Type) {
+                    match (&c.op, &c.constant) {
+                        (CmpOp::Eq, Value::Str(s)) => fp.push(fx_hash_one(&s.as_ref())),
+                        _ => wildcard = true,
+                    }
+                }
+            }
+        }
+    }
+    fp.sort_unstable();
+    fp.dedup();
+    (fp, wildcard)
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    shape: u64,
+    plan: BgpPlan,
+    /// See [`label_footprint`].
+    footprint: Vec<u64>,
+    wildcard: bool,
+}
+
 /// An LRU cache of [`BgpPlan`]s keyed by [`bgp_shape`], with hit/miss
 /// counters. Lookup and insertion are O(len) — fine for the dozens of
 /// distinct shapes a query stream presents.
+///
+/// Live graphs invalidate selectively: each entry records the label
+/// vocabulary its shape constrains on, and
+/// [`PlanCache::invalidate_labels`] drops only entries whose footprint
+/// meets a mutated label (label-free shapes keep their plans — their
+/// estimates drift but their step order stays valid).
 #[derive(Debug, Default)]
 pub struct PlanCache {
     /// Most recently used last.
-    entries: Vec<(u64, BgpPlan)>,
+    entries: Vec<CacheEntry>,
     capacity: usize,
     hits: u64,
     misses: u64,
@@ -153,14 +193,14 @@ impl PlanCache {
     /// rebound to `bgp`'s variable names and `cached` set.
     pub fn plan(&mut self, g: &Graph, bgp: &Bgp) -> BgpPlan {
         let shape = bgp_shape(bgp);
-        let pos = self.entries.iter().position(|(k, p)| {
+        let pos = self.entries.iter().position(|e| {
             // The length guard makes a (astronomically unlikely) hash
             // collision degrade to a miss instead of a wrong plan.
-            *k == shape && p.steps.len() == bgp.patterns.len()
+            e.shape == shape && e.plan.steps.len() == bgp.patterns.len()
         });
         if let Some(pos) = pos {
             let entry = self.entries.remove(pos);
-            let plan = rebind(&entry.1, bgp);
+            let plan = rebind(&entry.plan, bgp);
             self.entries.push(entry);
             self.hits += 1;
             return plan;
@@ -172,9 +212,37 @@ impl PlanCache {
             if self.entries.len() >= self.capacity {
                 self.entries.remove(0);
             }
-            self.entries.push((shape, plan.clone()));
+            let (footprint, wildcard) = label_footprint(bgp);
+            self.entries.push(CacheEntry {
+                shape,
+                plan: plan.clone(),
+                footprint,
+                wildcard,
+            });
         }
         plan
+    }
+
+    /// Drops every cached plan whose label footprint meets one of
+    /// `labels` (and every wildcard entry) — the selective-invalidation
+    /// hook a graph mutation batch drives with its touched-label set.
+    /// Plans whose shapes never constrain on a mutated label survive.
+    /// Returns the number of entries dropped.
+    pub fn invalidate_labels<'a>(&mut self, labels: impl IntoIterator<Item = &'a str>) -> usize {
+        let hashes: Vec<u64> = labels.into_iter().map(|l| fx_hash_one(&l)).collect();
+        if hashes.is_empty() {
+            return 0;
+        }
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !e.wildcard && !e.footprint.iter().any(|h| hashes.contains(h)));
+        before - self.entries.len()
+    }
+
+    /// Drops every cached plan (full invalidation — e.g. the session's
+    /// graph was swapped wholesale).
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 
     /// Lookups served from the cache since construction.
@@ -323,6 +391,58 @@ mod tests {
         cache.plan(&g, &one(labels[0]));
         assert_eq!(cache.misses(), 4);
         assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn invalidate_drops_only_touching_shapes() {
+        let g = figure1();
+        let mut cache = PlanCache::new(8);
+        let one = |l: &str| {
+            let mut b = Bgp::new();
+            b.push(
+                Term::var("x"),
+                Term::pred("e", Predicate::label(l)),
+                Term::var("y"),
+            );
+            b
+        };
+        cache.plan(&g, &one("citizenOf"));
+        cache.plan(&g, &one("founded"));
+        // A label-free shape has an empty footprint and must survive.
+        let mut free = Bgp::new();
+        free.push(Term::var("x"), Term::var("e"), Term::var("y"));
+        cache.plan(&g, &free);
+        assert_eq!(cache.len(), 3);
+
+        assert_eq!(cache.invalidate_labels(["citizenOf"]), 1);
+        assert_eq!(cache.len(), 2);
+        // The untouched label still hits; the invalidated one misses.
+        cache.plan(&g, &one("founded"));
+        assert_eq!(cache.hits(), 1);
+        cache.plan(&g, &one("citizenOf"));
+        assert_eq!(cache.misses(), 4);
+        // Unknown labels drop nothing.
+        assert_eq!(cache.invalidate_labels(["noSuchLabel"]), 0);
+        // Empty label set is a no-op.
+        assert_eq!(cache.invalidate_labels([]), 0);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_wildcard_label_predicates() {
+        let g = figure1();
+        let mut cache = PlanCache::new(8);
+        let mut b = Bgp::new();
+        b.push(
+            Term::var("x"),
+            Term::pred("e", Predicate::label_like("citizen*")),
+            Term::var("y"),
+        );
+        cache.plan(&g, &b);
+        // A glob's vocabulary can't be enumerated: any mutated label
+        // must drop it.
+        assert_eq!(cache.invalidate_labels(["unrelated"]), 1);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub enum EqlError {
     /// ([`ExecOptions::cancel`]) was raised; the search was stopped
     /// cooperatively mid-flight.
     Cancelled,
+    /// A [`Session::mutate`](crate::Session::mutate) call could not be
+    /// applied (e.g. the session does not own its graph, or an edge
+    /// endpoint does not exist).
+    Mutate(String),
 }
 
 impl fmt::Display for EqlError {
@@ -52,6 +56,7 @@ impl fmt::Display for EqlError {
             EqlError::Validate(m) => write!(f, "{m}"),
             EqlError::DeadlineExceeded => write!(f, "deadline exceeded"),
             EqlError::Cancelled => write!(f, "cancelled"),
+            EqlError::Mutate(m) => write!(f, "{m}"),
         }
     }
 }
@@ -193,6 +198,10 @@ pub struct ExecStats {
     pub result_cache_trees_filtered: u64,
     /// Magic-set seed narrowings applied before dispatch.
     pub seed_narrowings: Vec<SeedNarrowing>,
+    /// The graph generation ([`cs_graph::Graph::generation`]) the query
+    /// executed against — ties a result to a point in a live graph's
+    /// mutation history.
+    pub graph_generation: u64,
 }
 
 /// The result of an EQL query.

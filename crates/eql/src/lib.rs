@@ -30,6 +30,12 @@
 //! many), [`Session::execute_batch`] (CTP jobs of many queries in one
 //! parallel dispatch), and [`Session::execute_streaming`] (a pull
 //! iterator of connecting trees with TOP-k-style early termination).
+//!
+//! Owning sessions serve **live graphs**: [`Session::mutate`] applies
+//! a [`cs_graph::Mutation`] batch and invalidates exactly the cached
+//! plans and results the batch can affect, and [`Session::watch`]
+//! registers a standing query whose [`Watch::poll`] emits result
+//! deltas (see the [`watch`] module).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +46,7 @@ pub mod lexer;
 pub mod parser;
 pub mod result_cache;
 pub mod session;
+pub mod watch;
 
 pub use ast::{CtpAst, CtpFiltersAst, EdgePatternAst, QueryAst, QueryForm, TermAst};
 pub use exec::{
@@ -49,7 +56,8 @@ pub use exec::{
 pub use exec::{run_ask, run_query, run_query_with};
 pub use parser::{parse, ParseError};
 pub use result_cache::{
-    CacheCounters, CtpSignature, ResultCache, ResultCacheMode, SharedResultCache,
+    CacheCounters, CtpSignature, GraphToken, ResultCache, ResultCacheMode, SharedResultCache,
     DEFAULT_RESULT_CACHE_CAPACITY,
 };
 pub use session::{PreparedQuery, ResultStream, Session};
+pub use watch::{Watch, WatchDelta, WatchSkip};

@@ -41,10 +41,16 @@
 //! stored result set is interleaving- or engine-dependent — are served
 //! as **exact-signature hits only**, never by subsumption.
 //!
-//! The cache is graph-immutable: entries are keyed by a best-effort
-//! graph identity token (address + node/edge counts) and must be
-//! dropped wholesale when graph mutation lands (the ROADMAP item 1
-//! generation counter is the planned invalidation hook).
+//! ## Live graphs
+//!
+//! Entries are keyed by a [`GraphToken`] carrying the graph's
+//! **mutation generation** ([`cs_graph::Graph::generation`]) alongside
+//! its address and node/edge counts. A mutation batch bumps the
+//! generation, so every entry inserted before the batch misses
+//! wholesale — no stale tree can ever be replayed. The dead entries
+//! are garbage, not a hazard; [`ResultCache::purge_stale`] evicts them
+//! eagerly (which [`Session::mutate`](crate::Session::mutate) does
+//! after every effective batch).
 
 use cs_core::parallel::CtpJob;
 use cs_core::{Algorithm, ResultSet, ResultTree, SearchOutcome, SearchStats, SeedSpec};
@@ -55,26 +61,33 @@ use std::time::Duration;
 /// Default capacity (entries) of a result cache.
 pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 64;
 
-/// Best-effort identity of the graph a cached result belongs to.
+/// Best-effort identity of the graph **state** a cached result belongs
+/// to: the graph's address, its node/edge counts, and its mutation
+/// generation.
 ///
-/// Graphs are immutable for their lifetime, so the address plus the
-/// node/edge counts pin an entry to one loaded graph. A [`SharedResultCache`]
-/// must only be attached to sessions over the same graph; the token
-/// turns an accidental mismatch into misses rather than wrong answers.
+/// The address plus the counts pin an entry to one loaded graph; the
+/// generation pins it to one point in that graph's mutation history,
+/// so entries inserted before a [`Graph::apply`](cs_graph::Graph::apply)
+/// batch stop matching the moment the batch lands. A
+/// [`SharedResultCache`] must only be attached to sessions over the
+/// same graph; the token turns an accidental mismatch into misses
+/// rather than wrong answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GraphToken {
     addr: usize,
     nodes: usize,
     edges: usize,
+    generation: u64,
 }
 
 impl GraphToken {
-    /// The token of a loaded graph.
+    /// The token of a loaded graph at its current generation.
     pub fn of(g: &Graph) -> GraphToken {
         GraphToken {
             addr: g as *const Graph as usize,
             nodes: g.node_count(),
             edges: g.edge_count(),
+            generation: g.generation(),
         }
     }
 }
@@ -364,10 +377,20 @@ impl ResultCache {
         self.counters
     }
 
-    /// Drops every entry (the invalidation hook for graph mutation;
-    /// counters are kept).
+    /// Drops every entry (counters are kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+
+    /// Evicts every entry whose [`GraphToken`] differs from `current`
+    /// — the post-mutation hygiene pass. Correctness never needs this
+    /// (a stale token can only miss), but a mutating workload would
+    /// otherwise fill the LRU with dead generations. Returns the
+    /// number of entries dropped.
+    pub fn purge_stale(&mut self, current: GraphToken) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.sig.graph == current);
+        before - self.entries.len()
     }
 
     /// Answers a probe: exact hit, subsumption hit, or miss. Hits
@@ -831,6 +854,42 @@ mod tests {
         assert_eq!(clone.counters().hits, 1);
         assert!(format!("{shared:?}").contains("len"));
         assert!(format!("{:?}", ResultCacheMode::Shared(shared)).contains("Shared"));
+    }
+
+    /// A mutation bumps the graph's generation, so every pre-batch
+    /// entry stops matching — and `purge_stale` evicts the corpses.
+    #[test]
+    fn mutation_invalidates_by_generation() {
+        let (mut g, ns) = path_with_pendant();
+        let j = job(
+            vec![vec![ns[0]], vec![ns[2]]],
+            Algorithm::MoLesp,
+            Filters::none(),
+        );
+        let mut cache = ResultCache::new(8);
+        cache.insert(CtpSignature::of(&g, &j).unwrap(), &run(&g, &j));
+        assert!(matches!(
+            cache.lookup(&g, &CtpSignature::of(&g, &j).unwrap()),
+            CacheLookup::Exact(_)
+        ));
+        g.insert_edge(ns[0], "r", ns[3]);
+        // Same address, new generation: the old entry misses wholesale
+        // (exact *and* subsumption paths are both token-gated).
+        assert!(matches!(
+            cache.lookup(&g, &CtpSignature::of(&g, &j).unwrap()),
+            CacheLookup::Miss
+        ));
+        assert_eq!(cache.purge_stale(GraphToken::of(&g)), 1);
+        assert!(cache.is_empty());
+        // Post-mutation entries serve the live overlay's results.
+        let out = run(&g, &j);
+        cache.insert(CtpSignature::of(&g, &j).unwrap(), &out);
+        let CacheLookup::Exact(replayed) = cache.lookup(&g, &CtpSignature::of(&g, &j).unwrap())
+        else {
+            panic!("expected an exact hit on the new generation");
+        };
+        assert_eq!(replayed.results.canonical(), out.results.canonical());
+        assert_eq!(cache.purge_stale(GraphToken::of(&g)), 0);
     }
 
     #[test]

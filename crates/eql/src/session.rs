@@ -49,7 +49,8 @@ use crate::exec::{
 };
 use crate::parser::parse;
 use crate::result_cache::{
-    CacheCounters, CacheLookup, CtpSignature, ResultCache, ResultCacheMode, SharedResultCache,
+    CacheCounters, CacheLookup, CtpSignature, GraphToken, ResultCache, ResultCacheMode,
+    SharedResultCache,
 };
 use cs_core::parallel::{resolve_search_threads, resolve_threads, CtpJob};
 use cs_core::{
@@ -57,7 +58,7 @@ use cs_core::{
     SearchOutcome, SearchStats, SeedSets,
 };
 use cs_engine::{eval_bgp_with_plan, Bgp, PlanCache, Table};
-use cs_graph::{Graph, NodeId};
+use cs_graph::{Applied, Graph, Mutation, NodeId};
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
@@ -429,6 +430,112 @@ impl<'g> Session<'g> {
         (outcomes, events)
     }
 
+    /// Applies a batch of graph mutations through the session — the
+    /// live-graph entry point that keeps every cache honest:
+    ///
+    /// * the batch lands atomically via [`cs_graph::Graph::apply`],
+    ///   bumping the graph's generation;
+    /// * plans whose label footprint intersects the batch's labels are
+    ///   dropped from the plan cache (label-free shapes survive);
+    /// * stale result-cache entries — already unreachable, since the
+    ///   [`GraphToken`] they are keyed by carries the old generation —
+    ///   are purged eagerly.
+    ///
+    /// Only sessions that *own* their graph can mutate: borrowed
+    /// sessions ([`Session::new`]) and shared sessions with other live
+    /// `Arc` holders return [`EqlError::Mutate`] (a server mutates by
+    /// cloning, mutating the clone, and swapping the `Arc` — see
+    /// `csqd`).
+    ///
+    /// ```
+    /// use cs_eql::Session;
+    /// use cs_graph::{figure1, matching_nodes, Mutation, Predicate};
+    ///
+    /// let mut session = Session::from_graph(figure1());
+    /// let doug = matching_nodes(session.graph(), &Predicate::label("Doug"))[0];
+    /// let mars = session.mutate(vec![Mutation::InsertNode {
+    ///     label: "Mars".into(),
+    ///     types: vec!["place".into()],
+    /// }]).unwrap().nodes[0];
+    /// session.mutate(vec![Mutation::InsertEdge {
+    ///     src: doug,
+    ///     label: "migratedTo".into(),
+    ///     dst: mars,
+    /// }]).unwrap();
+    /// assert!(session
+    ///     .ask(r#"ASK WHERE { ("Doug", "migratedTo", "Mars") }"#)
+    ///     .unwrap());
+    /// ```
+    pub fn mutate(&mut self, ops: Vec<Mutation>) -> Result<Applied, EqlError> {
+        // Pre-validate endpoints: `Graph::apply` treats a dangling
+        // endpoint as a programming error (it panics), but mutations
+        // arriving through a session are data, not code. An edge may
+        // reference nodes inserted earlier in the same batch — their
+        // ids are assigned sequentially from the current node count.
+        {
+            let mut count = self.graph.get().node_count();
+            for op in &ops {
+                match op {
+                    Mutation::InsertNode { .. } => count += 1,
+                    Mutation::InsertEdge { src, dst, .. } => {
+                        for n in [src, dst] {
+                            if n.index() >= count {
+                                return Err(EqlError::Mutate(format!(
+                                    "edge endpoint n{} does not exist \
+                                     (graph has {count} nodes at this point in the batch)",
+                                    n.0,
+                                )));
+                            }
+                        }
+                    }
+                    Mutation::RemoveEdge { .. } => {}
+                }
+            }
+        }
+        let before = self.graph.get().generation();
+        let g = match &mut self.graph {
+            GraphHandle::Owned(g) => g.as_mut(),
+            GraphHandle::Shared(arc) => std::sync::Arc::get_mut(arc).ok_or_else(|| {
+                EqlError::Mutate(
+                    "cannot mutate a shared graph while other references are live; \
+                     clone, mutate, and swap the Arc instead (the csqd epoch swap)"
+                        .into(),
+                )
+            })?,
+            GraphHandle::Borrowed(_) => {
+                return Err(EqlError::Mutate(
+                    "cannot mutate a borrowed graph: use an owning session \
+                     (Session::from_graph / Session::open_snapshot)"
+                        .into(),
+                ))
+            }
+        };
+        let applied = g.apply(ops);
+        if applied.generation == before {
+            return Ok(applied); // no-op batch: nothing to invalidate
+        }
+        let g = self.graph.get();
+        match g.mutations_since(before) {
+            Some(recs) => {
+                let mut labels: Vec<&str> = recs
+                    .iter()
+                    .flat_map(|r| r.labels.iter())
+                    .map(|&l| g.resolve(l))
+                    .collect();
+                labels.sort_unstable();
+                labels.dedup();
+                self.cache
+                    .borrow_mut()
+                    .invalidate_labels(labels.iter().copied());
+            }
+            // Past the log horizon (can't happen for one batch, but
+            // stay defensive): drop everything.
+            None => self.cache.borrow_mut().clear(),
+        }
+        self.results.with(|c| c.purge_stale(GraphToken::of(g)));
+        Ok(applied)
+    }
+
     /// Parses, validates, and component-groups a query. The returned
     /// [`PreparedQuery`] can be executed repeatedly without paying for
     /// parsing again.
@@ -463,7 +570,10 @@ impl<'g> Session<'g> {
         let ast = &q.ast;
         let t_total = Instant::now();
         let control = QueryControl::begin(&self.opts);
-        let mut stats = ExecStats::default();
+        let mut stats = ExecStats {
+            graph_generation: g.generation(),
+            ..ExecStats::default()
+        };
 
         // ---- Step (A): plan each BGP component through the session
         // cache and evaluate the plans.
@@ -651,7 +761,10 @@ impl<'g> Session<'g> {
         let mut all_jobs: Vec<CtpJob> = Vec::new();
         for text in queries {
             let one = self.prepare(text).and_then(|prepared| {
-                let mut stats = ExecStats::default();
+                let mut stats = ExecStats {
+                    graph_generation: g.generation(),
+                    ..ExecStats::default()
+                };
                 let t0 = Instant::now();
                 let bgp_tables = self.eval_bgps(&prepared.bgps, &mut stats);
                 stats.bgp_time = t0.elapsed();
@@ -798,7 +911,10 @@ impl<'g> Session<'g> {
         }
 
         let control = QueryControl::begin(&self.opts);
-        let mut stats = ExecStats::default();
+        let mut stats = ExecStats {
+            graph_generation: self.graph().generation(),
+            ..ExecStats::default()
+        };
         let t0 = Instant::now();
         let bgp_tables = self.eval_bgps(&q.bgps, &mut stats);
         stats.bgp_time = t0.elapsed();

@@ -388,6 +388,14 @@ impl Default for EncodeOptions {
 /// payload lands at the 8-aligned file offset 24 and mapped loads
 /// need no re-alignment.
 pub fn encode_sections(g: &Graph, opts: &EncodeOptions) -> Vec<(u32, Bytes)> {
+    if g.has_delta() {
+        // Snapshots persist dense base columns only. Fold the mutation
+        // overlay into fresh columns on a clone — the caller's graph
+        // keeps its overlay and current edge ids untouched.
+        let mut dense = g.clone();
+        dense.compact();
+        return encode_sections(&dense, opts);
+    }
     let mut sections = if opts.legacy_layout {
         vec![
             (SECTION_INTERNER, encode_interner_payload(g)),
@@ -1171,6 +1179,35 @@ mod tests {
     use super::*;
     use crate::figure1::figure1;
     use crate::generate::{scale_free, ScaleFreeParams};
+
+    #[test]
+    fn mutated_graph_snapshots_compacted() {
+        let mut g = figure1();
+        let alice = g.node_by_label("Alice").unwrap();
+        let zoe = g.insert_node("Zoe", &["person"]);
+        g.insert_edge(alice, "mentors", zoe);
+        let l = g.label_id("citizenOf").unwrap();
+        let victim = g.edges_with_label(l)[0];
+        g.remove_edge(victim);
+        assert!(g.has_delta());
+        let bytes = encode_graph(&g);
+        // The caller's graph keeps its overlay; the snapshot holds the
+        // dense equivalent.
+        assert!(g.has_delta());
+        let loaded = decode_graph(&bytes).unwrap();
+        assert!(!loaded.has_delta());
+        assert_eq!(loaded.node_count(), g.node_count());
+        assert_eq!(loaded.edge_count(), g.edge_count());
+        let live: Vec<String> = g.edge_ids().map(|e| g.describe_edge(e)).collect();
+        let round: Vec<String> = loaded.edge_ids().map(|e| loaded.describe_edge(e)).collect();
+        assert_eq!(live, round, "live edges round-trip in enumeration order");
+        // The stats sidecar carried the incrementally maintained
+        // cardinalities.
+        assert_eq!(
+            loaded.cardinalities_if_computed().unwrap(),
+            &crate::stats::Cardinalities::of(&loaded)
+        );
+    }
 
     #[test]
     fn wire_width_boundaries_fit() {

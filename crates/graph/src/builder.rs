@@ -26,18 +26,18 @@ pub struct GraphBuilder {
 }
 
 #[derive(Debug)]
-struct NodeBuild {
-    label: LabelId,
-    types: Vec<LabelId>,
-    props: Vec<(LabelId, Value)>,
+pub(crate) struct NodeBuild {
+    pub(crate) label: LabelId,
+    pub(crate) types: Vec<LabelId>,
+    pub(crate) props: Vec<(LabelId, Value)>,
 }
 
 #[derive(Debug)]
-struct EdgeBuild {
-    src: NodeId,
-    dst: NodeId,
-    label: LabelId,
-    props: Vec<(LabelId, Value)>,
+pub(crate) struct EdgeBuild {
+    pub(crate) src: NodeId,
+    pub(crate) dst: NodeId,
+    pub(crate) label: LabelId,
+    pub(crate) props: Vec<(LabelId, Value)>,
 }
 
 impl GraphBuilder {
@@ -139,157 +139,165 @@ impl GraphBuilder {
     /// Freezes into an immutable [`Graph`], building the CSR columns
     /// (adjacency runs, per-label edge/node partitions, forward and
     /// reverse label CSRs) in counting-sort passes.
-    pub fn freeze(mut self) -> Graph {
-        let n = self.nodes.len();
-        let m = self.edges.len();
-        assert!(m < (1 << 31), "graphs are capped at 2^31 - 1 edges");
-        let l = self.interner.len();
+    pub fn freeze(self) -> Graph {
+        build_parts(self.interner, self.nodes, self.edges).into_graph()
+    }
+}
 
-        // Node columns: label, and per-node type runs in insertion order.
-        let mut node_label = Vec::with_capacity(n);
-        let mut type_offsets = Vec::with_capacity(n + 1);
-        let mut type_ids = Vec::new();
-        type_offsets.push(0u32);
-        for nd in &self.nodes {
-            node_label.push(nd.label.0);
-            type_ids.extend(nd.types.iter().map(|t| t.0));
-            type_offsets.push(type_ids.len() as u32);
-        }
+/// The column-construction core shared by [`GraphBuilder::freeze`] and
+/// delta compaction ([`crate::mutate`]): turns flat node/edge rows into
+/// the full CSR column set.
+pub(crate) fn build_parts(
+    interner: Interner,
+    mut nodes: Vec<NodeBuild>,
+    mut edges: Vec<EdgeBuild>,
+) -> GraphParts {
+    let n = nodes.len();
+    let m = edges.len();
+    assert!(m < (1 << 31), "graphs are capped at 2^31 - 1 edges");
+    let l = interner.len();
 
-        // Edge triple column: interleaved (src, dst, label).
-        let mut edge_ndl = Vec::with_capacity(3 * m);
-        for e in &self.edges {
-            edge_ndl.extend([e.src.0, e.dst.0, e.label.0]);
-        }
+    // Node columns: label, and per-node type runs in insertion order.
+    let mut node_label = Vec::with_capacity(n);
+    let mut type_offsets = Vec::with_capacity(n + 1);
+    let mut type_ids = Vec::new();
+    type_offsets.push(0u32);
+    for nd in &nodes {
+        node_label.push(nd.label.0);
+        type_ids.extend(nd.types.iter().map(|t| t.0));
+        type_offsets.push(type_ids.len() as u32);
+    }
 
-        // Adjacency CSR: count, prefix-sum, fill. Iterating edges in id
-        // order (outgoing entry before the incoming one) reproduces the
-        // exact per-node order queue-order-sensitive traversals rely on:
-        // ascending edge id, out before in for self-loops.
-        let mut adj_offsets = vec![0u32; n + 1];
-        for e in &self.edges {
-            adj_offsets[e.src.index() + 1] += 1;
-            adj_offsets[e.dst.index() + 1] += 1;
-        }
-        for i in 0..n {
-            adj_offsets[i + 1] += adj_offsets[i];
-        }
-        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
-        let mut adj_pairs = vec![0u32; 4 * m];
-        for (i, e) in self.edges.iter().enumerate() {
-            let id = EdgeId::new(i);
-            let entries = [
-                (e.src, Adj::new(id, e.dst, true)),
-                (e.dst, Adj::new(id, e.src, false)),
-            ];
-            for (node, adj) in entries {
-                let slot = cursor[node.index()] as usize;
-                cursor[node.index()] += 1;
-                adj_pairs[2 * slot..2 * slot + 2].copy_from_slice(&adj.words());
-            }
-        }
+    // Edge triple column: interleaved (src, dst, label).
+    let mut edge_ndl = Vec::with_capacity(3 * m);
+    for e in &edges {
+        edge_ndl.extend([e.src.0, e.dst.0, e.label.0]);
+    }
 
-        // Per-label edge partitions, ascending edge id within each run.
-        let mut elab_offsets = vec![0u32; l + 1];
-        for e in &self.edges {
-            elab_offsets[e.label.index() + 1] += 1;
+    // Adjacency CSR: count, prefix-sum, fill. Iterating edges in id
+    // order (outgoing entry before the incoming one) reproduces the
+    // exact per-node order queue-order-sensitive traversals rely on:
+    // ascending edge id, out before in for self-loops.
+    let mut adj_offsets = vec![0u32; n + 1];
+    for e in &edges {
+        adj_offsets[e.src.index() + 1] += 1;
+        adj_offsets[e.dst.index() + 1] += 1;
+    }
+    for i in 0..n {
+        adj_offsets[i + 1] += adj_offsets[i];
+    }
+    let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+    let mut adj_pairs = vec![0u32; 4 * m];
+    for (i, e) in edges.iter().enumerate() {
+        let id = EdgeId::new(i);
+        let entries = [
+            (e.src, Adj::new(id, e.dst, true)),
+            (e.dst, Adj::new(id, e.src, false)),
+        ];
+        for (node, adj) in entries {
+            let slot = cursor[node.index()] as usize;
+            cursor[node.index()] += 1;
+            adj_pairs[2 * slot..2 * slot + 2].copy_from_slice(&adj.words());
         }
-        for i in 0..l {
-            elab_offsets[i + 1] += elab_offsets[i];
-        }
-        let mut ecur: Vec<u32> = elab_offsets[..l].to_vec();
-        let mut elab_edges = vec![0u32; m];
-        for (i, e) in self.edges.iter().enumerate() {
-            let slot = ecur[e.label.index()] as usize;
-            ecur[e.label.index()] += 1;
-            elab_edges[slot] = i as u32;
-        }
-        // Forward/reverse label CSRs: each label run re-sorted by
-        // endpoint (stable, so ties keep ascending edge-id order).
-        let mut fwd_edges = elab_edges.clone();
-        let mut rev_edges = elab_edges.clone();
-        for li in 0..l {
-            let r = elab_offsets[li] as usize..elab_offsets[li + 1] as usize;
-            fwd_edges[r.clone()].sort_by_key(|&e| self.edges[e as usize].src.0);
-            rev_edges[r].sort_by_key(|&e| self.edges[e as usize].dst.0);
-        }
+    }
 
-        // Per-label and per-type node partitions, ascending node id.
-        let mut nlab_offsets = vec![0u32; l + 1];
-        let mut ntype_offsets = vec![0u32; l + 1];
-        for nd in &self.nodes {
-            nlab_offsets[nd.label.index() + 1] += 1;
-            for t in &nd.types {
-                ntype_offsets[t.index() + 1] += 1;
-            }
-        }
-        for i in 0..l {
-            nlab_offsets[i + 1] += nlab_offsets[i];
-            ntype_offsets[i + 1] += ntype_offsets[i];
-        }
-        let mut lcur: Vec<u32> = nlab_offsets[..l].to_vec();
-        let mut tcur: Vec<u32> = ntype_offsets[..l].to_vec();
-        let mut nlab_nodes = vec![0u32; n];
-        let mut ntype_nodes = vec![0u32; type_ids.len()];
-        for (i, nd) in self.nodes.iter().enumerate() {
-            let slot = lcur[nd.label.index()] as usize;
-            lcur[nd.label.index()] += 1;
-            nlab_nodes[slot] = i as u32;
-            for t in &nd.types {
-                let slot = tcur[t.index()] as usize;
-                tcur[t.index()] += 1;
-                ntype_nodes[slot] = i as u32;
-            }
-        }
+    // Per-label edge partitions, ascending edge id within each run.
+    let mut elab_offsets = vec![0u32; l + 1];
+    for e in &edges {
+        elab_offsets[e.label.index() + 1] += 1;
+    }
+    for i in 0..l {
+        elab_offsets[i + 1] += elab_offsets[i];
+    }
+    let mut ecur: Vec<u32> = elab_offsets[..l].to_vec();
+    let mut elab_edges = vec![0u32; m];
+    for (i, e) in edges.iter().enumerate() {
+        let slot = ecur[e.label.index()] as usize;
+        ecur[e.label.index()] += 1;
+        elab_edges[slot] = i as u32;
+    }
+    // Forward/reverse label CSRs: each label run re-sorted by
+    // endpoint (stable, so ties keep ascending edge-id order).
+    let mut fwd_edges = elab_edges.clone();
+    let mut rev_edges = elab_edges.clone();
+    for li in 0..l {
+        let r = elab_offsets[li] as usize..elab_offsets[li + 1] as usize;
+        fwd_edges[r.clone()].sort_by_key(|&e| edges[e as usize].src.0);
+        rev_edges[r].sort_by_key(|&e| edges[e as usize].dst.0);
+    }
 
-        // Sparse property side tables, sorted by entity id then key.
-        let collect_props = |items: &mut dyn Iterator<Item = (usize, Vec<(LabelId, Value)>)>| {
-            items
-                .filter(|(_, p)| !p.is_empty())
-                .map(|(i, mut p)| {
-                    p.sort_by_key(|(k, _)| *k);
-                    (i as u32, p.into_boxed_slice())
-                })
-                .collect::<Vec<_>>()
-                .into_boxed_slice()
-        };
-        let node_props: PropTable = collect_props(
-            &mut self
-                .nodes
-                .iter_mut()
-                .map(|nb| std::mem::take(&mut nb.props))
-                .enumerate(),
-        );
-        let edge_props: PropTable = collect_props(
-            &mut self
-                .edges
-                .iter_mut()
-                .map(|eb| std::mem::take(&mut eb.props))
-                .enumerate(),
-        );
-
-        GraphParts {
-            interner: self.interner,
-            n,
-            m,
-            node_label: Storage::from_vec(node_label),
-            type_offsets: Storage::from_vec(type_offsets),
-            type_ids: Storage::from_vec(type_ids),
-            edge_ndl: Storage::from_vec(edge_ndl),
-            adj_offsets: Storage::from_vec(adj_offsets),
-            adj_pairs: Storage::from_vec(adj_pairs),
-            elab_offsets: Storage::from_vec(elab_offsets),
-            elab_edges: Storage::from_vec(elab_edges),
-            fwd_edges: Storage::from_vec(fwd_edges),
-            rev_edges: Storage::from_vec(rev_edges),
-            nlab_offsets: Storage::from_vec(nlab_offsets),
-            nlab_nodes: Storage::from_vec(nlab_nodes),
-            ntype_offsets: Storage::from_vec(ntype_offsets),
-            ntype_nodes: Storage::from_vec(ntype_nodes),
-            node_props,
-            edge_props,
+    // Per-label and per-type node partitions, ascending node id.
+    let mut nlab_offsets = vec![0u32; l + 1];
+    let mut ntype_offsets = vec![0u32; l + 1];
+    for nd in &nodes {
+        nlab_offsets[nd.label.index() + 1] += 1;
+        for t in &nd.types {
+            ntype_offsets[t.index() + 1] += 1;
         }
-        .into_graph()
+    }
+    for i in 0..l {
+        nlab_offsets[i + 1] += nlab_offsets[i];
+        ntype_offsets[i + 1] += ntype_offsets[i];
+    }
+    let mut lcur: Vec<u32> = nlab_offsets[..l].to_vec();
+    let mut tcur: Vec<u32> = ntype_offsets[..l].to_vec();
+    let mut nlab_nodes = vec![0u32; n];
+    let mut ntype_nodes = vec![0u32; type_ids.len()];
+    for (i, nd) in nodes.iter().enumerate() {
+        let slot = lcur[nd.label.index()] as usize;
+        lcur[nd.label.index()] += 1;
+        nlab_nodes[slot] = i as u32;
+        for t in &nd.types {
+            let slot = tcur[t.index()] as usize;
+            tcur[t.index()] += 1;
+            ntype_nodes[slot] = i as u32;
+        }
+    }
+
+    // Sparse property side tables, sorted by entity id then key.
+    let collect_props = |items: &mut dyn Iterator<Item = (usize, Vec<(LabelId, Value)>)>| {
+        items
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, mut p)| {
+                p.sort_by_key(|(k, _)| *k);
+                (i as u32, p.into_boxed_slice())
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice()
+    };
+    let node_props: PropTable = collect_props(
+        &mut nodes
+            .iter_mut()
+            .map(|nb| std::mem::take(&mut nb.props))
+            .enumerate(),
+    );
+    let edge_props: PropTable = collect_props(
+        &mut edges
+            .iter_mut()
+            .map(|eb| std::mem::take(&mut eb.props))
+            .enumerate(),
+    );
+
+    GraphParts {
+        interner,
+        n,
+        m,
+        node_label: Storage::from_vec(node_label),
+        type_offsets: Storage::from_vec(type_offsets),
+        type_ids: Storage::from_vec(type_ids),
+        edge_ndl: Storage::from_vec(edge_ndl),
+        adj_offsets: Storage::from_vec(adj_offsets),
+        adj_pairs: Storage::from_vec(adj_pairs),
+        elab_offsets: Storage::from_vec(elab_offsets),
+        elab_edges: Storage::from_vec(elab_edges),
+        fwd_edges: Storage::from_vec(fwd_edges),
+        rev_edges: Storage::from_vec(rev_edges),
+        nlab_offsets: Storage::from_vec(nlab_offsets),
+        nlab_nodes: Storage::from_vec(nlab_nodes),
+        ntype_offsets: Storage::from_vec(ntype_offsets),
+        ntype_nodes: Storage::from_vec(ntype_nodes),
+        node_props,
+        edge_props,
     }
 }
 

@@ -25,6 +25,7 @@ pub mod generate;
 mod ids;
 mod interner;
 mod model;
+pub mod mutate;
 pub mod ntriples;
 mod predicate;
 pub mod snapshot;
@@ -38,6 +39,7 @@ pub use figure1::figure1;
 pub use ids::{EdgeId, LabelId, NodeId};
 pub use interner::Interner;
 pub use model::{Adj, EdgeData, Graph, NodeRef};
+pub use mutate::{Applied, Mutation, MutationRecord, DEFAULT_COMPACT_THRESHOLD};
 pub use predicate::{glob_match, matching_nodes, CmpOp, Condition, Predicate, PropRef};
 pub use stats::{Cardinalities, LabelCard};
 pub use subgraph::extract_subgraph;

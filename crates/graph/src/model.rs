@@ -43,9 +43,11 @@
 
 use crate::ids::{EdgeId, LabelId, NodeId};
 use crate::interner::Interner;
+use crate::mutate::{DeltaState, MutationRecord};
 use crate::stats::Cardinalities;
 use crate::storage::Storage;
 use crate::value::Value;
+use std::collections::VecDeque;
 use std::sync::OnceLock;
 
 /// A node's payload, viewed against the columnar storage: label, zero
@@ -200,6 +202,10 @@ impl GraphParts {
             node_props: self.node_props,
             edge_props: self.edge_props,
             cardinalities: OnceLock::new(),
+            delta: None,
+            generation: 0,
+            log: VecDeque::new(),
+            compact_threshold: crate::mutate::DEFAULT_COMPACT_THRESHOLD,
         }
     }
 }
@@ -213,8 +219,8 @@ impl GraphParts {
 #[derive(Debug, Clone)]
 pub struct Graph {
     pub(crate) interner: Interner,
-    n: usize,
-    m: usize,
+    pub(crate) n: usize,
+    pub(crate) m: usize,
     node_label: Storage,
     type_offsets: Storage,
     type_ids: Storage,
@@ -232,6 +238,15 @@ pub struct Graph {
     node_props: PropTable,
     edge_props: PropTable,
     pub(crate) cardinalities: OnceLock<Cardinalities>,
+    /// Copy-on-write mutation overlay; `None` while the graph matches
+    /// its base columns (see [`crate::mutate`]).
+    pub(crate) delta: Option<Box<DeltaState>>,
+    /// Monotonic mutation counter, bumped once per effective batch.
+    pub(crate) generation: u64,
+    /// Bounded per-batch mutation log (what each generation touched).
+    pub(crate) log: VecDeque<MutationRecord>,
+    /// Overlay-op count that triggers compaction in `apply`.
+    pub(crate) compact_threshold: usize,
 }
 
 /// Casts a `u32` column to a slice of a `u32`-word POD (`EdgeId`,
@@ -284,14 +299,35 @@ impl Graph {
         (0..self.n).map(NodeId::new)
     }
 
-    /// Iterates over all edge ids.
+    /// Iterates over all live edge ids, ascending. Before compaction a
+    /// mutated graph's edge-id space may be sparse (removed ids are
+    /// skipped, inserted ids extend past the base columns).
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.m).map(EdgeId::new)
+        let space = match &self.delta {
+            Some(d) => d.base_m + d.extra_edges.len(),
+            None => self.m,
+        };
+        (0..space)
+            .map(EdgeId::new)
+            .filter(move |e| match &self.delta {
+                Some(d) => !d.removed.contains(&e.0),
+                None => true,
+            })
     }
 
     /// Node payload (label, types, properties).
     #[inline]
     pub fn node(&self, n: NodeId) -> NodeRef<'_> {
+        if let Some(d) = &self.delta {
+            if n.index() >= d.base_n {
+                let x = &d.extra_nodes[n.index() - d.base_n];
+                return NodeRef {
+                    label: x.label,
+                    types: &x.types,
+                    props: &[],
+                };
+            }
+        }
         let label = LabelId(self.node_label.as_slice()[n.index()]);
         let types_raw = &self.type_ids.as_slice()[run(self.type_offsets.as_slice(), n.index())];
         NodeRef {
@@ -301,17 +337,32 @@ impl Graph {
         }
     }
 
-    /// Edge payload (endpoints and label).
+    /// Edge payload (endpoints and label). The id must be live: data
+    /// for a removed edge is unspecified (base rows linger as
+    /// tombstones until compaction).
     #[inline]
     pub fn edge(&self, e: EdgeId) -> &EdgeData {
+        if let Some(d) = &self.delta {
+            if e.index() >= d.base_m {
+                return &d.extra_edges[e.index() - d.base_m];
+            }
+        }
         &cast_words!(self.edge_ndl.as_slice(), EdgeData, 3)[e.index()]
     }
 
     /// The combined (both-direction) adjacency list of `n` — one
-    /// contiguous run of the CSR adjacency column, in ascending
-    /// edge-id order.
+    /// contiguous run of the CSR adjacency column (or its patched
+    /// overlay copy), in ascending edge-id order.
     #[inline]
     pub fn adjacent(&self, n: NodeId) -> &[Adj] {
+        if let Some(d) = &self.delta {
+            if let Some(v) = d.adj.get(&n.0) {
+                return v;
+            }
+            if n.index() >= d.base_n {
+                return &[];
+            }
+        }
         let r = run(self.adj_offsets.as_slice(), n.index());
         &cast_words!(self.adj_pairs.as_slice(), Adj, 2)[r]
     }
@@ -319,6 +370,9 @@ impl Graph {
     /// The number of incident edges `d_n` (paper §4.6); loops count twice.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
+        if self.delta.is_some() {
+            return self.adjacent(n).len();
+        }
         let r = run(self.adj_offsets.as_slice(), n.index());
         r.end - r.start
     }
@@ -350,8 +404,7 @@ impl Graph {
 
     /// The label string of a node.
     pub fn node_label(&self, n: NodeId) -> &str {
-        self.interner
-            .resolve(LabelId(self.node_label.as_slice()[n.index()]))
+        self.interner.resolve(self.node(n).label)
     }
 
     /// The label string of an edge.
@@ -403,6 +456,11 @@ impl Graph {
     /// All edges carrying label `l` (empty slice if none), in ascending
     /// edge-id order.
     pub fn edges_with_label(&self, l: LabelId) -> &[EdgeId] {
+        if let Some(d) = &self.delta {
+            if let Some(v) = d.elab.get(&l.0) {
+                return v;
+            }
+        }
         let r = self.label_run(&self.elab_offsets, l);
         cast_words!(&self.elab_edges.as_slice()[r], EdgeId, 1)
     }
@@ -410,13 +468,53 @@ impl Graph {
     /// Edges with label `l` leaving node `n`, in ascending edge-id
     /// order — a binary-searched sub-run of the forward label CSR.
     pub fn out_edges_labelled(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        if let Some(d) = &self.delta {
+            if let Some(run) = d.fwd.get(&l.0) {
+                return self.endpoint_group(run, n, false);
+            }
+        }
         self.labelled_endpoint_run(&self.fwd_edges, l, n, 0)
     }
 
     /// Edges with label `l` entering node `n`, in ascending edge-id
     /// order — a binary-searched sub-run of the reverse label CSR.
     pub fn in_edges_labelled(&self, n: NodeId, l: LabelId) -> &[EdgeId] {
+        if let Some(d) = &self.delta {
+            if let Some(run) = d.rev.get(&l.0) {
+                return self.endpoint_group(run, n, true);
+            }
+        }
         self.labelled_endpoint_run(&self.rev_edges, l, n, 1)
+    }
+
+    /// Binary search over a patched forward/reverse run (sorted by
+    /// endpoint then id) for node `n`'s group; edge payloads may live
+    /// in the overlay, so keys go through [`Graph::edge`].
+    fn endpoint_group<'a>(&'a self, run: &'a [EdgeId], n: NodeId, use_dst: bool) -> &'a [EdgeId] {
+        let key = |e: &EdgeId| {
+            let ed = self.edge(*e);
+            if use_dst {
+                ed.dst.0
+            } else {
+                ed.src.0
+            }
+        };
+        let lo = run.partition_point(|e| key(e) < n.0);
+        let hi = lo + run[lo..].partition_point(|e| key(e) == n.0);
+        &run[lo..hi]
+    }
+
+    /// The base forward-CSR run of label `l`, ignoring any overlay —
+    /// used by the overlay itself to seed patched runs.
+    pub(crate) fn base_fwd_run(&self, l: LabelId) -> &[EdgeId] {
+        let r = self.label_run(&self.elab_offsets, l);
+        cast_words!(&self.fwd_edges.as_slice()[r], EdgeId, 1)
+    }
+
+    /// The base reverse-CSR run of label `l`, ignoring any overlay.
+    pub(crate) fn base_rev_run(&self, l: LabelId) -> &[EdgeId] {
+        let r = self.label_run(&self.elab_offsets, l);
+        cast_words!(&self.rev_edges.as_slice()[r], EdgeId, 1)
     }
 
     /// The group of edges within label `l`'s run of `column` whose
@@ -438,12 +536,22 @@ impl Graph {
 
     /// All nodes carrying label `l` (empty slice if none), ascending.
     pub fn nodes_with_label(&self, l: LabelId) -> &[NodeId] {
+        if let Some(d) = &self.delta {
+            if let Some(v) = d.nlab.get(&l.0) {
+                return v;
+            }
+        }
         let r = self.label_run(&self.nlab_offsets, l);
         cast_words!(&self.nlab_nodes.as_slice()[r], NodeId, 1)
     }
 
     /// All nodes having type `t` (empty slice if none), ascending.
     pub fn nodes_with_type(&self, t: LabelId) -> &[NodeId] {
+        if let Some(d) = &self.delta {
+            if let Some(v) = d.ntype.get(&t.0) {
+                return v;
+            }
+        }
         let r = self.label_run(&self.ntype_offsets, t);
         cast_words!(&self.ntype_nodes.as_slice()[r], NodeId, 1)
     }
@@ -475,7 +583,13 @@ impl Graph {
 
     /// The raw CSR columns in serialisation order, with the header
     /// counts — the exact words `binfmt`'s CSR section persists.
+    /// Callers must compact first: the columns do not include the
+    /// mutation overlay.
     pub(crate) fn csr_columns(&self) -> CsrColumns<'_> {
+        debug_assert!(
+            self.delta.is_none(),
+            "csr_columns on a graph with a pending delta — compact first"
+        );
         CsrColumns {
             n: self.n as u32,
             m: self.m as u32,
@@ -500,6 +614,34 @@ impl Graph {
         }
     }
 
+    /// Swaps in freshly built columns (delta compaction), clearing the
+    /// overlay. Generation, log, and threshold are preserved; the
+    /// cardinality cache resets (the caller re-seeds it when the
+    /// counts are known to be unchanged).
+    pub(crate) fn replace_columns(&mut self, parts: GraphParts) {
+        self.interner = parts.interner;
+        self.n = parts.n;
+        self.m = parts.m;
+        self.node_label = parts.node_label;
+        self.type_offsets = parts.type_offsets;
+        self.type_ids = parts.type_ids;
+        self.edge_ndl = parts.edge_ndl;
+        self.adj_offsets = parts.adj_offsets;
+        self.adj_pairs = parts.adj_pairs;
+        self.elab_offsets = parts.elab_offsets;
+        self.elab_edges = parts.elab_edges;
+        self.fwd_edges = parts.fwd_edges;
+        self.rev_edges = parts.rev_edges;
+        self.nlab_offsets = parts.nlab_offsets;
+        self.nlab_nodes = parts.nlab_nodes;
+        self.ntype_offsets = parts.ntype_offsets;
+        self.ntype_nodes = parts.ntype_nodes;
+        self.node_props = parts.node_props;
+        self.edge_props = parts.edge_props;
+        self.cardinalities = OnceLock::new();
+        self.delta = None;
+    }
+
     /// The sparse node-property side table (sorted by node id).
     pub(crate) fn node_prop_table(&self) -> &PropTable {
         &self.node_props
@@ -511,8 +653,10 @@ impl Graph {
     }
 
     /// The cardinality snapshot of this graph, computed on first use
-    /// and cached for the graph's lifetime (the graph is immutable).
-    /// Consumed by the BGP planner's cost model.
+    /// and cached. Consumed by the BGP planner's cost model. Live
+    /// graphs keep the snapshot fresh incrementally: each mutation
+    /// batch adjusts the cached counts in place instead of recomputing
+    /// (see [`crate::mutate`]).
     pub fn cardinalities(&self) -> &Cardinalities {
         self.cardinalities.get_or_init(|| Cardinalities::of(self))
     }

@@ -8,8 +8,9 @@
 //! on.
 
 use crate::proto::{
-    read_frame, write_frame, BatchRequest, ErrorReply, Frame, Opcode, ProtoError, QueryReply,
-    QueryRequest, RequestHeader,
+    read_frame, write_frame, BatchRequest, DeltaReply, ErrorReply, Frame, MutateReply,
+    MutateRequest, Opcode, PollRequest, ProtoError, QueryReply, QueryRequest, RequestHeader,
+    SubscribeReply, WireMutation,
 };
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -181,6 +182,72 @@ impl Client {
             .encode(),
         )?;
         self.expect_reply(id)
+    }
+
+    /// Applies a mutation batch to the server's live graph (one
+    /// generation bump via the server's epoch swap). Node endpoints
+    /// are symbolic — exact node labels or raw `n<ID>` references.
+    pub fn mutate(
+        &mut self,
+        ops: Vec<WireMutation>,
+        header: &RequestHeader,
+    ) -> Result<MutateReply, ClientError> {
+        let id = self.send(
+            Opcode::Mutate,
+            MutateRequest {
+                header: header.clone(),
+                ops,
+            }
+            .encode(),
+        )?;
+        let frame = self.wait(id)?;
+        match frame.opcode {
+            Opcode::MutateReply => Ok(MutateReply::decode(&frame.payload)?),
+            Opcode::Error => Err(ClientError::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Registers a standing `SELECT` query on this connection,
+    /// returning the subscription id to [`Client::poll`].
+    pub fn subscribe(
+        &mut self,
+        text: &str,
+        header: &RequestHeader,
+    ) -> Result<SubscribeReply, ClientError> {
+        let id = self.send(
+            Opcode::Subscribe,
+            QueryRequest {
+                header: header.clone(),
+                text: text.to_string(),
+            }
+            .encode(),
+        )?;
+        let frame = self.wait(id)?;
+        match frame.opcode {
+            Opcode::SubscribeReply => Ok(SubscribeReply::decode(&frame.payload)?),
+            Opcode::Error => Err(ClientError::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(ClientError::Unexpected(other)),
+        }
+    }
+
+    /// Polls a subscription for the rows that appeared/disappeared
+    /// since its previous poll (or since [`Client::subscribe`]).
+    pub fn poll(&mut self, sub: u64, header: &RequestHeader) -> Result<DeltaReply, ClientError> {
+        let id = self.send(
+            Opcode::Poll,
+            PollRequest {
+                header: header.clone(),
+                sub,
+            }
+            .encode(),
+        )?;
+        let frame = self.wait(id)?;
+        match frame.opcode {
+            Opcode::DeltaReply => Ok(DeltaReply::decode(&frame.payload)?),
+            Opcode::Error => Err(ClientError::Server(ErrorReply::decode(&frame.payload)?)),
+            other => Err(ClientError::Unexpected(other)),
+        }
     }
 
     /// Round-trips a `ping`, returning its latency.

@@ -20,6 +20,13 @@
 //! mid-search and its connection receives a typed error frame instead
 //! of a result.
 //!
+//! **Live graphs**: the `mutate` opcode applies a [`WireMutation`]
+//! batch by *epoch swap* (clone the shared graph, apply under one
+//! generation bump, swap the `Arc`), `subscribe` registers a standing
+//! query, and `poll` re-emits its result delta — with the watch's
+//! generation / label-footprint / reach-probe layers deciding when
+//! nothing needs to re-run (reported as [`PollSkip`]).
+//!
 //! [`Session`]: cs_eql::Session
 
 #![forbid(unsafe_code)]
@@ -32,6 +39,9 @@ pub mod server;
 
 pub use client::{Canceller, Client, ClientError};
 pub use latency::LatencyHistogram;
-pub use proto::{ErrorCode, ErrorReply, QueryReply, RequestHeader};
+pub use proto::{
+    DeltaReply, ErrorCode, ErrorReply, MutateReply, PollSkip, QueryReply, RequestHeader,
+    SubscribeReply, WireMutation,
+};
 pub use scheduler::{AdmitError, Scheduler, SchedulerConfig, SchedulerStats};
 pub use server::{Server, ServerConfig};

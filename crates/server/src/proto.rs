@@ -13,11 +13,22 @@
 //!
 //! Request opcodes: `Query`, `Batch`, `Ask` (a [`RequestHeader`] plus
 //! query text), `Stats`, `Ping`, `Cancel` (the target request id),
-//! `Shutdown`. Response opcodes: `Reply` (rendered results), `Error`
-//! (a typed [`ErrorCode`] + message), `Pong`, `StatsReply`,
-//! `ShutdownAck`. `Cancel` has no response of its own — the cancelled
-//! query answers with an `Error` frame carrying
+//! `Shutdown`, and the live-graph trio — `Mutate` (a batch of
+//! [`WireMutation`]s, applied under one generation bump via the
+//! server's epoch swap), `Subscribe` (register a standing `SELECT`,
+//! answered with a subscription id), and `Poll` (emit the
+//! subscription's result delta since its last poll). Response opcodes:
+//! `Reply` (rendered results), `Error` (a typed [`ErrorCode`] +
+//! message), `Pong`, `StatsReply`, `ShutdownAck`, `MutateReply`,
+//! `SubscribeReply`, `DeltaReply`. `Cancel` has no response of its own
+//! — the cancelled query answers with an `Error` frame carrying
 //! [`ErrorCode::Cancelled`].
+//!
+//! Mutations address nodes symbolically — an exact node label, or a
+//! raw `n<ID>` id — never by edge id: edge ids are renumbered by
+//! delta compaction, so they are not stable across the wire. An
+//! `InsertEdge`/`RemoveEdge` names its endpoints and edge label;
+//! removal picks one live matching edge.
 //!
 //! The codec is defensive by construction: decoding never panics, a
 //! frame body is bounded by [`MAX_FRAME_LEN`], and every malformed
@@ -54,6 +65,12 @@ pub enum Opcode {
     Cancel = 0x06,
     /// Stop accepting connections and drain.
     Shutdown = 0x07,
+    /// Apply a [`MutateRequest`] batch to the live graph.
+    Mutate = 0x08,
+    /// Register a standing `SELECT` query ([`QueryRequest`] payload).
+    Subscribe = 0x09,
+    /// Poll a subscription for its result delta ([`PollRequest`]).
+    Poll = 0x0a,
     /// Successful query/batch/ask response ([`QueryReply`]).
     Reply = 0x81,
     /// Typed error response ([`ErrorReply`]).
@@ -64,6 +81,12 @@ pub enum Opcode {
     StatsReply = 0x84,
     /// Shutdown acknowledged.
     ShutdownAck = 0x85,
+    /// Mutation outcome ([`MutateReply`]).
+    MutateReply = 0x86,
+    /// Subscription registered ([`SubscribeReply`]).
+    SubscribeReply = 0x87,
+    /// Subscription delta ([`DeltaReply`]).
+    DeltaReply = 0x88,
 }
 
 impl Opcode {
@@ -77,11 +100,17 @@ impl Opcode {
             0x05 => Opcode::Ping,
             0x06 => Opcode::Cancel,
             0x07 => Opcode::Shutdown,
+            0x08 => Opcode::Mutate,
+            0x09 => Opcode::Subscribe,
+            0x0a => Opcode::Poll,
             0x81 => Opcode::Reply,
             0x82 => Opcode::Error,
             0x83 => Opcode::Pong,
             0x84 => Opcode::StatsReply,
             0x85 => Opcode::ShutdownAck,
+            0x86 => Opcode::MutateReply,
+            0x87 => Opcode::SubscribeReply,
+            0x88 => Opcode::DeltaReply,
             other => return Err(ProtoError::BadOpcode(other)),
         })
     }
@@ -452,6 +481,306 @@ impl ErrorReply {
     }
 }
 
+/// One graph mutation as it travels the wire. Node endpoints are
+/// *symbolic* — an exact node label or a raw `n<ID>` reference — and
+/// resolved server-side against the current epoch (a label introduced
+/// by an earlier `InsertNode` of the same batch is referable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMutation {
+    /// Add a node with a label and zero or more types.
+    InsertNode {
+        /// Node label.
+        label: String,
+        /// RDF types / PG labels.
+        types: Vec<String>,
+    },
+    /// Add a labelled edge between two symbolically named nodes.
+    InsertEdge {
+        /// Source node reference.
+        src: String,
+        /// Edge label.
+        label: String,
+        /// Target node reference.
+        dst: String,
+    },
+    /// Remove one live edge matching `src -label-> dst`.
+    RemoveEdge {
+        /// Source node reference.
+        src: String,
+        /// Edge label.
+        label: String,
+        /// Target node reference.
+        dst: String,
+    },
+}
+
+impl WireMutation {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            WireMutation::InsertNode { label, types } => {
+                buf.push(0);
+                put_string(buf, label);
+                buf.extend_from_slice(&(types.len() as u16).to_le_bytes());
+                for t in types {
+                    put_string(buf, t);
+                }
+            }
+            WireMutation::InsertEdge { src, label, dst } => {
+                buf.push(1);
+                put_string(buf, src);
+                put_string(buf, label);
+                put_string(buf, dst);
+            }
+            WireMutation::RemoveEdge { src, label, dst } => {
+                buf.push(2);
+                put_string(buf, src);
+                put_string(buf, label);
+                put_string(buf, dst);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cursor<'_>) -> Result<WireMutation, ProtoError> {
+        Ok(match cur.u8()? {
+            0 => {
+                let label = cur.string()?;
+                let n = cur.u16()? as usize;
+                let mut types = Vec::with_capacity(n.min(256));
+                for _ in 0..n {
+                    types.push(cur.string()?);
+                }
+                WireMutation::InsertNode { label, types }
+            }
+            1 => WireMutation::InsertEdge {
+                src: cur.string()?,
+                label: cur.string()?,
+                dst: cur.string()?,
+            },
+            2 => WireMutation::RemoveEdge {
+                src: cur.string()?,
+                label: cur.string()?,
+                dst: cur.string()?,
+            },
+            _ => return Err(ProtoError::Truncated),
+        })
+    }
+}
+
+/// Payload of `Mutate`: a header plus the mutation batch, applied
+/// atomically under one generation bump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutateRequest {
+    /// Scheduling header.
+    pub header: RequestHeader,
+    /// The mutations, in application order.
+    pub ops: Vec<WireMutation>,
+}
+
+impl MutateRequest {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&(self.ops.len() as u16).to_le_bytes());
+        for op in &self.ops {
+            op.encode_into(&mut buf);
+        }
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<MutateRequest, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let header = RequestHeader::decode(&mut cur)?;
+        let n = cur.u16()? as usize;
+        let mut ops = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            ops.push(WireMutation::decode(&mut cur)?);
+        }
+        Ok(MutateRequest { header, ops })
+    }
+}
+
+/// Payload of `MutateReply`: what the batch did to the live graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutateReply {
+    /// The graph generation after the batch.
+    pub generation: u64,
+    /// Nodes inserted.
+    pub nodes: u64,
+    /// Edges inserted.
+    pub edges: u64,
+    /// Edges removed (no-op removes not counted).
+    pub removed: u64,
+    /// True if the batch tripped delta compaction.
+    pub compacted: bool,
+}
+
+impl MutateReply {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.generation.to_le_bytes());
+        buf.extend_from_slice(&self.nodes.to_le_bytes());
+        buf.extend_from_slice(&self.edges.to_le_bytes());
+        buf.extend_from_slice(&self.removed.to_le_bytes());
+        buf.push(u8::from(self.compacted));
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<MutateReply, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        Ok(MutateReply {
+            generation: cur.u64()?,
+            nodes: cur.u64()?,
+            edges: cur.u64()?,
+            removed: cur.u64()?,
+            compacted: cur.u8()? != 0,
+        })
+    }
+}
+
+/// Payload of `SubscribeReply`: the registered standing query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscribeReply {
+    /// Connection-scoped subscription id, the `Poll` target.
+    pub sub: u64,
+    /// Generation of the baseline answer.
+    pub generation: u64,
+    /// Baseline answer rows.
+    pub rows: u64,
+}
+
+impl SubscribeReply {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.sub.to_le_bytes());
+        buf.extend_from_slice(&self.generation.to_le_bytes());
+        buf.extend_from_slice(&self.rows.to_le_bytes());
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<SubscribeReply, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        Ok(SubscribeReply {
+            sub: cur.u64()?,
+            generation: cur.u64()?,
+            rows: cur.u64()?,
+        })
+    }
+}
+
+/// Payload of `Poll`: a header plus the subscription id to poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PollRequest {
+    /// Scheduling header.
+    pub header: RequestHeader,
+    /// The subscription to poll.
+    pub sub: u64,
+}
+
+impl PollRequest {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.header.encode(&mut buf);
+        buf.extend_from_slice(&self.sub.to_le_bytes());
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<PollRequest, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let header = RequestHeader::decode(&mut cur)?;
+        let sub = cur.u64()?;
+        Ok(PollRequest { header, sub })
+    }
+}
+
+/// How a poll was decided without re-running the query (mirrors
+/// `cs_eql::WatchSkip`; `Reran` when the query actually re-executed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PollSkip {
+    /// The query re-ran (the delta lists are authoritative).
+    Reran = 0,
+    /// Generation unchanged since the last poll.
+    Unchanged = 1,
+    /// Mutated labels disjoint from the query's footprint.
+    LabelsDisjoint = 2,
+    /// The delta reach probe proved irrelevance.
+    DeltaUnreachable = 3,
+}
+
+impl PollSkip {
+    fn from_u8(b: u8) -> Result<PollSkip, ProtoError> {
+        Ok(match b {
+            0 => PollSkip::Reran,
+            1 => PollSkip::Unchanged,
+            2 => PollSkip::LabelsDisjoint,
+            3 => PollSkip::DeltaUnreachable,
+            _ => return Err(ProtoError::Truncated),
+        })
+    }
+}
+
+/// Payload of `DeltaReply`: the subscription's answer change since its
+/// previous poll.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaReply {
+    /// The generation the subscription is now current as of.
+    pub generation: u64,
+    /// How the poll was decided.
+    pub skip: PollSkip,
+    /// Rows that appeared.
+    pub added: Vec<String>,
+    /// Rows that disappeared.
+    pub removed: Vec<String>,
+}
+
+impl DeltaReply {
+    /// Encodes the payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.generation.to_le_bytes());
+        buf.push(self.skip as u8);
+        buf.extend_from_slice(&(self.added.len() as u32).to_le_bytes());
+        for r in &self.added {
+            put_string(&mut buf, r);
+        }
+        buf.extend_from_slice(&(self.removed.len() as u32).to_le_bytes());
+        for r in &self.removed {
+            put_string(&mut buf, r);
+        }
+        buf
+    }
+
+    /// Decodes the payload.
+    pub fn decode(payload: &[u8]) -> Result<DeltaReply, ProtoError> {
+        let mut cur = Cursor::new(payload);
+        let generation = cur.u64()?;
+        let skip = PollSkip::from_u8(cur.u8()?)?;
+        let mut lists = [Vec::new(), Vec::new()];
+        for list in &mut lists {
+            let n = cur.u32()? as usize;
+            list.reserve(n.min(4096));
+            for _ in 0..n {
+                list.push(cur.string()?);
+            }
+        }
+        let [added, removed] = lists;
+        Ok(DeltaReply {
+            generation,
+            skip,
+            added,
+            removed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -550,6 +879,96 @@ mod tests {
             message: "deadline exceeded".into(),
         };
         assert_eq!(ErrorReply::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn live_graph_payloads_roundtrip() {
+        let m = MutateRequest {
+            header: RequestHeader {
+                tenant: "t".into(),
+                deadline_ms: 5,
+            },
+            ops: vec![
+                WireMutation::InsertNode {
+                    label: "Mars".into(),
+                    types: vec!["planet".into(), "place".into()],
+                },
+                WireMutation::InsertEdge {
+                    src: "Doug".into(),
+                    label: "migratedTo".into(),
+                    dst: "Mars".into(),
+                },
+                WireMutation::RemoveEdge {
+                    src: "Doug".into(),
+                    label: "citizenOf".into(),
+                    dst: "France".into(),
+                },
+            ],
+        };
+        assert_eq!(MutateRequest::decode(&m.encode()).unwrap(), m);
+
+        let r = MutateReply {
+            generation: 9,
+            nodes: 1,
+            edges: 1,
+            removed: 1,
+            compacted: true,
+        };
+        assert_eq!(MutateReply::decode(&r.encode()).unwrap(), r);
+
+        let s = SubscribeReply {
+            sub: 3,
+            generation: 9,
+            rows: 12,
+        };
+        assert_eq!(SubscribeReply::decode(&s.encode()).unwrap(), s);
+
+        let p = PollRequest {
+            header: RequestHeader::default(),
+            sub: 3,
+        };
+        assert_eq!(PollRequest::decode(&p.encode()).unwrap(), p);
+
+        for skip in [
+            PollSkip::Reran,
+            PollSkip::Unchanged,
+            PollSkip::LabelsDisjoint,
+            PollSkip::DeltaUnreachable,
+        ] {
+            let d = DeltaReply {
+                generation: 10,
+                skip,
+                added: vec!["x=Bob(n1)".into()],
+                removed: vec!["x=Alice(n2)".into(), "x=Elon(n8)".into()],
+            };
+            assert_eq!(DeltaReply::decode(&d.encode()).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn live_graph_decoders_reject_truncated_payloads() {
+        let m = MutateRequest {
+            header: RequestHeader::default(),
+            ops: vec![WireMutation::InsertEdge {
+                src: "a".into(),
+                label: "r".into(),
+                dst: "b".into(),
+            }],
+        };
+        let enc = m.encode();
+        for cut in 0..enc.len() {
+            assert!(MutateRequest::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
+        let d = DeltaReply {
+            generation: 1,
+            skip: PollSkip::Reran,
+            added: vec!["r".into()],
+            removed: vec![],
+        };
+        let enc = d.encode();
+        for cut in 0..enc.len() {
+            assert!(DeltaReply::decode(&enc[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -21,6 +21,20 @@
 //! control replies from the reader thread and query replies from
 //! workers interleave as whole frames.
 //!
+//! **Live graphs** are served by *epoch swap*: the current graph sits
+//! behind an `RwLock<Arc<Graph>>`, and a `mutate` request clones it,
+//! applies the batch (one generation bump), and swaps the `Arc` —
+//! readers running against the old epoch finish undisturbed on their
+//! pinned `Arc`. Each connection's worker notices the swap by
+//! `Arc::ptr_eq` before its next job and rebuilds the session over the
+//! new epoch (dropping its plan cache; the shared result cache needs
+//! no flush because entries are keyed by graph generation).
+//! `subscribe` registers a standing query ([`cs_eql::Watch`]) on the
+//! connection; `poll` re-emits its result delta, riding the watch's
+//! generation / label-footprint / reach-probe skip layers. Writers are
+//! serialised by a dedicated mutate lock, so batches never race each
+//! other's clones.
+//!
 //! Deadlines and cancellation ride the typed path built into the
 //! engine: the worker arms [`ExecOptions::deadline`] /
 //! [`ExecOptions::cancel`], the search's cooperative checks stop it
@@ -31,18 +45,22 @@
 //! error frame, so the client never waits on a dropped reply.
 
 use crate::proto::{
-    read_frame, write_frame, BatchRequest, Cursor, ErrorCode, ErrorReply, Frame, Opcode,
-    ProtoError, QueryReply, QueryRequest,
+    read_frame, write_frame, BatchRequest, Cursor, DeltaReply, ErrorCode, ErrorReply, Frame,
+    MutateReply, MutateRequest, Opcode, PollRequest, PollSkip, ProtoError, QueryReply,
+    QueryRequest, WireMutation,
 };
 use crate::scheduler::{AdmitError, Scheduler, SchedulerConfig};
 use cs_core::CancelFlag;
-use cs_eql::{CacheCounters, EqlError, ExecOptions, ResultCacheMode, Session, SharedResultCache};
-use cs_graph::Graph;
+use cs_eql::{
+    CacheCounters, EqlError, ExecOptions, ResultCacheMode, Session, SharedResultCache, Watch,
+    WatchSkip,
+};
+use cs_graph::{Graph, Mutation, NodeId};
 use std::collections::HashMap;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 /// How long the accept loop sleeps between polls, and the granularity
@@ -89,6 +107,7 @@ struct ServerCounters {
     cancelled: AtomicU64,
     deadline_exceeded: AtomicU64,
     rejected: AtomicU64,
+    mutations: AtomicU64,
 }
 
 impl ServerCounters {
@@ -120,17 +139,44 @@ enum JobKind {
     Query(String),
     Ask(String),
     Batch(Vec<String>),
+    Mutate(Vec<WireMutation>),
+    Subscribe(String),
+    Poll(u64),
+}
+
+/// What a successfully executed job answers with.
+enum ReplyKind {
+    Query(QueryReply),
+    Mutate(MutateReply),
+    Subscribe(crate::proto::SubscribeReply),
+    Delta(DeltaReply),
+}
+
+/// A connection's session pinned to the graph epoch it was built over,
+/// plus its standing queries. Watches outlive session rebuilds — a
+/// rebuilt session serves a *clone-descendant* of the same graph, and
+/// generations survive cloning, so a watch's incremental poll stays
+/// valid across epochs.
+struct ConnState {
+    session: Session<'static>,
+    /// The epoch the session was built over; compared by `Arc::ptr_eq`
+    /// against the server's current epoch before every job.
+    epoch: Arc<Graph>,
+    /// Standing queries, keyed by subscription id.
+    subs: HashMap<u64, Watch>,
+    next_sub: u64,
 }
 
 /// Per-connection state shared between its reader thread and the
 /// executor workers.
 struct ConnShared {
     writer: Mutex<TcpStream>,
-    /// The connection's session. `Session` is `!Sync` (its plan cache
-    /// sits behind a `RefCell`), so workers take it under a mutex for
-    /// the duration of a query; queries *within* one connection are
-    /// serialised, queries across connections run concurrently.
-    session: Mutex<Session<'static>>,
+    /// The connection's session and subscriptions. `Session` is `!Sync`
+    /// (its plan cache sits behind a `RefCell`), so workers take it
+    /// under a mutex for the duration of a query; queries *within* one
+    /// connection are serialised, queries across connections run
+    /// concurrently.
+    state: Mutex<ConnState>,
     /// Cancel flags of this connection's admitted-but-unfinished
     /// requests, keyed by request id — the `cancel` opcode's target
     /// registry.
@@ -194,7 +240,12 @@ impl Read for InterruptibleReader<'_> {
 /// The `csqd` server: a bound listener plus the shared graph.
 pub struct Server {
     listener: TcpListener,
-    graph: Arc<Graph>,
+    /// The current graph epoch. `mutate` swaps the `Arc`; readers pin
+    /// the epoch they started on.
+    epoch: RwLock<Arc<Graph>>,
+    /// Serialises mutation batches (clone → apply → swap), so two
+    /// writers never race each other's clones.
+    mutate_lock: Mutex<()>,
     cfg: ServerConfig,
     shutdown: AtomicBool,
     counters: ServerCounters,
@@ -223,12 +274,21 @@ impl Server {
         };
         Ok(Server {
             listener,
-            graph,
+            epoch: RwLock::new(graph),
+            mutate_lock: Mutex::new(()),
             cfg,
             shutdown: AtomicBool::new(false),
             counters: ServerCounters::default(),
             result_cache,
         })
+    }
+
+    /// The current graph epoch.
+    fn current_graph(&self) -> Arc<Graph> {
+        self.epoch
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// The bound address (the actual port when bound with port 0).
@@ -300,31 +360,46 @@ impl Server {
     }
 
     fn run_job(&self, job: &Job) -> Frame {
-        let mut session = job
+        let mut state = job
             .conn
-            .session
+            .state
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // Epoch check: a mutation may have swapped the graph since this
+        // connection's last job. Rebuild the session over the current
+        // epoch (subscriptions carry over — generations survive the
+        // clone the swap was built from).
+        let current = self.current_graph();
+        if !Arc::ptr_eq(&state.epoch, &current) {
+            state.session = Session::from_shared_with(Arc::clone(&current), self.cfg.exec.clone());
+            state.epoch = current;
+        }
         // Overlay the per-request controls; the remaining budget is
         // measured from *now*, so time spent queued has already been
         // charged against the absolute deadline.
-        let opts = session.options_mut();
+        let opts = state.session.options_mut();
         opts.cancel = Some(job.cancel.clone());
         opts.deadline = job
             .deadline
             .map(|d| d.saturating_duration_since(Instant::now()));
 
-        let graph = self.graph.as_ref();
+        let graph = Arc::clone(&state.epoch);
+        let graph = graph.as_ref();
+        let session = &state.session;
         let reply = match &job.kind {
-            JobKind::Query(text) => session.run(text).map(|r| QueryReply {
-                rows: r.rows() as u64,
-                boolean: r.boolean,
-                text: r.render(graph),
+            JobKind::Query(text) => session.run(text).map(|r| {
+                ReplyKind::Query(QueryReply {
+                    rows: r.rows() as u64,
+                    boolean: r.boolean,
+                    text: r.render(graph),
+                })
             }),
-            JobKind::Ask(text) => session.ask(text).map(|b| QueryReply {
-                rows: u64::from(b),
-                boolean: Some(b),
-                text: format!("{b}\n"),
+            JobKind::Ask(text) => session.ask(text).map(|b| {
+                ReplyKind::Query(QueryReply {
+                    rows: u64::from(b),
+                    boolean: Some(b),
+                    text: format!("{b}\n"),
+                })
             }),
             JobKind::Batch(texts) => {
                 let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
@@ -354,26 +429,65 @@ impl Server {
                 }
                 match first_err {
                     Some(e) => Err(e),
-                    None => Ok(QueryReply {
+                    None => Ok(ReplyKind::Query(QueryReply {
                         rows,
                         boolean: None,
                         text,
+                    })),
+                }
+            }
+            JobKind::Mutate(ops) => self.apply_mutations(ops).map(ReplyKind::Mutate),
+            JobKind::Subscribe(text) => state.session.watch(text).map(|w| {
+                let sub = state.next_sub;
+                state.next_sub += 1;
+                let reply = crate::proto::SubscribeReply {
+                    sub,
+                    generation: w.generation(),
+                    rows: w.rows().len() as u64,
+                };
+                state.subs.insert(sub, w);
+                ReplyKind::Subscribe(reply)
+            }),
+            JobKind::Poll(sub) => {
+                let ConnState { session, subs, .. } = &mut *state;
+                match subs.get_mut(sub) {
+                    None => Err(EqlError::Validate(format!(
+                        "unknown subscription {sub} (subscriptions are per-connection)"
+                    ))),
+                    Some(w) => w.poll(session).map(|d| {
+                        ReplyKind::Delta(DeltaReply {
+                            generation: d.generation,
+                            skip: match d.skipped {
+                                None => PollSkip::Reran,
+                                Some(WatchSkip::Unchanged) => PollSkip::Unchanged,
+                                Some(WatchSkip::LabelsDisjoint) => PollSkip::LabelsDisjoint,
+                                Some(WatchSkip::DeltaUnreachable) => PollSkip::DeltaUnreachable,
+                            },
+                            added: d.added,
+                            removed: d.removed,
+                        })
                     }),
                 }
             }
         };
-        let opts = session.options_mut();
+        let opts = state.session.options_mut();
         opts.cancel = None;
         opts.deadline = None;
-        drop(session);
+        drop(state);
 
         match reply {
             Ok(r) => {
                 ServerCounters::bump(&self.counters.queries_ok);
+                let (opcode, payload) = match r {
+                    ReplyKind::Query(q) => (Opcode::Reply, q.encode()),
+                    ReplyKind::Mutate(m) => (Opcode::MutateReply, m.encode()),
+                    ReplyKind::Subscribe(s) => (Opcode::SubscribeReply, s.encode()),
+                    ReplyKind::Delta(d) => (Opcode::DeltaReply, d.encode()),
+                };
                 Frame {
                     request_id: job.request_id,
-                    opcode: Opcode::Reply,
-                    payload: r.encode(),
+                    opcode,
+                    payload,
                 }
             }
             Err(e) => {
@@ -404,6 +518,31 @@ impl Server {
         }
     }
 
+    /// Applies one mutation batch by epoch swap: clone the current
+    /// graph, resolve the symbolic node references, apply (one
+    /// generation bump), and publish the clone as the new epoch.
+    /// Serialised by the mutate lock; resolution failures reject the
+    /// whole batch before anything is applied.
+    fn apply_mutations(&self, ops: &[WireMutation]) -> Result<MutateReply, EqlError> {
+        let _writer = self
+            .mutate_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let base = self.current_graph();
+        let resolved = resolve_wire_ops(&base, ops).map_err(EqlError::Mutate)?;
+        let mut g: Graph = (*base).clone();
+        let applied = g.apply(resolved);
+        *self.epoch.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(g);
+        ServerCounters::bump(&self.counters.mutations);
+        Ok(MutateReply {
+            generation: applied.generation,
+            nodes: applied.nodes.len() as u64,
+            edges: applied.edges.len() as u64,
+            removed: applied.removed as u64,
+            compacted: applied.compacted,
+        })
+    }
+
     /// Per-connection reader: decodes frames until disconnect, protocol
     /// desync, or shutdown.
     fn serve_connection(&self, stream: TcpStream, sched: &Scheduler<Job>) {
@@ -414,12 +553,15 @@ impl Server {
             Ok(w) => w,
             Err(_) => return,
         };
+        let epoch = self.current_graph();
         let conn = Arc::new(ConnShared {
             writer: Mutex::new(writer),
-            session: Mutex::new(Session::from_shared_with(
-                self.graph.clone(),
-                self.cfg.exec.clone(),
-            )),
+            state: Mutex::new(ConnState {
+                session: Session::from_shared_with(Arc::clone(&epoch), self.cfg.exec.clone()),
+                epoch,
+                subs: HashMap::new(),
+                next_sub: 1,
+            }),
             inflight: Mutex::new(HashMap::new()),
         });
         let mut reader = InterruptibleReader {
@@ -493,6 +635,57 @@ impl Server {
                 );
                 true
             }
+            Opcode::Mutate => {
+                let req = match MutateRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        conn.send_error(frame.request_id, ErrorCode::Protocol, e.to_string());
+                        return true;
+                    }
+                };
+                self.admit(
+                    conn,
+                    frame.request_id,
+                    &req.header,
+                    JobKind::Mutate(req.ops),
+                    sched,
+                );
+                true
+            }
+            Opcode::Subscribe => {
+                let req = match QueryRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        conn.send_error(frame.request_id, ErrorCode::Protocol, e.to_string());
+                        return true;
+                    }
+                };
+                self.admit(
+                    conn,
+                    frame.request_id,
+                    &req.header,
+                    JobKind::Subscribe(req.text),
+                    sched,
+                );
+                true
+            }
+            Opcode::Poll => {
+                let req = match PollRequest::decode(&frame.payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        conn.send_error(frame.request_id, ErrorCode::Protocol, e.to_string());
+                        return true;
+                    }
+                };
+                self.admit(
+                    conn,
+                    frame.request_id,
+                    &req.header,
+                    JobKind::Poll(req.sub),
+                    sched,
+                );
+                true
+            }
             Opcode::Cancel => {
                 // Fire-and-forget: the cancelled request itself answers
                 // with its Cancelled error frame.
@@ -534,7 +727,10 @@ impl Server {
             | Opcode::Error
             | Opcode::Pong
             | Opcode::StatsReply
-            | Opcode::ShutdownAck => {
+            | Opcode::ShutdownAck
+            | Opcode::MutateReply
+            | Opcode::SubscribeReply
+            | Opcode::DeltaReply => {
                 conn.send_error(
                     frame.request_id,
                     ErrorCode::Protocol,
@@ -593,14 +789,17 @@ impl Server {
             Some(shared) => (shared.counters(), shared.len()),
             None => (CacheCounters::default(), 0),
         };
+        let g = self.current_graph();
         format!(
-            "graph: {} nodes, {} edges\n\
+            "graph: {} nodes, {} edges, generation {} ({} mutation batch(es))\n\
              scheduler: {} queued, {} inflight, {} tenant(s)\n\
              served: {} ok, {} failed, {} cancelled, {} deadline_exceeded, {} rejected\n\
              result_cache: {} hits, {} misses, {} subsumed, {} trees_filtered, {} entries\n\
              connections: {}\n",
-            self.graph.node_count(),
-            self.graph.edge_count(),
+            g.node_count(),
+            g.edge_count(),
+            g.generation(),
+            ServerCounters::get(&c.mutations),
             s.queued,
             s.inflight,
             s.tenants,
@@ -617,4 +816,85 @@ impl Server {
             ServerCounters::get(&c.connections),
         )
     }
+}
+
+/// Resolves a symbolic node reference — an exact node label or a raw
+/// `n<ID>` id — against `g`, extended by `extra` nodes the current
+/// batch inserts (via `names` for labels introduced in-batch).
+fn resolve_wire_node(
+    g: &Graph,
+    names: &HashMap<&str, NodeId>,
+    extra: usize,
+    tok: &str,
+) -> Result<NodeId, String> {
+    if let Some(&n) = names.get(tok) {
+        return Ok(n);
+    }
+    if let Some(raw) = tok.strip_prefix('n') {
+        if let Ok(idx) = raw.parse::<u32>() {
+            return if (idx as usize) < g.node_count() + extra {
+                Ok(NodeId(idx))
+            } else {
+                Err(format!(
+                    "node id n{idx} out of range (graph has {} nodes)",
+                    g.node_count() + extra
+                ))
+            };
+        }
+    }
+    g.node_by_label(tok)
+        .ok_or_else(|| format!("no node labelled {tok:?} (and not an n<ID> reference)"))
+}
+
+/// Translates wire mutations into [`cs_graph::Mutation`]s against the
+/// current epoch: in-batch node labels resolve to their predicted ids
+/// (node ids are assigned sequentially), and each `RemoveEdge` picks
+/// one live matching edge not already claimed by this batch.
+fn resolve_wire_ops(g: &Graph, ops: &[WireMutation]) -> Result<Vec<Mutation>, String> {
+    let mut out = Vec::with_capacity(ops.len());
+    let mut names: HashMap<&str, NodeId> = HashMap::new();
+    let mut inserted = 0usize;
+    let mut claimed: std::collections::HashSet<cs_graph::EdgeId> = std::collections::HashSet::new();
+    for op in ops {
+        match op {
+            WireMutation::InsertNode { label, types } => {
+                names.insert(label, NodeId::new(g.node_count() + inserted));
+                inserted += 1;
+                out.push(Mutation::InsertNode {
+                    label: label.clone(),
+                    types: types.clone(),
+                });
+            }
+            WireMutation::InsertEdge { src, label, dst } => {
+                let src = resolve_wire_node(g, &names, inserted, src)?;
+                let dst = resolve_wire_node(g, &names, inserted, dst)?;
+                out.push(Mutation::InsertEdge {
+                    src,
+                    label: label.clone(),
+                    dst,
+                });
+            }
+            WireMutation::RemoveEdge { src, label, dst } => {
+                let s = resolve_wire_node(g, &names, inserted, src)?;
+                let d = resolve_wire_node(g, &names, inserted, dst)?;
+                let lid = g.label_id(label);
+                let edge = lid.and_then(|lid| {
+                    g.outgoing(s).map(|a| a.edge()).find(|&e| {
+                        let ed = g.edge(e);
+                        ed.label == lid && ed.dst == d && !claimed.contains(&e)
+                    })
+                });
+                match edge {
+                    Some(e) => {
+                        claimed.insert(e);
+                        out.push(Mutation::RemoveEdge { edge: e });
+                    }
+                    None => {
+                        return Err(format!("no live edge {src} -{label}-> {dst}"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
 }

@@ -380,6 +380,146 @@ fn result_cache_off_reports_zero_counters() {
     stop(&server, handle);
 }
 
+/// The live-graph loop over the wire: subscribe, mutate, poll. The
+/// mutation swaps the epoch server-side; the poll after it reports
+/// exactly the appeared row, and a second poll reports no change.
+#[test]
+fn mutate_then_poll_reports_result_delta() {
+    use cs_server::{PollSkip, WireMutation};
+    let (server, addr, handle) = start(ServerConfig::default());
+    let header = RequestHeader::default();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // n0's direct neighbourhood, as a standing query.
+    let sub = client
+        .subscribe(r#"SELECT x WHERE { (x, "r0", "n0") }"#, &header)
+        .expect("subscribe");
+    assert_eq!(sub.generation, 0);
+
+    // A new node wired into n0 under the watched edge label.
+    let m = client
+        .mutate(
+            vec![
+                WireMutation::InsertNode {
+                    label: "fresh".into(),
+                    types: vec![],
+                },
+                WireMutation::InsertEdge {
+                    src: "fresh".into(),
+                    label: "r0".into(),
+                    dst: "n0".into(),
+                },
+            ],
+            &header,
+        )
+        .expect("mutate");
+    assert_eq!(m.generation, 1);
+    assert_eq!((m.nodes, m.edges, m.removed), (1, 1, 0));
+
+    let delta = client.poll(sub.sub, &header).expect("poll");
+    assert_eq!(delta.generation, 1);
+    assert_eq!(delta.skip, PollSkip::Reran);
+    assert_eq!(delta.added.len(), 1, "added: {:?}", delta.added);
+    assert!(delta.added[0].contains("fresh"), "added: {:?}", delta.added);
+    assert!(delta.removed.is_empty());
+
+    // Nothing happened since: the generation layer skips.
+    let delta = client.poll(sub.sub, &header).expect("second poll");
+    assert!(delta.added.is_empty() && delta.removed.is_empty());
+    assert_eq!(delta.skip, PollSkip::Unchanged);
+
+    // Removing the edge takes the row back out.
+    let m = client
+        .mutate(
+            vec![WireMutation::RemoveEdge {
+                src: "fresh".into(),
+                label: "r0".into(),
+                dst: "n0".into(),
+            }],
+            &header,
+        )
+        .expect("remove");
+    assert_eq!(m.removed, 1);
+    let delta = client.poll(sub.sub, &header).expect("poll after remove");
+    assert_eq!(delta.removed.len(), 1, "removed: {:?}", delta.removed);
+    assert!(delta.removed[0].contains("fresh"));
+
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("generation 2 (2 mutation batch(es))"),
+        "{stats}"
+    );
+    stop(&server, handle);
+}
+
+/// Mutations are visible to plain queries from *other* connections
+/// (each rebuilds its session over the swapped epoch), and a dangling
+/// symbolic reference rejects the whole batch.
+#[test]
+fn mutation_visible_across_connections_and_bad_refs_reject() {
+    use cs_server::WireMutation;
+    let (server, addr, handle) = start(ServerConfig::default());
+    let header = RequestHeader::default();
+    let mut writer = Client::connect(addr).expect("connect writer");
+    let mut reader = Client::connect(addr).expect("connect reader");
+
+    // The reader has already served a query on epoch 0.
+    let q = r#"ASK WHERE { ("n7", "brandNew", "n9") }"#;
+    assert!(!reader.ask(q, &header).expect("ask before"));
+
+    writer
+        .mutate(
+            vec![WireMutation::InsertEdge {
+                src: "n7".into(),
+                label: "brandNew".into(),
+                dst: "n9".into(),
+            }],
+            &header,
+        )
+        .expect("mutate");
+    assert!(
+        reader.ask(q, &header).expect("ask after"),
+        "epoch swap must reach other connections"
+    );
+
+    let err = writer
+        .mutate(
+            vec![WireMutation::InsertEdge {
+                src: "NoSuchNode".into(),
+                label: "r".into(),
+                dst: "n0".into(),
+            }],
+            &header,
+        )
+        .expect_err("dangling reference must reject");
+    match err {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, ErrorCode::Query, "{}", e.message);
+            assert!(e.message.contains("NoSuchNode"), "{}", e.message);
+        }
+        other => panic!("want server error, got {other}"),
+    }
+    stop(&server, handle);
+}
+
+/// Polling an unknown subscription id is a typed query error, not a
+/// dropped connection.
+#[test]
+fn poll_unknown_subscription_is_typed_error() {
+    let (server, addr, handle) = start(ServerConfig::default());
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .poll(99, &RequestHeader::default())
+        .expect_err("unknown sub must fail");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Query, "{}", e.message),
+        other => panic!("want server error, got {other}"),
+    }
+    // Connection still serves.
+    assert!(client.ping().expect("ping") < Duration::from_secs(5));
+    stop(&server, handle);
+}
+
 /// Two tenants, one worker: round-robin dispatch interleaves their
 /// queued jobs rather than running one tenant's backlog to completion.
 #[test]

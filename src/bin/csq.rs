@@ -12,6 +12,8 @@
 //!     [--batch] [--cancel-after-ms N] [--stats]
 //! csq bench-serve <addr> <query-or-@file> [--qps N] [--duration-ms N]
 //!     [--connections K] [--tenant T] [--timeout-ms N] [--label NAME]
+//! csq watch <graph-source> <query-or-@file> [--script FILE] [--stats]
+//!     [--threads N] [--search-threads N] [--result-cache on|off]
 //! ```
 //!
 //! A *graph source* is `--demo` (the Figure 1 graph), a `.csg` binary
@@ -55,6 +57,21 @@
 //! deadline fails the query with a typed `DeadlineExceeded` — a
 //! one-line `error: deadline exceeded` and a non-zero exit.
 //!
+//! `csq watch` registers one or more standing `SELECT` queries
+//! (`;`-separated, like `--batch`) over a live graph and drives it
+//! with a mutation script (`--script FILE`, or stdin). Script lines —
+//! `node <label> [type…]`, `edge <src> <label> <dst>`,
+//! `del <src> <label> <dst>`, and `commit` — accumulate into batches;
+//! each `commit` applies the batch through [`Session::mutate`] (one
+//! generation bump), polls every watch, and prints the per-watch
+//! result deltas as `watch I + row` / `watch I - row` lines. Node
+//! references are exact node labels or raw `n<ID>` ids; an `edge` may
+//! reference nodes introduced by earlier `node` lines of the *same*
+//! batch, while `del` resolves against the last committed state.
+//! `--stats` additionally reports on stderr how each unchanged poll
+//! was decided (generation check, label footprint, delta reach probe
+//! — see `cs_eql::watch`).
+//!
 //! `csq connect` runs the same query loop against a `csqd` server
 //! (`cs_server::Client`), printing results identically to local mode;
 //! `--cancel-after-ms N` fires a cooperative cancel frame mid-query
@@ -71,9 +88,9 @@
 
 use connection_search::bench::BenchRecord;
 use connection_search::core::Algorithm;
-use connection_search::eql::{EqlError, ExecOptions, QueryResult, ResultCacheMode};
+use connection_search::eql::{EqlError, ExecOptions, QueryResult, ResultCacheMode, WatchSkip};
 use connection_search::graph::generate::from_spec;
-use connection_search::graph::{binfmt, figure1, ntriples, snapshot, Graph};
+use connection_search::graph::{binfmt, figure1, ntriples, snapshot, Graph, Mutation, NodeId};
 use connection_search::server::{Client, ClientError, ErrorCode, LatencyHistogram, RequestHeader};
 use connection_search::Session;
 use std::process::ExitCode;
@@ -93,6 +110,8 @@ fn usage() -> ExitCode {
          csq bench-serve <host:port> <query|@query-file> [--qps N] \
          [--duration-ms N] [--connections K] [--tenant T] [--timeout-ms N] \
          [--label NAME]\n       \
+         csq watch <graph-source> <query|@query-file> [--script FILE] \
+         [--stats] [--threads N] [--search-threads N] [--result-cache on|off]\n       \
          csq <graph-file> --snapshot <out.csg>   (legacy alias of `snapshot save`)\n\
          graph sources: --demo | file.csg | gen:<family:key=value,...> | triples file"
     );
@@ -214,6 +233,305 @@ fn snapshot_command(args: &[String]) -> ExitCode {
     }
 }
 
+/// One un-committed mutation batch of the `csq watch` script loop.
+#[derive(Default)]
+struct PendingBatch {
+    ops: Vec<Mutation>,
+    /// Labels of nodes inserted by this batch, mapped to the ids
+    /// `Graph::apply` will assign them (sequential from the committed
+    /// node count), so later `edge` lines of the batch can reference
+    /// them by name.
+    names: std::collections::HashMap<String, NodeId>,
+    /// Nodes inserted so far in this batch.
+    inserted: usize,
+    /// Edges already claimed by `del` lines of this batch, so two
+    /// identical `del` lines remove two parallel edges, not one twice.
+    deleted: std::collections::HashSet<connection_search::graph::EdgeId>,
+}
+
+/// Resolves a script node reference: a label introduced by a pending
+/// `node` line, a raw `n<ID>` id, or an exact committed node label.
+fn resolve_script_node(g: &Graph, batch: &PendingBatch, tok: &str) -> Result<NodeId, String> {
+    if let Some(&n) = batch.names.get(tok) {
+        return Ok(n);
+    }
+    if let Some(raw) = tok.strip_prefix('n') {
+        if let Ok(idx) = raw.parse::<u32>() {
+            if (idx as usize) < g.node_count() + batch.inserted {
+                return Ok(NodeId(idx));
+            }
+            return Err(format!(
+                "node id n{idx} out of range (graph has {} nodes)",
+                g.node_count() + batch.inserted
+            ));
+        }
+    }
+    g.node_by_label(tok)
+        .ok_or_else(|| format!("no node labelled {tok:?} (and not an n<ID> reference)"))
+}
+
+/// Finds one live committed edge `src -label-> dst` not already
+/// claimed by this batch.
+fn resolve_script_edge(
+    g: &Graph,
+    batch: &PendingBatch,
+    src: NodeId,
+    label: &str,
+    dst: NodeId,
+) -> Result<connection_search::graph::EdgeId, String> {
+    let describe = || format!("{} -{label}-> {}", g.node_label(src), g.node_label(dst));
+    let Some(lid) = g.label_id(label) else {
+        return Err(format!("no committed edge {}", describe()));
+    };
+    g.outgoing(src)
+        .map(|a| a.edge())
+        .find(|&e| {
+            let ed = g.edge(e);
+            ed.label == lid && ed.dst == dst && !batch.deleted.contains(&e)
+        })
+        .ok_or_else(|| format!("no committed edge {}", describe()))
+}
+
+/// The `csq watch` subcommand: registers standing queries over a live
+/// graph and applies a mutation script, printing per-generation result
+/// deltas after every `commit`.
+fn watch_command(args: &[String]) -> ExitCode {
+    let mut source: Option<&str> = None;
+    let mut query_arg: Option<&str> = None;
+    let mut script_path: Option<&str> = None;
+    let mut opts = ExecOptions::default();
+    let mut show_stats = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--script" => {
+                let Some(path) = args.get(i + 1) else {
+                    return fail("--script expects a file path (or -), but none was given");
+                };
+                script_path = Some(path);
+                i += 2;
+            }
+            "--threads" => {
+                match numeric_flag::<usize>(args, i, "--threads") {
+                    Ok(n) => opts.threads = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--search-threads" => {
+                match numeric_flag::<usize>(args, i, "--search-threads") {
+                    Ok(n) => opts.search_threads = n,
+                    Err(e) => return fail(e),
+                }
+                i += 2;
+            }
+            "--result-cache" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("on") => opts.result_cache = ResultCacheMode::On,
+                    Some("off") => opts.result_cache = ResultCacheMode::Off,
+                    Some(other) => {
+                        return fail(format!("--result-cache expects on|off, got {other:?}"))
+                    }
+                    None => return fail("--result-cache expects on|off, but none was given"),
+                }
+                i += 2;
+            }
+            "--stats" => {
+                show_stats = true;
+                i += 1;
+            }
+            other => {
+                if other.starts_with("--") && other != "--demo" {
+                    return usage();
+                }
+                if source.is_none() {
+                    source = Some(other);
+                } else if query_arg.is_none() {
+                    query_arg = Some(other);
+                } else {
+                    return usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let (Some(source), Some(query_arg)) = (source, query_arg) else {
+        return usage();
+    };
+    let query = match read_query_arg(query_arg) {
+        Ok(q) => q,
+        Err(e) => return fail(e),
+    };
+
+    // Watching mutates the graph, so the session must own it: load
+    // via `load_graph` even for `.csg` sources (the decoded snapshot
+    // is an owned graph; its statistics sidecar still rides along).
+    let mut session = match load_graph(source) {
+        Ok(g) => connection_search::Session::from_graph_with(g, opts),
+        Err(e) => return fail(e),
+    };
+
+    let queries = split_queries(&query);
+    if queries.is_empty() {
+        return fail("watch input contains no queries");
+    }
+    let mut watches = Vec::with_capacity(queries.len());
+    for (wi, text) in queries.iter().enumerate() {
+        match session.watch(text) {
+            Ok(w) => {
+                eprintln!(
+                    "watch {wi}: {} baseline row(s) at generation {}",
+                    w.rows().len(),
+                    w.generation()
+                );
+                watches.push(w);
+            }
+            Err(e) => {
+                report_query_error(&e);
+                eprintln!("  in: {}", text.trim());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reader: Box<dyn std::io::BufRead> = match script_path {
+        None | Some("-") => Box::new(std::io::stdin().lock()),
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => return fail(format!("cannot read script {path}: {e}")),
+        },
+    };
+
+    let mut batch = PendingBatch::default();
+    for (lineno, line) in std::io::BufRead::lines(reader).enumerate() {
+        let lineno = lineno + 1;
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return fail(format!("script read error: {e}")),
+        };
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let bad = |msg: String| format!("script line {lineno}: {msg}");
+        match toks[0] {
+            "node" => {
+                let Some(label) = toks.get(1) else {
+                    return fail(bad("node expects: node <label> [type ...]".into()));
+                };
+                let id = NodeId::new(session.graph().node_count() + batch.inserted);
+                batch.names.insert((*label).to_string(), id);
+                batch.inserted += 1;
+                batch.ops.push(Mutation::InsertNode {
+                    label: (*label).to_string(),
+                    types: toks[2..].iter().map(|s| s.to_string()).collect(),
+                });
+            }
+            "edge" | "del" => {
+                let [_, s, l, d] = toks[..] else {
+                    return fail(bad(format!(
+                        "{} expects: {} <src> <label> <dst>",
+                        toks[0], toks[0]
+                    )));
+                };
+                let g = session.graph();
+                let (src, dst) = match (
+                    resolve_script_node(g, &batch, s),
+                    resolve_script_node(g, &batch, d),
+                ) {
+                    (Ok(src), Ok(dst)) => (src, dst),
+                    (Err(e), _) | (_, Err(e)) => return fail(bad(e)),
+                };
+                if toks[0] == "edge" {
+                    batch.ops.push(Mutation::InsertEdge {
+                        src,
+                        label: l.to_string(),
+                        dst,
+                    });
+                } else {
+                    match resolve_script_edge(g, &batch, src, l, dst) {
+                        Ok(e) => {
+                            batch.deleted.insert(e);
+                            batch.ops.push(Mutation::RemoveEdge { edge: e });
+                        }
+                        Err(e) => return fail(bad(e)),
+                    }
+                }
+            }
+            "commit" => {
+                if toks.len() > 1 {
+                    return fail(bad("commit takes no arguments".into()));
+                }
+                if let Err(e) = commit_and_poll(&mut session, &mut batch, &mut watches, show_stats)
+                {
+                    return fail(bad(e));
+                }
+            }
+            other => {
+                return fail(bad(format!(
+                    "unknown op {other:?} (expected node, edge, del, or commit)"
+                )))
+            }
+        }
+    }
+    // A trailing un-committed batch commits implicitly at EOF.
+    if !batch.ops.is_empty() {
+        if let Err(e) = commit_and_poll(&mut session, &mut batch, &mut watches, show_stats) {
+            return fail(e);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Applies the pending batch through the session and polls every
+/// watch, printing `watch I + row` / `watch I - row` delta lines to
+/// stdout (and, with `--stats`, how unchanged polls were decided to
+/// stderr).
+fn commit_and_poll(
+    session: &mut connection_search::Session<'_>,
+    batch: &mut PendingBatch,
+    watches: &mut [connection_search::eql::Watch],
+    show_stats: bool,
+) -> Result<(), String> {
+    let ops = std::mem::take(&mut batch.ops);
+    *batch = PendingBatch::default();
+    if ops.is_empty() {
+        eprintln!("commit: empty batch, nothing to apply");
+        return Ok(());
+    }
+    let applied = session.mutate(ops).map_err(|e| e.to_string())?;
+    println!(
+        "-- generation {} (+{} node(s), +{} edge(s), -{} edge(s)){} --",
+        applied.generation,
+        applied.nodes.len(),
+        applied.edges.len(),
+        applied.removed,
+        if applied.compacted { ", compacted" } else { "" }
+    );
+    for (wi, w) in watches.iter_mut().enumerate() {
+        let delta = w.poll(session).map_err(|e| e.to_string())?;
+        for row in &delta.added {
+            println!("watch {wi} + {row}");
+        }
+        for row in &delta.removed {
+            println!("watch {wi} - {row}");
+        }
+        if delta.is_empty() && show_stats {
+            let how = match delta.skipped {
+                Some(WatchSkip::Unchanged) => "generation unchanged".to_string(),
+                Some(WatchSkip::LabelsDisjoint) => "mutated labels disjoint".to_string(),
+                Some(WatchSkip::DeltaUnreachable) => {
+                    format!("delta unreachable, probe visited {}", delta.probe_visited)
+                }
+                None => "re-evaluated, answer unchanged".to_string(),
+            };
+            eprintln!("watch {wi}: no change ({how})");
+        }
+    }
+    Ok(())
+}
+
 /// Splits batch input on `;` separators outside double-quoted strings,
 /// dropping empty segments.
 fn split_queries(input: &str) -> Vec<&str> {
@@ -315,6 +633,7 @@ fn main() -> ExitCode {
         Some("snapshot") => return snapshot_command(&args[1..]),
         Some("connect") => return connect_command(&args[1..]),
         Some("bench-serve") => return bench_serve_command(&args[1..]),
+        Some("watch") => return watch_command(&args[1..]),
         _ => {}
     }
     if args.len() < 2 {
